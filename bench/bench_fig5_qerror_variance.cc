@@ -1,0 +1,63 @@
+/// Reproduces paper Figure 5: the q-error distribution (25th/50th/75th
+/// percentile boxes, plus 90th) of the learned estimators with and without
+/// QCFE, per benchmark and labeled-set scale. The paper's claim: QCFE
+/// variants show tighter boxes (lower variance) at every scale.
+
+#include <iostream>
+
+#include "harness/evaluate.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qcfe {
+namespace {
+
+int RunBenchmark(const std::string& bench_name) {
+  HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  // The box plot needs the scale sweep but not the PGSQL row.
+  std::vector<size_t> scales = GetRunScale() == RunScale::kFull
+                                   ? opt.scales
+                                   : std::vector<size_t>{400, 1000};
+  auto ctx = BenchmarkContext::Create(opt);
+  if (!ctx.ok()) {
+    std::cerr << ctx.status().ToString() << "\n";
+    return 1;
+  }
+  PrintBanner(std::cout,
+              "Figure 5 — q-error box data, " + bench_name + " (" +
+                  RunScaleName() + " scale)");
+  std::cout << "paper reference (50th percentile, TPCH): QCFE(qpp) 1.048 vs "
+               "QPPNet 1.084; Sysbench: 1.308 vs 9.16; job-light: 1.084 vs "
+               "1.167\n";
+
+  TablePrinter tp({"scale", "model", "q25", "q50", "q75", "q90"});
+  for (size_t scale : scales) {
+    std::vector<PlanSample> train, test;
+    (*ctx)->Split(scale, &train, &test);
+    for (const CellConfig& cell : TableIvModels(opt)) {
+      if (cell.is_pg) continue;
+      Result<CellResult> res = RunCell(ctx->get(), cell, train, test);
+      if (!res.ok()) {
+        std::cerr << res.status().ToString() << "\n";
+        return 1;
+      }
+      const MetricSummary& s = res->eval.summary;
+      tp.AddRow({std::to_string(scale), res->model_name,
+                 FormatDouble(s.q25, 3), FormatDouble(s.median_qerror, 3),
+                 FormatDouble(s.q75, 3), FormatDouble(s.q90, 3)});
+    }
+  }
+  tp.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qcfe
+
+int main() {
+  int rc = 0;
+  for (const auto& bench : qcfe::AllBenchmarkNames()) {
+    rc |= qcfe::RunBenchmark(bench);
+  }
+  return rc;
+}

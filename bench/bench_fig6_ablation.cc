@@ -1,0 +1,90 @@
+/// Reproduces paper Figure 6: the QCFE ablation on QPPNet at scale 4000
+/// (quick: 400) — FSO (snapshot from original queries), FST (snapshot from
+/// simplified templates), FSO+FR (difference propagation), FSO+GD
+/// (gradient), FSO+Greedy. The paper's claims: FST matches FSO accuracy;
+/// FR beats GD and Greedy.
+
+#include <iostream>
+
+#include "harness/evaluate.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qcfe {
+namespace {
+
+struct Variant {
+  std::string name;
+  bool from_templates = false;
+  bool reduce = false;
+  ReductionAlgorithm algo = ReductionAlgorithm::kDiffProp;
+};
+
+int RunBenchmark(const std::string& bench_name) {
+  HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  size_t scale = GetRunScale() == RunScale::kFull ? 4000 : 400;
+  auto ctx = BenchmarkContext::Create(opt);
+  if (!ctx.ok()) {
+    std::cerr << ctx.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<PlanSample> train, test;
+  (*ctx)->Split(scale, &train, &test);
+
+  PrintBanner(std::cout, "Figure 6 — ablation (QPPNet), " + bench_name +
+                             ", scale=" + std::to_string(scale));
+  std::cout << "paper mean q-error (TPCH / Sysbench / job-light): "
+               "FSO 1.098/1.715/1.180, FST 1.109/1.781/1.222; FR beats GD "
+               "and Greedy (TPCH 50th: FR 1.24 vs GD 1.44)\n";
+
+  const std::vector<Variant> variants = {
+      {"FSO", false, false, ReductionAlgorithm::kDiffProp},
+      {"FST", true, false, ReductionAlgorithm::kDiffProp},
+      {"FSO+FR", false, true, ReductionAlgorithm::kDiffProp},
+      {"FSO+GD", false, true, ReductionAlgorithm::kGradient},
+      {"FSO+Greedy", false, true, ReductionAlgorithm::kGreedy},
+  };
+
+  TablePrinter tp({"variant", "mean q-error", "q50", "q90", "train (s)",
+                   "reduction"});
+  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
+  for (const Variant& v : variants) {
+    QcfeConfig cfg;
+    cfg.kind = EstimatorKind::kQppNet;
+    cfg.use_snapshot = true;
+    cfg.snapshot_from_templates = v.from_templates;
+    cfg.snapshot_scale = 2;
+    cfg.use_reduction = v.reduce;
+    cfg.reduction.algorithm = v.algo;
+    cfg.pre_reduction_epochs = std::max(8, opt.qpp_epochs / 2);
+    cfg.train.epochs = opt.qpp_epochs;
+    cfg.seed = opt.seed * 11 + 1;
+    Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
+    if (!built.ok()) {
+      std::cerr << v.name << ": " << built.status().ToString() << "\n";
+      return 1;
+    }
+    EvalResult eval = EvaluateModel(*(*built)->model, test);
+    tp.AddRow({v.name, FormatDouble(eval.summary.mean_qerror, 3),
+               FormatDouble(eval.summary.median_qerror, 3),
+               FormatDouble(eval.summary.q90, 3),
+               FormatDouble((*built)->train_stats.train_seconds, 2),
+               v.reduce
+                   ? FormatDouble(100.0 * (*built)->reduction.ReductionRatio(),
+                                  1) + "%"
+                   : "-"});
+  }
+  tp.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qcfe
+
+int main() {
+  int rc = 0;
+  for (const auto& bench : qcfe::AllBenchmarkNames()) {
+    rc |= qcfe::RunBenchmark(bench);
+  }
+  return rc;
+}

@@ -1,0 +1,146 @@
+/// Reproduces paper Figure 8: prediction-error trajectories over training
+/// iterations for (a) a model trained directly on the new hardware h2 and
+/// (b) the transferable model (basis trained on h1, snapshot swapped for
+/// h2). Paper: the transferable model reaches the direct model's accuracy
+/// with ~25% of the training time.
+
+#include <iostream>
+
+#include "harness/evaluate.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qcfe {
+namespace {
+
+int RunBenchmark(const std::string& bench_name) {
+  HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  size_t basis_scale = GetRunScale() == RunScale::kFull ? 10000 : 800;
+  size_t h2_size = GetRunScale() == RunScale::kFull ? 2500 : 320;
+  int epochs = std::max(12, opt.qpp_epochs);
+
+  auto ctx = BenchmarkContext::Create(opt);
+  if (!ctx.ok()) {
+    std::cerr << ctx.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<PlanSample> h1_train, h1_test;
+  (*ctx)->Split(basis_scale, &h1_train, &h1_test);
+
+  std::vector<Environment> h2_envs = EnvironmentSampler::Sample(
+      opt.num_envs, HardwareProfile::H2(), opt.seed * 53 + 3);
+  for (auto& e : h2_envs) e.id += 100;
+  QueryCollector collector((*ctx)->db.get(), &h2_envs);
+  Result<LabeledQuerySet> h2_corpus =
+      collector.Collect((*ctx)->templates, h2_size, opt.seed * 59 + 7);
+  if (!h2_corpus.ok()) {
+    std::cerr << h2_corpus.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<PlanSample> h2_train, h2_test;
+  for (size_t i = 0; i < h2_corpus->queries.size(); ++i) {
+    const LabeledQuery& q = h2_corpus->queries[i];
+    (i < h2_size * 4 / 5 ? h2_train : h2_test)
+        .push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+
+  auto cfg_for = [&](uint64_t seed_off) {
+    QcfeConfig cfg;
+    cfg.kind = EstimatorKind::kQppNet;
+    cfg.use_snapshot = true;
+    cfg.snapshot_from_templates = true;
+    cfg.snapshot_scale = 2;
+    cfg.use_reduction = true;
+    cfg.pre_reduction_epochs = std::max(8, epochs / 2);
+    cfg.train.epochs = epochs;
+    cfg.seed = opt.seed * 61 + seed_off;
+    return cfg;
+  };
+
+  // Direct model: trained on h2 from scratch, tracing test q-error.
+  std::vector<std::pair<int, double>> direct_curve;
+  {
+    QcfeBuilder h2_builder((*ctx)->db.get(), &h2_envs, &(*ctx)->templates);
+    QcfeConfig cfg = cfg_for(1);
+    cfg.train.eval_every = 1;
+    cfg.train.eval_set = h2_test;
+    Result<std::unique_ptr<QcfeModel>> direct =
+        h2_builder.Build(cfg, h2_train);
+    if (!direct.ok()) {
+      std::cerr << direct.status().ToString() << "\n";
+      return 1;
+    }
+    direct_curve = (*direct)->train_stats.eval_curve;
+  }
+
+  // Transferable model: basis on h1, FST snapshot for h2, warm retrain.
+  std::vector<std::pair<int, double>> transfer_curve;
+  {
+    QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
+    QcfeConfig cfg = cfg_for(2);
+    Result<std::unique_ptr<QcfeModel>> basis = builder.Build(cfg, h1_train);
+    if (!basis.ok()) {
+      std::cerr << basis.status().ToString() << "\n";
+      return 1;
+    }
+    Status st = builder.ComputeSnapshots(
+        h2_envs, /*from_templates=*/true, cfg.snapshot_scale, cfg.seed + 5,
+        (*basis)->snapshot_store.get(), nullptr, nullptr, nullptr);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    TrainConfig retrain;
+    retrain.epochs = epochs;
+    retrain.eval_every = 1;
+    retrain.eval_set = h2_test;
+    retrain.seed = cfg.seed + 6;
+    TrainStats stats;
+    st = (*basis)->model->Train(h2_train, retrain, &stats);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    transfer_curve = stats.eval_curve;
+  }
+
+  PrintBanner(std::cout, "Figure 8 — convergence on new hardware, " +
+                             bench_name);
+  std::cout << "paper: the transferable model reaches the direct model's "
+               "accuracy in ~25% of the training iterations\n";
+  TablePrinter tp({"epoch", "direct q-error", "transfer q-error"});
+  for (size_t i = 0; i < direct_curve.size(); ++i) {
+    tp.AddRow({std::to_string(direct_curve[i].first),
+               FormatDouble(direct_curve[i].second, 3),
+               i < transfer_curve.size()
+                   ? FormatDouble(transfer_curve[i].second, 3)
+                   : "-"});
+  }
+  tp.Print(std::cout);
+
+  // Crossover summary: first epoch where each curve reaches within 10% of
+  // the direct model's final q-error.
+  double target = direct_curve.empty() ? 0.0
+                                       : direct_curve.back().second * 1.10;
+  auto first_reach = [&](const std::vector<std::pair<int, double>>& curve) {
+    for (const auto& [epoch, qe] : curve) {
+      if (qe <= target) return epoch;
+    }
+    return curve.empty() ? 0 : curve.back().first;
+  };
+  std::cout << "epochs to reach 110% of direct final q-error: direct="
+            << first_reach(direct_curve)
+            << " transfer=" << first_reach(transfer_curve) << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qcfe
+
+int main() {
+  int rc = qcfe::RunBenchmark("tpch");
+  if (qcfe::GetRunScale() == qcfe::RunScale::kFull) {
+    rc |= qcfe::RunBenchmark("joblight");
+  }
+  return rc;
+}

@@ -1,0 +1,188 @@
+/// Micro benchmarks (google-benchmark) for the performance-critical pieces:
+/// B+-tree operations, query planning/execution, model inference, snapshot
+/// fitting and difference-propagation reduction. These back the inference
+/// time columns of Table IV and the runtime column of Table VI.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/feature_reduction.h"
+#include "core/feature_snapshot.h"
+#include "engine/btree.h"
+#include "harness/evaluate.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace qcfe {
+namespace {
+
+// Shared lazy fixture: a small sysbench context + trained QPPNet/MSCN.
+struct MicroFixture {
+  std::unique_ptr<BenchmarkContext> ctx;
+  std::vector<PlanSample> train, test;
+  std::unique_ptr<BaseFeaturizer> featurizer;
+  std::unique_ptr<QppNet> qpp;
+  std::unique_ptr<Mscn> mscn;
+
+  static MicroFixture& Get() {
+    static MicroFixture* fixture = [] {
+      auto* f = new MicroFixture();
+      HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+      opt.corpus_size = 400;
+      auto ctx = BenchmarkContext::Create(opt);
+      f->ctx = std::move(ctx.value());
+      f->ctx->Split(400, &f->train, &f->test);
+      f->featurizer = std::make_unique<BaseFeaturizer>(f->ctx->db->catalog());
+      f->qpp = std::make_unique<QppNet>(f->featurizer.get(), QppNetConfig{}, 1);
+      f->mscn = std::make_unique<Mscn>(f->ctx->db->catalog(),
+                                       f->featurizer.get(), MscnConfig{}, 2);
+      TrainConfig cfg;
+      cfg.epochs = 8;
+      (void)f->qpp->Train(f->train, cfg, nullptr);
+      (void)f->mscn->Train(f->train, cfg, nullptr);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_MatMul(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n);
+  a.RandomizeGaussian(&rng, 1.0);
+  b.RandomizeGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    Matrix c = Matrix::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::pair<double, uint32_t>> entries;
+  for (uint32_t i = 0; i < n; ++i) {
+    entries.emplace_back(rng.Uniform(0, 1e6), i);
+  }
+  for (auto _ : state) {
+    BPlusTree tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<double, uint32_t>> entries;
+  for (uint32_t i = 0; i < 100000; ++i) {
+    entries.emplace_back(static_cast<double>(i), i);
+  }
+  BPlusTree tree;
+  tree.BulkLoad(std::move(entries));
+  for (auto _ : state) {
+    std::vector<uint32_t> out;
+    double lo = rng.Uniform(0, 90000);
+    tree.RangeScan(lo, true, lo + 1000, true, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+void BM_PlanQuery(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  QuerySpec spec;
+  spec.tables = {"sbtest1"};
+  Predicate p;
+  p.column = {"sbtest1", "id"};
+  p.op = CompareOp::kBetween;
+  p.literals = {Value(int64_t{100}), Value(int64_t{199})};
+  spec.filters = {p};
+  Knobs knobs;
+  for (auto _ : state) {
+    auto plan = f.ctx->db->Plan(spec, knobs);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_PlanQuery);
+
+void BM_ExecuteQueryCached(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  QuerySpec spec;
+  spec.tables = {"sbtest1"};
+  Predicate p;
+  p.column = {"sbtest1", "id"};
+  p.op = CompareOp::kBetween;
+  p.literals = {Value(int64_t{100}), Value(int64_t{199})};
+  spec.filters = {p};
+  Environment env;
+  env.hardware = HardwareProfile::H1();
+  Rng noise(5);
+  for (auto _ : state) {
+    auto run = f.ctx->db->Run(spec, env, &noise);
+    benchmark::DoNotOptimize(run.ok());
+  }
+}
+BENCHMARK(BM_ExecuteQueryCached);
+
+void BM_QppNetInference(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    const PlanSample& s = f.test[i++ % f.test.size()];
+    auto p = f.qpp->PredictMs(*s.plan, s.env_id);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_QppNetInference);
+
+void BM_MscnInference(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    const PlanSample& s = f.test[i++ % f.test.size()];
+    auto p = f.mscn->PredictMs(*s.plan, s.env_id);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_MscnInference);
+
+void BM_SnapshotFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<OperatorObservation> obs;
+  for (int i = 0; i < 2000; ++i) {
+    OperatorObservation o;
+    o.op = static_cast<OpType>(i % kNumOpTypes);
+    o.n = rng.Uniform(10, 100000);
+    o.n2 = rng.Uniform(10, 1000);
+    o.ms = 0.001 * o.n + 0.1;
+    obs.push_back(o);
+  }
+  for (auto _ : state) {
+    auto snap = FeatureSnapshot::Fit(obs);
+    benchmark::DoNotOptimize(snap.ok());
+  }
+}
+BENCHMARK(BM_SnapshotFit);
+
+void BM_DiffPropReduction(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  ReductionConfig cfg;
+  cfg.algorithm = ReductionAlgorithm::kDiffProp;
+  cfg.num_references = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ReduceFeatures(*f.qpp, f.train, cfg);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_DiffPropReduction)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace qcfe
+
+BENCHMARK_MAIN();

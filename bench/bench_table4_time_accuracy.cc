@@ -1,0 +1,80 @@
+/// Reproduces paper Table IV: the time-accuracy efficiency of PGSQL, MSCN,
+/// QPPNet, QCFE(mscn) and QCFE(qpp) across labeled-set scales on TPC-H,
+/// Sysbench and job-light. For each (benchmark, scale, model) cell the
+/// harness reports the pearson coefficient, mean q-error and training time.
+///
+/// Shape criteria (DESIGN.md): learned models beat PGSQL by orders of
+/// magnitude on q-error; QCFE variants match or beat their base models on
+/// accuracy with lower training time.
+
+#include <iostream>
+
+#include "harness/evaluate.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qcfe {
+namespace {
+
+void PrintPaperReference(const std::string& bench) {
+  std::cout << "paper (scale=10000): ";
+  if (bench == "tpch") {
+    std::cout << "PGSQL p=0.632 q=1179.2 | QCFE(mscn) p=0.997 q=1.11 | "
+                 "QCFE(qpp) p=0.969 q=1.096 | MSCN p=0.987 q=1.134 | "
+                 "QPPNet p=0.966 q=1.128\n";
+  } else if (bench == "sysbench") {
+    std::cout << "PGSQL p=0.283 q=938706 | QCFE(mscn) p=0.721 q=1.57 | "
+                 "QCFE(qpp) p=0.787 q=2.01 | MSCN p=0.648 q=1.785 | "
+                 "QPPNet p=0.633 q=32.64\n";
+  } else {
+    std::cout << "PGSQL p=0.376 q=148.1 | QCFE(mscn) p=0.998 q=1.046 | "
+                 "QCFE(qpp) p=0.996 q=1.243 | MSCN p=0.994 q=1.07 | "
+                 "QPPNet p=0.992 q=1.261\n";
+  }
+}
+
+int RunBenchmark(const std::string& bench_name) {
+  HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  auto ctx = BenchmarkContext::Create(opt);
+  if (!ctx.ok()) {
+    std::cerr << ctx.status().ToString() << "\n";
+    return 1;
+  }
+  PrintBanner(std::cout, "Table IV — " + bench_name + " (" + RunScaleName() +
+                             " scale, " + std::to_string(opt.num_envs) +
+                             " environments)");
+  PrintPaperReference(bench_name);
+
+  TablePrinter tp({"scale", "model", "pearson", "mean q-error", "train (s)",
+                   "infer (s)"});
+  for (size_t scale : opt.scales) {
+    std::vector<PlanSample> train, test;
+    (*ctx)->Split(scale, &train, &test);
+    for (const CellConfig& cell : TableIvModels(opt)) {
+      Result<CellResult> res = RunCell(ctx->get(), cell, train, test);
+      if (!res.ok()) {
+        std::cerr << cell.display_name << ": " << res.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      tp.AddRow({std::to_string(scale), res->model_name,
+                 FormatDouble(res->eval.summary.pearson, 3),
+                 FormatDouble(res->eval.summary.mean_qerror, 3),
+                 FormatDouble(res->train_seconds, 2),
+                 FormatDouble(res->eval.inference_seconds, 4)});
+    }
+  }
+  tp.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qcfe
+
+int main() {
+  int rc = 0;
+  for (const auto& bench : qcfe::AllBenchmarkNames()) {
+    rc |= qcfe::RunBenchmark(bench);
+  }
+  return rc;
+}

@@ -1,0 +1,105 @@
+/// Quickstart: build a database, run queries under different environments,
+/// train a QCFE-enhanced cost estimator, and compare its predictions with
+/// ground truth. This walks the whole public API surface in ~100 lines.
+///
+///   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/qcfe.h"
+#include "sql/parser.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "workload/benchmark.h"
+#include "workload/collector.h"
+
+using namespace qcfe;
+
+int main() {
+  // 1. Build a benchmark database (TPC-H-like schema with synthetic data).
+  auto bench = MakeBenchmark("tpch");
+  if (!bench.ok()) {
+    std::cerr << bench.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<Database> db = (*bench)->BuildDatabase(/*scale_factor=*/0.06,
+                                                         /*seed=*/42);
+  std::cout << "database: " << db->catalog()->num_tables() << " tables, "
+            << FormatDouble(db->catalog()->TotalSizeMb(), 1) << " MB\n";
+
+  // 2. Sample database environments (knob configurations on one machine).
+  std::vector<Environment> envs =
+      EnvironmentSampler::Sample(4, HardwareProfile::H1(), 7);
+
+  // 3. Run one SQL query under two environments and inspect the plans.
+  auto spec = ParseQuery(
+      "select count(*) from orders join lineitem "
+      "on orders.o_orderkey = lineitem.l_orderkey "
+      "where orders.o_totalprice > 150000");
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  Rng noise(1);
+  for (int env_id : {0, 1}) {
+    auto run = db->Run(*spec, envs[static_cast<size_t>(env_id)], &noise);
+    if (!run.ok()) {
+      std::cerr << run.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nenv" << env_id << " ("
+              << envs[static_cast<size_t>(env_id)].knobs.ToString()
+              << ")\n  latency " << FormatDouble(run->total_ms, 3) << " ms, "
+              << run->result_rows << " rows\n"
+              << run->plan->ToString(1) << "\n";
+  }
+
+  // 4. Collect a labeled corpus across all environments.
+  std::vector<QueryTemplate> templates = (*bench)->Templates();
+  QueryCollector collector(db.get(), &envs);
+  auto corpus = collector.Collect(templates, /*count=*/600, /*seed=*/99);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<PlanSample> train, test;
+  TrainTestSplit split = SplitIndices(corpus->queries.size(), 0.8, 5);
+  for (size_t i : split.train) {
+    const LabeledQuery& q = corpus->queries[i];
+    train.push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+  for (size_t i : split.test) {
+    const LabeledQuery& q = corpus->queries[i];
+    test.push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+
+  // 5. Train QCFE(qpp): feature snapshot (simplified templates) + reduction.
+  QcfeBuilder builder(db.get(), &envs, &templates);
+  QcfeConfig cfg;
+  cfg.kind = EstimatorKind::kQppNet;
+  cfg.train.epochs = 20;
+  auto model = builder.Build(cfg, train);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\ntrained " << (*model)->name() << " in "
+            << FormatDouble((*model)->train_stats.train_seconds, 2)
+            << " s; feature reduction removed "
+            << FormatDouble(100.0 * (*model)->reduction.ReductionRatio(), 1)
+            << "% of input dims\n";
+
+  // 6. Evaluate on held-out queries.
+  std::vector<double> actual, predicted;
+  for (const auto& s : test) {
+    auto p = (*model)->PredictMs(*s.plan, s.env_id);
+    if (!p.ok()) continue;
+    actual.push_back(s.label_ms);
+    predicted.push_back(*p);
+  }
+  MetricSummary m = Summarize(actual, predicted);
+  std::cout << "test set: pearson=" << FormatDouble(m.pearson, 3)
+            << " mean q-error=" << FormatDouble(m.mean_qerror, 3)
+            << " (n=" << m.count << ")\n";
+  return 0;
+}

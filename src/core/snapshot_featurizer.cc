@@ -1,0 +1,43 @@
+#include "core/snapshot_featurizer.h"
+
+namespace qcfe {
+
+SnapshotFeaturizer::SnapshotFeaturizer(const OperatorFeaturizer* inner,
+                                       const SnapshotStore* store,
+                                       bool fine_grained)
+    : inner_(inner), store_(store), fine_grained_(fine_grained) {
+  for (OpType op : AllOpTypes()) {
+    size_t oi = static_cast<size_t>(op);
+    const FeatureSchema& base = inner_->schema(op);
+    for (const auto& name : base.names()) schemas_[oi].Add(name);
+    for (size_t c = 0; c < kSnapshotWidth; ++c) {
+      schemas_[oi].Add("snapshot.c" + std::to_string(c));
+    }
+  }
+}
+
+size_t SnapshotFeaturizer::dim(OpType op) const {
+  return inner_->dim(op) + kSnapshotWidth;
+}
+
+const FeatureSchema& SnapshotFeaturizer::schema(OpType op) const {
+  return schemas_[static_cast<size_t>(op)];
+}
+
+std::vector<double> SnapshotFeaturizer::Encode(const PlanNode& node,
+                                               size_t depth,
+                                               int env_id) const {
+  std::vector<double> x = inner_->Encode(node, depth, env_id);
+  const FeatureSnapshot* snapshot = store_->Get(env_id);
+  if (snapshot == nullptr) {
+    x.insert(x.end(), kSnapshotWidth, 0.0);
+    return x;
+  }
+  const OperatorSnapshot& os = fine_grained_
+                                   ? snapshot->GetFine(node.op, node.table)
+                                   : snapshot->Get(node.op);
+  for (size_t c = 0; c < kSnapshotWidth; ++c) x.push_back(os.coeffs[c]);
+  return x;
+}
+
+}  // namespace qcfe

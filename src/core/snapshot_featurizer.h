@@ -1,0 +1,41 @@
+#ifndef QCFE_CORE_SNAPSHOT_FEATURIZER_H_
+#define QCFE_CORE_SNAPSHOT_FEATURIZER_H_
+
+/// \file snapshot_featurizer.h
+/// Wraps a base featurizer and appends the feature snapshot of the query's
+/// environment to every operator encoding — the paper's "QCFE" input side.
+/// The snapshot dims are the only environment-dependent features, which is
+/// exactly the gap they fill in the general feature engineering.
+
+#include <array>
+
+#include "core/feature_snapshot.h"
+#include "featurize/featurizer.h"
+
+namespace qcfe {
+
+/// Featurizer = inner features ++ snapshot coefficients of (env, op type).
+class SnapshotFeaturizer : public OperatorFeaturizer {
+ public:
+  /// `inner` and `store` must outlive this featurizer. Unknown environments
+  /// contribute zero snapshot dims. With `fine_grained` set, scan operators
+  /// use (op, table)-level coefficients when the snapshot fitted them
+  /// (paper Section III discussion).
+  SnapshotFeaturizer(const OperatorFeaturizer* inner,
+                     const SnapshotStore* store, bool fine_grained = false);
+
+  size_t dim(OpType op) const override;
+  const FeatureSchema& schema(OpType op) const override;
+  std::vector<double> Encode(const PlanNode& node, size_t depth,
+                             int env_id) const override;
+
+ private:
+  const OperatorFeaturizer* inner_;
+  const SnapshotStore* store_;
+  bool fine_grained_;
+  std::array<FeatureSchema, kNumOpTypes> schemas_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_CORE_SNAPSHOT_FEATURIZER_H_

@@ -1,0 +1,195 @@
+#include "engine/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qcfe {
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+
+void BPlusTree::BulkLoad(std::vector<std::pair<double, uint32_t>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_ = entries.size();
+
+  // Build the leaf level: chunks of at most kFanout entries.
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t i = 0; i < entries.size(); i += kFanout) {
+    auto leaf = std::make_unique<Node>();
+    leaf->is_leaf = true;
+    size_t end = std::min(i + kFanout, entries.size());
+    for (size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(entries[j].first);
+      leaf->values.push_back(entries[j].second);
+    }
+    level.push_back(std::move(leaf));
+  }
+  if (level.empty()) level.push_back(std::make_unique<Node>());
+
+  height_ = 1;
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size(); i += kFanout) {
+      auto parent = std::make_unique<Node>();
+      parent->is_leaf = false;
+      size_t end = std::min(i + kFanout, level.size());
+      for (size_t j = i; j < end; ++j) {
+        if (j > i) {
+          // Separator = smallest key reachable from child j.
+          const Node* n = level[j].get();
+          while (!n->is_leaf) n = n->children.front().get();
+          parent->keys.push_back(n->keys.empty() ? 0.0 : n->keys.front());
+        }
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = std::move(level.front());
+  RelinkLeaves();
+}
+
+void BPlusTree::RelinkLeaves() {
+  // Walk the tree left-to-right chaining leaves.
+  std::vector<Node*> stack{root_.get()};
+  Node* prev = nullptr;
+  // Depth-first, children in order, collect leaves.
+  std::vector<Node*> order;
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      order.push_back(n);
+    } else {
+      for (size_t i = n->children.size(); i > 0; --i) {
+        stack.push_back(n->children[i - 1].get());
+      }
+    }
+  }
+  for (Node* leaf : order) {
+    if (prev != nullptr) prev->next_leaf = leaf;
+    prev = leaf;
+  }
+  if (prev != nullptr) prev->next_leaf = nullptr;
+}
+
+BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, double key,
+                                             uint32_t row_id) {
+  SplitResult result;
+  if (node->is_leaf) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                        row_id);
+    if (node->keys.size() > kFanout) {
+      auto right = std::make_unique<Node>();
+      right->is_leaf = true;
+      size_t mid = node->keys.size() / 2;
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                         node->keys.end());
+      right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(mid),
+                           node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next_leaf = node->next_leaf;
+      node->next_leaf = right.get();
+      result.separator = right->keys.front();
+      result.right = std::move(right);
+    }
+    return result;
+  }
+
+  // Internal: find child.
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  SplitResult child_split = InsertInto(node->children[idx].get(), key, row_id);
+  if (child_split.right != nullptr) {
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(idx),
+                      child_split.separator);
+    node->children.insert(
+        node->children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+        std::move(child_split.right));
+    if (node->keys.size() > kFanout) {
+      auto right = std::make_unique<Node>();
+      right->is_leaf = false;
+      size_t mid = node->keys.size() / 2;
+      result.separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         node->keys.end());
+      for (size_t i = mid + 1; i < node->children.size(); ++i) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      result.right = std::move(right);
+    }
+  }
+  return result;
+}
+
+void BPlusTree::Insert(double key, uint32_t row_id) {
+  SplitResult split = InsertInto(root_.get(), key, row_id);
+  if (split.right != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(double key) const {
+  // Descend with lower_bound so a run of duplicate keys that spans node
+  // boundaries is entered at its leftmost leaf (separators equal to `key`
+  // may have equal keys in the child to their left).
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[idx].get();
+  }
+  return n;
+}
+
+void BPlusTree::RangeScan(double lo, bool lo_inclusive, double hi,
+                          bool hi_inclusive,
+                          std::vector<uint32_t>* out) const {
+  if (size_ == 0) return;
+  const Node* leaf =
+      std::isinf(lo) && lo < 0 ? FindLeaf(-HUGE_VAL) : FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      double k = leaf->keys[i];
+      bool above_lo = lo_inclusive ? k >= lo : k > lo;
+      bool below_hi = hi_inclusive ? k <= hi : k < hi;
+      if (!above_lo) continue;
+      if (!below_hi) return;  // keys ascend; nothing further matches
+      out->push_back(leaf->values[i]);
+    }
+    leaf = leaf->next_leaf;
+  }
+}
+
+void BPlusTree::PointLookup(double key, std::vector<uint32_t>* out) const {
+  RangeScan(key, true, key, true, out);
+}
+
+size_t BPlusTree::leaf_count() const {
+  const Node* n = root_.get();
+  while (!n->is_leaf) n = n->children.front().get();
+  size_t count = 0;
+  for (; n != nullptr; n = n->next_leaf) ++count;
+  return count;
+}
+
+}  // namespace qcfe

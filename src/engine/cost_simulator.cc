@@ -1,0 +1,137 @@
+#include "engine/cost_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+namespace {
+
+/// Per-operator-unit CPU base costs in ms (before hardware/knob scaling).
+double BaseOpUnitMs(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+      return 0.0;       // priced via pages + tuples
+    case OpType::kIndexScan:
+      return 0.0;       // priced via pages + index tuples
+    case OpType::kSort:
+      return 0.00025;   // per comparison
+    case OpType::kAggregate:
+      return 0.0006;    // per hash-table update
+    case OpType::kMaterialize:
+      return 0.0002;    // per tuple copied
+    case OpType::kHashJoin:
+      return 0.0007;    // per build/probe
+    case OpType::kMergeJoin:
+      return 0.0004;    // per merge step
+    case OpType::kNestedLoop:
+      return 0.00015;   // per inner iteration
+  }
+  return 0.0003;
+}
+
+/// Operators whose CPU work parallelises across workers.
+bool Parallelizable(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+    case OpType::kIndexScan:
+    case OpType::kHashJoin:
+    case OpType::kAggregate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr double kBaseTupleMs = 0.0005;       // 0.5 us per tuple
+constexpr double kBaseIndexTupleMs = 0.0010;  // index tuples are pricier
+constexpr double kMemPageMs = 0.0015;         // buffered page access
+constexpr double kOpStartupMs = 0.002;        // per-operator startup
+constexpr double kPlanStartupMs = 0.03;       // parse/plan/execute startup
+// JIT compiles expressions per plan node, so its setup cost lands on the
+// operators (visible in per-operator timings, hence capturable by the
+// feature snapshot's intercept) rather than as an untraceable per-query
+// constant.
+constexpr double kJitPerOpMs = 0.45;
+constexpr double kMinParallelTuples = 20000;  // gate for worker speedup
+
+}  // namespace
+
+CostSimulator::CostSimulator(const Environment& env, double db_size_mb)
+    : env_(env) {
+  const HardwareProfile& hw = env_.hardware;
+  const Knobs& k = env_.knobs;
+
+  // Cache hit fraction: how much of the working set the buffer pool covers.
+  // The working set (heap + indexes + temp files) is larger than the raw
+  // heap, so even buffers ~= heap size still miss; the curve saturates
+  // smoothly instead of flipping to all-cached.
+  double working_set = 2.0 * std::max(db_size_mb, 1.0);
+  cache_hit_ = std::clamp(
+      0.10 + 0.88 * k.shared_buffers_mb / (k.shared_buffers_mb + working_set),
+      0.10, 0.98);
+
+  mem_page_ms_ = kMemPageMs / hw.cpu_scale;
+  disk_seq_ms_ = 8.192 / hw.seq_mb_per_s;    // 8 KiB page / bandwidth
+  disk_rand_ms_ = 1000.0 / hw.rand_iops;
+  jit_factor_ = k.jit ? 0.65 : 1.0;
+
+  int workers = std::clamp(k.max_parallel_workers, 0, 8);
+  parallel_factor_ =
+      workers > 0 ? 1.0 / (1.0 + 0.55 * static_cast<double>(workers)) : 1.0;
+}
+
+CostCoefficients CostSimulator::CoefficientsFor(OpType op) const {
+  const HardwareProfile& hw = env_.hardware;
+  CostCoefficients c;
+  c.cs = cache_hit_ * mem_page_ms_ + (1.0 - cache_hit_) * disk_seq_ms_;
+  c.cr = cache_hit_ * mem_page_ms_ + (1.0 - cache_hit_) * disk_rand_ms_;
+  c.ct = kBaseTupleMs * jit_factor_ / hw.cpu_scale;
+  c.ci = kBaseIndexTupleMs * jit_factor_ / hw.cpu_scale;
+  c.co = BaseOpUnitMs(op) * jit_factor_ / hw.cpu_scale;
+  return c;
+}
+
+double CostSimulator::ExpectedOperatorMs(OpType op,
+                                         const WorkCounts& work) const {
+  CostCoefficients c = CoefficientsFor(op);
+  double io = c.cs * work.seq_pages + c.cr * work.rand_pages;
+  double cpu = c.ct * work.tuples + c.ci * work.index_tuples +
+               c.co * work.op_units;
+  if (Parallelizable(op) && work.tuples + work.op_units > kMinParallelTuples) {
+    cpu *= parallel_factor_;
+  }
+  double jit_setup =
+      env_.knobs.jit ? kJitPerOpMs / env_.hardware.cpu_scale : 0.0;
+  return kOpStartupMs + jit_setup + io + cpu;
+}
+
+double CostSimulator::SampleOperatorMs(OpType op, const WorkCounts& work,
+                                       Rng* rng) const {
+  double expected = ExpectedOperatorMs(op, work);
+  if (rng == nullptr) return expected;
+  return expected * rng->LognormalNoise(kNoiseSigma);
+}
+
+double CostSimulator::QueryOverheadMs(size_t plan_nodes, Rng* rng) const {
+  // Parse/plan/executor-startup cost only; JIT setup is per-operator (see
+  // kJitPerOpMs) so snapshots can observe it.
+  double overhead =
+      kPlanStartupMs * (1.0 + 0.1 * static_cast<double>(plan_nodes));
+  if (rng != nullptr) overhead *= rng->LognormalNoise(kNoiseSigma);
+  return overhead;
+}
+
+double CostSimulator::PricePlan(PlanNode* root, Rng* rng) const {
+  double total = 0.0;
+  root->Visit([&](PlanNode* node) {
+    node->actual_ms = SampleOperatorMs(node->op, node->work, rng);
+    total += node->actual_ms;
+  });
+  total += QueryOverheadMs(root->CountNodes(), rng);
+  return total;
+}
+
+}  // namespace qcfe

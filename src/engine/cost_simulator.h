@@ -1,0 +1,77 @@
+#ifndef QCFE_ENGINE_COST_SIMULATOR_H_
+#define QCFE_ENGINE_COST_SIMULATOR_H_
+
+/// \file cost_simulator.h
+/// Ground-truth latency model (the hardware substitute). Implements the
+/// paper's Section III-A decomposition explicitly:
+///
+///   latency(op) = cs*n_seq + cr*n_rand + ct*n_tuple + ci*n_index + co*n_op
+///
+/// where the coefficient vector C = {cs, cr, ct, ci, co} is a deterministic
+/// function of the *environment* (hardware profile + knobs) and the count
+/// vector N comes from real execution. Multiplicative log-normal noise makes
+/// label collection realistically stochastic. Because the generative model
+/// matches the paper's assumption ("ignored variables only influence C"),
+/// the feature snapshot has a real signal to estimate — and residual effects
+/// (spill-induced count changes, JIT setup costs) keep the problem honest.
+
+#include "engine/knobs.h"
+#include "engine/plan.h"
+
+namespace qcfe {
+
+class Rng;
+
+/// The paper's C vector for one operator type.
+struct CostCoefficients {
+  double cs = 0.0;  ///< ms per sequential page
+  double cr = 0.0;  ///< ms per random page
+  double ct = 0.0;  ///< ms per tuple
+  double ci = 0.0;  ///< ms per index tuple
+  double co = 0.0;  ///< ms per operator-specific unit
+};
+
+/// Prices work counts under one environment.
+class CostSimulator {
+ public:
+  /// `db_size_mb` drives the buffer-cache hit fraction (shared_buffers
+  /// relative to the working set).
+  CostSimulator(const Environment& env, double db_size_mb);
+
+  /// Environment-determined coefficients for an operator type (noise-free).
+  CostCoefficients CoefficientsFor(OpType op) const;
+
+  /// Noise-free expected latency of one operator given its work counts.
+  double ExpectedOperatorMs(OpType op, const WorkCounts& work) const;
+
+  /// Noisy sampled latency of one operator (`rng` may be null for
+  /// deterministic pricing).
+  double SampleOperatorMs(OpType op, const WorkCounts& work, Rng* rng) const;
+
+  /// Per-query constant overhead: planning/startup plus JIT compilation
+  /// when the jit knob is on (scales mildly with plan size).
+  double QueryOverheadMs(size_t plan_nodes, Rng* rng) const;
+
+  /// Prices a whole executed plan in place (fills actual_ms on every node)
+  /// and returns the total query latency including overhead.
+  double PricePlan(PlanNode* root, Rng* rng) const;
+
+  /// Buffer-cache hit fraction implied by the environment.
+  double cache_hit_fraction() const { return cache_hit_; }
+
+  /// Noise level (log-normal sigma) applied per operator.
+  static constexpr double kNoiseSigma = 0.06;
+
+ private:
+  Environment env_;
+  double cache_hit_ = 0.5;
+  double mem_page_ms_ = 0.0;
+  double disk_seq_ms_ = 0.0;
+  double disk_rand_ms_ = 0.0;
+  double jit_factor_ = 1.0;
+  double parallel_factor_ = 1.0;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_COST_SIMULATOR_H_

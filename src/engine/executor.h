@@ -1,0 +1,72 @@
+#ifndef QCFE_ENGINE_EXECUTOR_H_
+#define QCFE_ENGINE_EXECUTOR_H_
+
+/// \file executor.h
+/// Materializing executor. Runs a physical plan over real data, producing
+/// correct results *and* the per-operator work counts (pages, tuples,
+/// comparisons) that the cost simulator prices into ground-truth latencies.
+/// Work counts reflect what the operator logically does (e.g. a Nested Loop
+/// is charged n1*n2 units even though equi-joins are evaluated via hashing
+/// internally for speed).
+
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/knobs.h"
+#include "engine/plan.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// A materialized intermediate result with a qualified-name schema.
+struct Relation {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  /// Bytes under the width accounting used for spill decisions.
+  double SizeBytes() const {
+    return static_cast<double>(rows.size()) *
+           static_cast<double>(schema.RowWidth());
+  }
+};
+
+/// Executes plans against a catalog under a knob configuration (work_mem
+/// controls spill behaviour, which feeds back into work counts).
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const Knobs& knobs)
+      : catalog_(catalog), knobs_(knobs) {}
+
+  /// Executes the subtree rooted at `node`, filling actual_rows, input_card
+  /// and work on every node. Returns the materialized output.
+  Result<Relation> Execute(PlanNode* node);
+
+ private:
+  Result<Relation> ExecSeqScan(PlanNode* node);
+  Result<Relation> ExecIndexScan(PlanNode* node);
+  Result<Relation> ExecSort(PlanNode* node);
+  Result<Relation> ExecAggregate(PlanNode* node);
+  Result<Relation> ExecMaterialize(PlanNode* node);
+  Result<Relation> ExecHashJoin(PlanNode* node);
+  Result<Relation> ExecMergeJoin(PlanNode* node);
+  Result<Relation> ExecNestedLoop(PlanNode* node);
+
+  /// Shared by hash/merge/NL joins: locates key columns, joins, concatenates.
+  Result<Relation> EquiJoin(PlanNode* node, const Relation& left,
+                            const Relation& right);
+
+  /// Builds the (qualified) output schema of a scan of `table` restricted to
+  /// `projection` (empty = all columns); fills `col_indices` with the indices
+  /// of emitted columns in the base table.
+  Status ScanSchema(const Table& table, const std::vector<std::string>& proj,
+                    Schema* schema, std::vector<size_t>* col_indices) const;
+
+  const Catalog* catalog_;
+  Knobs knobs_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_EXECUTOR_H_

@@ -1,0 +1,95 @@
+#include "engine/knobs.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qcfe {
+
+std::string Knobs::ToString() const {
+  std::string out;
+  out += "indexscan=" + std::string(enable_indexscan ? "on" : "off");
+  out += " hashjoin=" + std::string(enable_hashjoin ? "on" : "off");
+  out += " mergejoin=" + std::string(enable_mergejoin ? "on" : "off");
+  out += " nestloop=" + std::string(enable_nestloop ? "on" : "off");
+  out += " work_mem=" + FormatDouble(work_mem_kb, 0) + "kB";
+  out += " shared_buffers=" + FormatDouble(shared_buffers_mb, 0) + "MB";
+  out += " random_page_cost=" + FormatDouble(random_page_cost, 1);
+  out += " jit=" + std::string(jit ? "on" : "off");
+  out += " parallel=" + std::to_string(max_parallel_workers);
+  return out;
+}
+
+HardwareProfile HardwareProfile::H1() {
+  HardwareProfile hw;
+  hw.name = "h1";
+  hw.cpu_scale = 1.0;
+  hw.seq_mb_per_s = 1800.0;
+  hw.rand_iops = 90000.0;
+  hw.mem_gb = 16.0;
+  return hw;
+}
+
+HardwareProfile HardwareProfile::H2() {
+  HardwareProfile hw;
+  hw.name = "h2";
+  hw.cpu_scale = 1.35;        // newer core, higher boost
+  hw.seq_mb_per_s = 2600.0;   // larger/faster drive
+  hw.rand_iops = 150000.0;
+  hw.mem_gb = 42.0;
+  return hw;
+}
+
+HardwareProfile HardwareProfile::Hdd() {
+  HardwareProfile hw;
+  hw.name = "hdd";
+  hw.cpu_scale = 0.7;
+  hw.seq_mb_per_s = 160.0;
+  hw.rand_iops = 180.0;
+  hw.mem_gb = 8.0;
+  return hw;
+}
+
+Knobs EnvironmentSampler::SampleKnobs(Rng* rng) {
+  Knobs k;
+  // Log-uniform memory knobs across realistic admin choices.
+  k.work_mem_kb = std::exp(rng->Uniform(std::log(256.0), std::log(65536.0)));
+  k.shared_buffers_mb =
+      std::exp(rng->Uniform(std::log(16.0), std::log(2048.0)));
+  // Planner constants: admins commonly tune random_page_cost for SSDs.
+  const double rpc_choices[] = {1.1, 1.5, 2.0, 4.0};
+  k.random_page_cost = rpc_choices[rng->UniformInt(0, 3)];
+  k.cpu_tuple_cost = rng->Bernoulli(0.2) ? 0.02 : 0.01;
+  // Execution toggles.
+  k.jit = rng->Bernoulli(0.5);
+  const int workers_choices[] = {0, 0, 2, 4};
+  k.max_parallel_workers = workers_choices[rng->UniformInt(0, 3)];
+  // Occasionally disabled access paths (knob-tuning experiments do this).
+  k.enable_indexscan = rng->Bernoulli(0.85);
+  k.enable_hashjoin = rng->Bernoulli(0.85);
+  k.enable_mergejoin = rng->Bernoulli(0.85);
+  k.enable_nestloop = rng->Bernoulli(0.9);
+  // Never disable all join methods at once.
+  if (!k.enable_hashjoin && !k.enable_mergejoin && !k.enable_nestloop) {
+    k.enable_hashjoin = true;
+  }
+  return k;
+}
+
+std::vector<Environment> EnvironmentSampler::Sample(
+    int count, const HardwareProfile& hardware, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Environment> envs;
+  envs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Environment env;
+    env.id = i;
+    env.hardware = hardware;
+    env.knobs = (i == 0) ? Knobs{} : SampleKnobs(&rng);
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
+}  // namespace qcfe

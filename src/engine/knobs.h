@@ -1,0 +1,86 @@
+#ifndef QCFE_ENGINE_KNOBS_H_
+#define QCFE_ENGINE_KNOBS_H_
+
+/// \file knobs.h
+/// The "ignored variables" of the paper: database knob configuration and
+/// hardware profile. Together they form an Environment; the paper's central
+/// premise is that an environment shifts per-operator cost *coefficients*
+/// while the plan and data shift per-operator *counts*.
+
+#include <string>
+#include <vector>
+
+namespace qcfe {
+
+class Rng;
+
+/// PostgreSQL-style configuration knobs. The enable_* flags and the planner
+/// cost constants steer the planner; work_mem / shared_buffers / jit /
+/// parallelism change true execution behaviour.
+struct Knobs {
+  // Planner enable flags.
+  bool enable_indexscan = true;
+  bool enable_hashjoin = true;
+  bool enable_mergejoin = true;
+  bool enable_nestloop = true;
+
+  // Memory configuration.
+  double work_mem_kb = 4096.0;
+  double shared_buffers_mb = 128.0;
+
+  // Planner cost constants (plan choice only, like PostgreSQL's).
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+
+  // Execution-affecting toggles.
+  bool jit = false;
+  int max_parallel_workers = 0;
+
+  /// Compact key=value rendering for logs.
+  std::string ToString() const;
+};
+
+/// Physical machine profile. H1/H2 mirror the paper's two servers
+/// (collection server and the transfer-learning target "h2").
+struct HardwareProfile {
+  std::string name = "h1";
+  double cpu_scale = 1.0;        ///< relative single-thread throughput
+  double seq_mb_per_s = 1800.0;  ///< sequential read bandwidth
+  double rand_iops = 90000.0;    ///< random 8K reads per second
+  double mem_gb = 16.0;
+
+  /// Paper collection server: Ryzen 7 7735HS, 16 GB, 512 GB SSD.
+  static HardwareProfile H1();
+  /// Paper training/transfer server: i7-12700H, 42 GB, 2.5 TB disk.
+  static HardwareProfile H2();
+  /// A slow spinning-disk box used in robustness tests.
+  static HardwareProfile Hdd();
+};
+
+/// One database environment = hardware + knob configuration.
+struct Environment {
+  int id = 0;
+  HardwareProfile hardware;
+  Knobs knobs;
+};
+
+/// Draws random knob configurations, mirroring the paper's "randomly
+/// generate 20 database configurations of Postgres 14.4".
+class EnvironmentSampler {
+ public:
+  /// One random knob vector.
+  static Knobs SampleKnobs(Rng* rng);
+
+  /// `count` environments with ids 0..count-1 on the given hardware.
+  /// Environment 0 keeps default knobs so there is always a baseline config.
+  static std::vector<Environment> Sample(int count,
+                                         const HardwareProfile& hardware,
+                                         uint64_t seed);
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_KNOBS_H_

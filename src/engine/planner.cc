@@ -1,0 +1,379 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qcfe {
+
+namespace {
+
+/// Sargable = usable to drive a B+-tree range/point probe.
+bool IsSargable(const Predicate& p) {
+  switch (p.op) {
+    case CompareOp::kEq:
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+    case CompareOp::kBetween:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double Log2Safe(double n) { return std::log2(std::max(n, 2.0)); }
+
+}  // namespace
+
+double Planner::TableRows(const std::string& table) const {
+  const TableStats* ts = catalog_->GetStats(table);
+  return ts == nullptr ? 1000.0 : static_cast<double>(ts->num_rows);
+}
+
+double Planner::TablePages(const std::string& table) const {
+  const TableStats* ts = catalog_->GetStats(table);
+  return ts == nullptr ? 100.0 : static_cast<double>(ts->num_pages);
+}
+
+double Planner::EstimateFilterSelectivity(
+    const std::string& table, const std::vector<Predicate>& preds) const {
+  double sel = 1.0;
+  for (const auto& p : preds) {
+    if (p.column.table != table) continue;
+    const ColumnStats* cs = catalog_->GetColumnStats(table, p.column.column);
+    sel *= cs == nullptr ? 0.1 : p.EstimateSelectivity(*cs);
+  }
+  return std::clamp(sel, 1e-7, 1.0);
+}
+
+double Planner::EstimateDistinct(const ColumnRef& col,
+                                 double subplan_rows) const {
+  const ColumnStats* cs = catalog_->GetColumnStats(col.table, col.column);
+  double nd = cs == nullptr ? 100.0 : static_cast<double>(cs->n_distinct);
+  return std::max(1.0, std::min(nd, subplan_rows));
+}
+
+Planner::SubPlan Planner::PlanScan(const QuerySpec& query,
+                                   const std::string& table) const {
+  std::vector<Predicate> table_filters;
+  for (const auto& p : query.filters) {
+    if (p.column.table == table) table_filters.push_back(p);
+  }
+
+  // Projection pushdown: emit only the columns the query touches.
+  std::set<std::string> needed;
+  bool select_star = query.select_columns.empty() && !query.HasAggregation();
+  if (!select_star) {
+    auto need = [&](const ColumnRef& c) {
+      if (c.table == table && !c.column.empty()) needed.insert(c.column);
+    };
+    for (const auto& c : query.select_columns) need(c);
+    for (const auto& a : query.aggregates) need(a.column);
+    for (const auto& g : query.group_by) need(g);
+    for (const auto& k : query.order_by) need(k.column);
+    for (const auto& j : query.joins) {
+      need(j.left);
+      need(j.right);
+    }
+    for (const auto& p : table_filters) need(p.column);
+  }
+
+  double rows = TableRows(table);
+  double pages = TablePages(table);
+  double sel = EstimateFilterSelectivity(table, table_filters);
+  double out_rows = std::max(1.0, rows * sel);
+
+  // Seq Scan cost: pages * seq_page_cost + rows * cpu_tuple_cost.
+  double seq_cost = pages * knobs_.seq_page_cost + rows * knobs_.cpu_tuple_cost;
+
+  // Best index option among sargable filtered columns with an index.
+  const Table* t = catalog_->GetTable(table);
+  std::string best_index;
+  double best_index_cost = seq_cost;
+  double best_index_sel = 1.0;
+  if (knobs_.enable_indexscan && t != nullptr) {
+    for (const auto& p : table_filters) {
+      if (!IsSargable(p)) continue;
+      const TableIndex* idx = t->FindIndex(p.column.column);
+      if (idx == nullptr) continue;
+      const ColumnStats* cs = catalog_->GetColumnStats(table, p.column.column);
+      double psel = cs == nullptr ? 0.1 : p.EstimateSelectivity(*cs);
+      double matched = std::max(1.0, rows * psel);
+      // Heap fetch cost interpolates between random (uncorrelated column)
+      // and near-sequential (clustered column), like PostgreSQL's use of
+      // pg_stats.correlation.
+      double corr = cs == nullptr ? 0.0 : std::fabs(cs->correlation);
+      double width = t->schema().RowWidth() == 0
+                         ? 64.0
+                         : static_cast<double>(t->schema().RowWidth());
+      double seq_fetch_pages = matched * width / kPageSizeBytes;
+      double height = Log2Safe(rows) / Log2Safe(BPlusTree::kFanout);
+      double heap_cost =
+          (1.0 - corr) * matched * knobs_.random_page_cost +
+          corr * seq_fetch_pages * knobs_.seq_page_cost;
+      double cost = height * knobs_.random_page_cost + heap_cost +
+                    matched * knobs_.cpu_index_tuple_cost +
+                    matched * knobs_.cpu_tuple_cost;
+      if (cost < best_index_cost) {
+        best_index_cost = cost;
+        best_index = p.column.column;
+        best_index_sel = psel;
+      }
+    }
+  }
+
+  SubPlan sp;
+  sp.tables = {table};
+  sp.node = std::make_unique<PlanNode>();
+  sp.node->table = table;
+  sp.node->filters = table_filters;
+  sp.node->projection.assign(needed.begin(), needed.end());
+  sp.node->est_rows = out_rows;
+  const Table* tbl = catalog_->GetTable(table);
+  sp.node->est_width =
+      tbl == nullptr ? 64.0 : static_cast<double>(tbl->schema().RowWidth());
+  if (!best_index.empty()) {
+    sp.node->op = OpType::kIndexScan;
+    sp.node->index_column = best_index;
+    sp.node->est_self_cost = best_index_cost;
+    // Index scans emit rows in key order.
+    sp.sorted_on = table + "." + best_index;
+    (void)best_index_sel;
+  } else {
+    sp.node->op = OpType::kSeqScan;
+    sp.node->est_self_cost = seq_cost;
+  }
+  sp.node->est_cost = sp.node->est_self_cost;
+  return sp;
+}
+
+Planner::SubPlan Planner::PlanJoin(SubPlan left, SubPlan right,
+                                   const JoinCondition& cond) const {
+  double n1 = left.node->est_rows;
+  double n2 = right.node->est_rows;
+
+  // Orient the condition: `left` field must reference the left subtree.
+  JoinCondition oriented = cond;
+  bool left_has = std::find(left.tables.begin(), left.tables.end(),
+                            cond.left.table) != left.tables.end();
+  if (!left_has) std::swap(oriented.left, oriented.right);
+
+  double nd_left = EstimateDistinct(oriented.left, n1);
+  double nd_right = EstimateDistinct(oriented.right, n2);
+  double out_rows = std::max(1.0, n1 * n2 / std::max(nd_left, nd_right));
+
+  // Candidate costs with the knob cost constants (PG-flavoured formulas).
+  double hash_cost = 1.5 * n2 * knobs_.cpu_operator_cost +
+                     n1 * knobs_.cpu_operator_cost +
+                     (n1 + n2) * knobs_.cpu_tuple_cost;
+  double build_bytes = n2 * right.node->est_width;
+  if (build_bytes > knobs_.work_mem_kb * 1024.0) {
+    hash_cost += 2.0 * (build_bytes / kPageSizeBytes) * knobs_.seq_page_cost;
+  }
+
+  bool left_sorted = left.sorted_on == oriented.left.ToString();
+  bool right_sorted = right.sorted_on == oriented.right.ToString();
+  double merge_cost = (n1 + n2) * knobs_.cpu_operator_cost +
+                      (n1 + n2) * knobs_.cpu_tuple_cost;
+  if (!left_sorted) merge_cost += n1 * Log2Safe(n1) * knobs_.cpu_operator_cost;
+  if (!right_sorted) merge_cost += n2 * Log2Safe(n2) * knobs_.cpu_operator_cost;
+
+  double nl_cost = n1 * n2 * knobs_.cpu_operator_cost +
+                   (n1 + n2) * knobs_.cpu_tuple_cost;
+
+  // Pick the cheapest enabled algorithm; fall back to hash join.
+  OpType algo = OpType::kHashJoin;
+  double best = HUGE_VAL;
+  if (knobs_.enable_hashjoin) {
+    algo = OpType::kHashJoin;
+    best = hash_cost;
+  }
+  if (knobs_.enable_mergejoin && merge_cost < best) {
+    algo = OpType::kMergeJoin;
+    best = merge_cost;
+  }
+  if (knobs_.enable_nestloop && nl_cost < best) {
+    algo = OpType::kNestedLoop;
+    best = nl_cost;
+  }
+  if (best == HUGE_VAL) {
+    algo = OpType::kHashJoin;
+    best = hash_cost;
+  }
+
+  SubPlan sp;
+  sp.tables = left.tables;
+  for (const auto& t : right.tables) sp.tables.push_back(t);
+
+  auto node = std::make_unique<PlanNode>();
+  node->join = oriented;
+  node->est_rows = out_rows;
+  node->est_width = left.node->est_width + right.node->est_width;
+  node->est_self_cost = best;
+  node->est_cost = best + left.node->est_cost + right.node->est_cost;
+  node->op = algo;
+
+  if (algo == OpType::kMergeJoin) {
+    // Insert Sort children where inputs are not already sorted on the key.
+    auto ensure_sorted = [&](SubPlan& side, const ColumnRef& key,
+                             bool is_sorted) -> std::unique_ptr<PlanNode> {
+      if (is_sorted) return std::move(side.node);
+      auto sort = std::make_unique<PlanNode>();
+      sort->op = OpType::kSort;
+      sort->sort_keys = {OrderKey{key, false}};
+      sort->est_rows = side.node->est_rows;
+      sort->est_width = side.node->est_width;
+      sort->est_self_cost = side.node->est_rows *
+                            Log2Safe(side.node->est_rows) *
+                            knobs_.cpu_operator_cost;
+      sort->est_cost = sort->est_self_cost + side.node->est_cost;
+      sort->children.push_back(std::move(side.node));
+      return sort;
+    };
+    node->children.push_back(
+        ensure_sorted(left, oriented.left, left_sorted));
+    node->children.push_back(
+        ensure_sorted(right, oriented.right, right_sorted));
+    sp.sorted_on = oriented.left.ToString();
+  } else if (algo == OpType::kNestedLoop) {
+    // Materialize the inner side (it is logically rescanned per outer row).
+    auto mat = std::make_unique<PlanNode>();
+    mat->op = OpType::kMaterialize;
+    mat->est_rows = right.node->est_rows;
+    mat->est_width = right.node->est_width;
+    mat->est_self_cost = right.node->est_rows * knobs_.cpu_operator_cost;
+    mat->est_cost = mat->est_self_cost + right.node->est_cost;
+    mat->children.push_back(std::move(right.node));
+    node->children.push_back(std::move(left.node));
+    node->children.push_back(std::move(mat));
+    // Recompute cumulative cost including the materialize node.
+    node->est_cost = node->est_self_cost + node->child(0)->est_cost +
+                     node->child(1)->est_cost;
+  } else {
+    node->children.push_back(std::move(left.node));
+    node->children.push_back(std::move(right.node));
+  }
+
+  sp.node = std::move(node);
+  return sp;
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::Plan(const QuerySpec& query) const {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query references no tables");
+  }
+  for (const auto& t : query.tables) {
+    if (catalog_->GetTable(t) == nullptr) {
+      return Status::NotFound("unknown table " + t);
+    }
+  }
+
+  // Scan each table.
+  std::vector<SubPlan> scans;
+  for (const auto& t : query.tables) scans.push_back(PlanScan(query, t));
+
+  // Greedy left-deep join order: start from the smallest scan, repeatedly
+  // attach the connected table that minimises estimated output rows.
+  size_t start = 0;
+  for (size_t i = 1; i < scans.size(); ++i) {
+    if (scans[i].node->est_rows < scans[start].node->est_rows) start = i;
+  }
+  SubPlan current = std::move(scans[start]);
+  scans.erase(scans.begin() + static_cast<ptrdiff_t>(start));
+
+  auto find_condition = [&](const std::vector<std::string>& covered,
+                            const std::string& cand)
+      -> std::optional<JoinCondition> {
+    for (const auto& j : query.joins) {
+      bool lc = std::find(covered.begin(), covered.end(), j.left.table) !=
+                covered.end();
+      bool rc = std::find(covered.begin(), covered.end(), j.right.table) !=
+                covered.end();
+      if ((lc && j.right.table == cand) || (rc && j.left.table == cand)) {
+        return j;
+      }
+    }
+    return std::nullopt;
+  };
+
+  while (!scans.empty()) {
+    ptrdiff_t best_idx = -1;
+    double best_rows = HUGE_VAL;
+    std::optional<JoinCondition> best_cond;
+    for (size_t i = 0; i < scans.size(); ++i) {
+      auto cond = find_condition(current.tables, scans[i].tables.front());
+      if (!cond.has_value()) continue;
+      // Cheap preview of the join output size.
+      double n1 = current.node->est_rows, n2 = scans[i].node->est_rows;
+      ColumnRef lk = cond->left, rk = cond->right;
+      double nd = std::max(EstimateDistinct(lk, n1), EstimateDistinct(rk, n2));
+      double out = n1 * n2 / std::max(1.0, nd);
+      if (out < best_rows) {
+        best_rows = out;
+        best_idx = static_cast<ptrdiff_t>(i);
+        best_cond = cond;
+      }
+    }
+    if (best_idx < 0) {
+      return Status::InvalidArgument(
+          "join graph is disconnected (cross products unsupported): " +
+          query.ToString());
+    }
+    SubPlan right = std::move(scans[static_cast<size_t>(best_idx)]);
+    scans.erase(scans.begin() + best_idx);
+    current = PlanJoin(std::move(current), std::move(right), *best_cond);
+  }
+
+  // Aggregation / DISTINCT.
+  if (query.HasAggregation()) {
+    auto agg = std::make_unique<PlanNode>();
+    agg->op = OpType::kAggregate;
+    agg->group_by = query.group_by;
+    agg->aggregates = query.aggregates;
+    agg->distinct = query.distinct && query.aggregates.empty();
+    if (agg->distinct && agg->group_by.empty()) {
+      agg->group_by = query.select_columns;
+    }
+    double in_rows = current.node->est_rows;
+    double groups = 1.0;
+    for (const auto& g : agg->group_by) {
+      groups *= EstimateDistinct(g, in_rows);
+    }
+    agg->est_rows = std::max(1.0, std::min(groups, in_rows));
+    agg->est_width = 8.0 * static_cast<double>(std::max<size_t>(
+                               1, agg->group_by.size() + query.aggregates.size()));
+    agg->est_self_cost = in_rows * knobs_.cpu_operator_cost +
+                         in_rows * knobs_.cpu_tuple_cost;
+    agg->est_cost = agg->est_self_cost + current.node->est_cost;
+    agg->children.push_back(std::move(current.node));
+    current.node = std::move(agg);
+    current.sorted_on.clear();
+  }
+
+  // ORDER BY.
+  if (!query.order_by.empty()) {
+    bool already_sorted = query.order_by.size() == 1 &&
+                          !query.order_by[0].descending &&
+                          current.sorted_on ==
+                              query.order_by[0].column.ToString();
+    if (!already_sorted) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->op = OpType::kSort;
+      sort->sort_keys = query.order_by;
+      sort->est_rows = current.node->est_rows;
+      sort->est_width = current.node->est_width;
+      sort->est_self_cost = current.node->est_rows *
+                            Log2Safe(current.node->est_rows) *
+                            knobs_.cpu_operator_cost;
+      sort->est_cost = sort->est_self_cost + current.node->est_cost;
+      sort->children.push_back(std::move(current.node));
+      current.node = std::move(sort);
+    }
+  }
+
+  return std::move(current.node);
+}
+
+}  // namespace qcfe

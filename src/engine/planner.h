@@ -1,0 +1,61 @@
+#ifndef QCFE_ENGINE_PLANNER_H_
+#define QCFE_ENGINE_PLANNER_H_
+
+/// \file planner.h
+/// System-R-style physical planner: selectivity estimation from ANALYZE
+/// statistics, greedy smallest-first left-deep join ordering, and cost-based
+/// access-path / join-algorithm choice driven by the knob cost constants.
+/// Knob enable_* flags veto operators exactly like PostgreSQL's.
+
+#include <memory>
+
+#include "engine/catalog.h"
+#include "engine/knobs.h"
+#include "engine/plan.h"
+#include "engine/query.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Plans one query under a knob configuration.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const Knobs& knobs)
+      : catalog_(catalog), knobs_(knobs) {}
+
+  /// Builds the physical plan. Fails on unknown tables/columns or a query
+  /// whose join graph is disconnected (cross products are not supported).
+  Result<std::unique_ptr<PlanNode>> Plan(const QuerySpec& query) const;
+
+  /// Estimated selectivity of a conjunction of predicates on one table
+  /// (independence assumption, histogram-backed per conjunct).
+  double EstimateFilterSelectivity(const std::string& table,
+                                   const std::vector<Predicate>& preds) const;
+
+ private:
+  struct SubPlan {
+    std::unique_ptr<PlanNode> node;
+    std::vector<std::string> tables;   ///< base tables covered
+    std::string sorted_on;             ///< qualified column, "" if unsorted
+  };
+
+  /// Chooses Seq Scan vs Index Scan for one table.
+  SubPlan PlanScan(const QuerySpec& query, const std::string& table) const;
+
+  /// Joins `left` with the scan of `right_table` using the best enabled
+  /// algorithm for `cond`.
+  SubPlan PlanJoin(SubPlan left, SubPlan right, const JoinCondition& cond) const;
+
+  /// Distinct-value estimate for a join key column in a subplan.
+  double EstimateDistinct(const ColumnRef& col, double subplan_rows) const;
+
+  double TableRows(const std::string& table) const;
+  double TablePages(const std::string& table) const;
+
+  const Catalog* catalog_;
+  Knobs knobs_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_PLANNER_H_

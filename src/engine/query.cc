@@ -1,0 +1,60 @@
+#include "engine/query.h"
+
+#include "util/string_util.h"
+
+namespace qcfe {
+
+std::string Aggregate::ToString() const {
+  const char* name = "count";
+  switch (kind) {
+    case Kind::kCount:
+      name = "count";
+      break;
+    case Kind::kSum:
+      name = "sum";
+      break;
+    case Kind::kAvg:
+      name = "avg";
+      break;
+    case Kind::kMin:
+      name = "min";
+      break;
+    case Kind::kMax:
+      name = "max";
+      break;
+  }
+  std::string arg = column.column.empty() ? "*" : column.ToString();
+  return std::string(name) + "(" + arg + ")";
+}
+
+std::string QuerySpec::ToString() const {
+  std::vector<std::string> sel;
+  for (const auto& a : aggregates) sel.push_back(a.ToString());
+  for (const auto& c : select_columns) sel.push_back(c.ToString());
+  if (sel.empty()) sel.push_back("*");
+
+  std::string out = "select ";
+  if (distinct) out += "distinct ";
+  out += Join(sel, ", ");
+  out += " from " + Join(tables, ", ");
+  std::vector<std::string> conds;
+  for (const auto& j : joins) conds.push_back(j.ToString());
+  for (const auto& f : filters) conds.push_back(f.ToString());
+  if (!conds.empty()) out += " where " + Join(conds, " and ");
+  if (!group_by.empty()) {
+    std::vector<std::string> g;
+    for (const auto& c : group_by) g.push_back(c.ToString());
+    out += " group by " + Join(g, ", ");
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> o;
+    for (const auto& k : order_by) {
+      o.push_back(k.column.ToString() + (k.descending ? " desc" : ""));
+    }
+    out += " order by " + Join(o, ", ");
+  }
+  if (limit.has_value()) out += " limit " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,66 @@
+#ifndef QCFE_ENGINE_QUERY_H_
+#define QCFE_ENGINE_QUERY_H_
+
+/// \file query.h
+/// Logical query IR produced by the SQL parser and consumed by the planner:
+/// conjunctive select-project-join-aggregate queries with ORDER BY / LIMIT /
+/// DISTINCT. This covers the full query language of the three benchmarks.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/predicate.h"
+
+namespace qcfe {
+
+/// Equi-join condition `left.lcol = right.rcol`.
+struct JoinCondition {
+  ColumnRef left;
+  ColumnRef right;
+
+  std::string ToString() const {
+    return left.ToString() + " = " + right.ToString();
+  }
+};
+
+/// Aggregate function over a column (or * for COUNT).
+struct Aggregate {
+  enum class Kind { kCount, kSum, kAvg, kMin, kMax };
+  Kind kind = Kind::kCount;
+  /// Empty column means COUNT(*).
+  ColumnRef column;
+
+  std::string ToString() const;
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  ColumnRef column;
+  bool descending = false;
+};
+
+/// A logical query. `select_columns` empty means SELECT * (all columns of
+/// all referenced tables) unless aggregates are present.
+struct QuerySpec {
+  std::vector<std::string> tables;
+  std::vector<JoinCondition> joins;
+  std::vector<Predicate> filters;
+  std::vector<ColumnRef> select_columns;
+  std::vector<Aggregate> aggregates;
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderKey> order_by;
+  std::optional<size_t> limit;
+  bool distinct = false;
+
+  bool HasAggregation() const {
+    return !aggregates.empty() || !group_by.empty() || distinct;
+  }
+
+  /// Round-trippable SQL-ish rendering (for logs and plan fingerprints).
+  std::string ToString() const;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_QUERY_H_

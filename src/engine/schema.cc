@@ -1,0 +1,35 @@
+#include "engine/schema.h"
+
+namespace qcfe {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  // Suffix match: allow "c" to find "t.c" when unambiguous.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const std::string& stored = cols_[i].name;
+    size_t dot = stored.rfind('.');
+    if (dot != std::string::npos && stored.compare(dot + 1, std::string::npos,
+                                                   name) == 0) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+size_t Schema::RowWidth() const {
+  size_t w = 0;
+  for (const auto& c : cols_) w += DataTypeWidth(c.type);
+  return w;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<ColumnDef> cols = a.columns();
+  for (const auto& c : b.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+}  // namespace qcfe

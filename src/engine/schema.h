@@ -1,0 +1,51 @@
+#ifndef QCFE_ENGINE_SCHEMA_H_
+#define QCFE_ENGINE_SCHEMA_H_
+
+/// \file schema.h
+/// Column/schema metadata shared by base tables and intermediate relations.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace qcfe {
+
+/// One column: unqualified name + type. Intermediate relations qualify names
+/// as "table.column" to keep join outputs unambiguous.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const ColumnDef& column(size_t i) const { return cols_[i]; }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+
+  void AddColumn(ColumnDef col) { cols_.push_back(std::move(col)); }
+
+  /// Index of the column with this exact name, or nullopt. Also accepts a
+  /// qualified lookup "t.c" matching a stored qualified name, and falls back
+  /// to suffix matching ("c" matches stored "t.c" if unambiguous).
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Sum of column widths in bytes (row width for page accounting).
+  size_t RowWidth() const;
+
+  /// Concatenation used when building join output schemas.
+  static Schema Concat(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_SCHEMA_H_

@@ -1,0 +1,114 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace qcfe {
+
+double ColumnStats::FractionBelow(double x) const {
+  if (num_rows == 0 || histogram.empty()) return 0.5;
+  if (x <= min) return 0.0;
+  if (x >= max) return 1.0;
+  double width = (max - min) / static_cast<double>(histogram.size());
+  if (width <= 0.0) return 0.5;
+  double pos = (x - min) / width;
+  size_t full = static_cast<size_t>(pos);
+  double frac_in_bucket = pos - static_cast<double>(full);
+  size_t below = 0;
+  for (size_t i = 0; i < full && i < histogram.size(); ++i) {
+    below += histogram[i];
+  }
+  double partial = full < histogram.size()
+                       ? frac_in_bucket * static_cast<double>(histogram[full])
+                       : 0.0;
+  return (static_cast<double>(below) + partial) / static_cast<double>(num_rows);
+}
+
+double ColumnStats::EstimateSelectivity(int compare_op_class,
+                                        double literal) const {
+  // compare_op_class: 0 = equality, -1 = less-than family, +1 = greater-than
+  // family, 2 = not-equal.
+  if (num_rows == 0) return 0.1;
+  switch (compare_op_class) {
+    case 0:
+      return n_distinct > 0 ? 1.0 / static_cast<double>(n_distinct) : 0.01;
+    case 2: {
+      double eq = n_distinct > 0 ? 1.0 / static_cast<double>(n_distinct) : 0.01;
+      return 1.0 - eq;
+    }
+    case -1:
+      return std::clamp(FractionBelow(literal), 0.0005, 1.0);
+    case 1:
+      return std::clamp(1.0 - FractionBelow(literal), 0.0005, 1.0);
+    default:
+      return 0.1;
+  }
+}
+
+TableStats AnalyzeTable(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  stats.num_pages = table.num_pages();
+  size_t n = table.num_rows();
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    ColumnStats cs;
+    cs.num_rows = n;
+    if (n > 0) {
+      cs.min = table.GetDouble(0, c);
+      cs.max = cs.min;
+      for (size_t r = 1; r < n; ++r) {
+        double v = table.GetDouble(r, c);
+        cs.min = std::min(cs.min, v);
+        cs.max = std::max(cs.max, v);
+      }
+      // Order correlation: Pearson between value and physical row position.
+      {
+        double mean_pos = static_cast<double>(n - 1) / 2.0;
+        double mean_val = 0.0;
+        for (size_t r = 0; r < n; ++r) mean_val += table.GetDouble(r, c);
+        mean_val /= static_cast<double>(n);
+        double cov = 0.0, var_v = 0.0, var_p = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+          double dv = table.GetDouble(r, c) - mean_val;
+          double dp = static_cast<double>(r) - mean_pos;
+          cov += dv * dp;
+          var_v += dv * dv;
+          var_p += dp * dp;
+        }
+        cs.correlation = (var_v > 0.0 && var_p > 0.0)
+                             ? cov / std::sqrt(var_v * var_p)
+                             : 0.0;
+      }
+      // Distinct count: exact via hashing (tables are small enough).
+      std::unordered_set<uint64_t> distinct;
+      distinct.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        distinct.insert(HashValue(table.GetValue(r, c)));
+      }
+      cs.n_distinct = distinct.size();
+      // Equi-width histogram over the numeric view.
+      cs.histogram.assign(ColumnStats::kHistogramBuckets, 0);
+      double width = (cs.max - cs.min) /
+                     static_cast<double>(ColumnStats::kHistogramBuckets);
+      for (size_t r = 0; r < n; ++r) {
+        size_t bucket = 0;
+        if (width > 0.0) {
+          bucket = static_cast<size_t>((table.GetDouble(r, c) - cs.min) / width);
+          if (bucket >= cs.histogram.size()) bucket = cs.histogram.size() - 1;
+        }
+        cs.histogram[bucket]++;
+      }
+      // Deterministic stratified sample: every n/k-th row.
+      size_t stride = std::max<size_t>(1, n / ColumnStats::kSampleSize);
+      for (size_t r = 0; r < n && cs.sample.size() < ColumnStats::kSampleSize;
+           r += stride) {
+        cs.sample.push_back(table.GetValue(r, c));
+      }
+    }
+    stats.columns[table.schema().column(c).name] = std::move(cs);
+  }
+  return stats;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,58 @@
+#ifndef QCFE_ENGINE_STATS_H_
+#define QCFE_ENGINE_STATS_H_
+
+/// \file stats.h
+/// Optimizer statistics (the ANALYZE substitute): per-column min/max,
+/// distinct counts and equi-width histograms over the numeric view. Consumed
+/// by the planner's selectivity estimation and by the data abstract that
+/// fills simplified query templates (paper Algorithm 1, input R).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Statistics of one column.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  size_t n_distinct = 0;
+  size_t num_rows = 0;
+  /// Physical/logical order correlation in [-1, 1] (PostgreSQL's
+  /// pg_stats.correlation): |1| means the column is laid out in key order,
+  /// so index range scans touch nearly sequential heap pages.
+  double correlation = 0.0;
+  /// Equi-width bucket counts over [min, max] of the numeric view.
+  std::vector<size_t> histogram;
+  /// A deterministic value sample (up to kSampleSize) used by the data
+  /// abstract to produce realistic constants for generated predicates.
+  std::vector<Value> sample;
+
+  static constexpr size_t kHistogramBuckets = 32;
+  static constexpr size_t kSampleSize = 64;
+
+  /// Estimated selectivity of `col op literal` against this column.
+  /// Equality uses 1/n_distinct; ranges integrate the histogram.
+  double EstimateSelectivity(int compare_op_class, double literal) const;
+
+  /// Fraction of values strictly below x (histogram interpolation).
+  double FractionBelow(double x) const;
+};
+
+/// Statistics of one table.
+struct TableStats {
+  size_t num_rows = 0;
+  size_t num_pages = 0;
+  std::map<std::string, ColumnStats> columns;
+};
+
+/// Scans a table and computes full statistics.
+TableStats AnalyzeTable(const Table& table);
+
+}  // namespace qcfe
+
+#endif  // QCFE_ENGINE_STATS_H_

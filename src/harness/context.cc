@@ -1,0 +1,74 @@
+#include "harness/context.h"
+
+namespace qcfe {
+
+HarnessOptions OptionsFor(const std::string& benchmark, RunScale run_scale) {
+  HarnessOptions opt;
+  opt.benchmark = benchmark;
+  bool full = run_scale == RunScale::kFull;
+  opt.num_envs = full ? 20 : 5;
+  if (full) {
+    opt.scales = {2000, 4000, 6000, 8000, 10000};  // paper Table IV
+    opt.corpus_size = 10000;
+  } else {
+    opt.scales = {200, 400, 600, 800, 1000};
+    opt.corpus_size = 1000;
+  }
+  if (benchmark == "tpch") {
+    opt.scale_factor = full ? 0.5 : 0.08;
+    opt.qpp_epochs = full ? 60 : 15;   // paper: 400 iterations
+    opt.mscn_epochs = full ? 80 : 30;
+    opt.seed = 1001;
+  } else if (benchmark == "sysbench") {
+    opt.scale_factor = full ? 0.5 : 0.06;
+    opt.qpp_epochs = full ? 40 : 12;   // paper: 100 iterations
+    opt.mscn_epochs = full ? 60 : 25;
+    opt.seed = 2002;
+  } else {  // joblight
+    opt.scale_factor = full ? 0.4 : 0.05;
+    opt.qpp_epochs = full ? 80 : 24;   // paper: 800 iterations
+    opt.mscn_epochs = full ? 100 : 40;
+    opt.seed = 3003;
+  }
+  return opt;
+}
+
+Result<std::unique_ptr<BenchmarkContext>> BenchmarkContext::Create(
+    const HarnessOptions& options) {
+  auto ctx = std::make_unique<BenchmarkContext>();
+  ctx->options = options;
+  Result<std::unique_ptr<BenchmarkWorkload>> workload =
+      MakeBenchmark(options.benchmark);
+  if (!workload.ok()) return workload.status();
+  ctx->workload = std::move(workload.value());
+  ctx->db = ctx->workload->BuildDatabase(options.scale_factor, options.seed);
+  ctx->envs = EnvironmentSampler::Sample(options.num_envs,
+                                         HardwareProfile::H1(),
+                                         options.seed * 31 + 5);
+  ctx->templates = ctx->workload->Templates();
+
+  QueryCollector collector(ctx->db.get(), &ctx->envs);
+  Result<LabeledQuerySet> corpus = collector.Collect(
+      ctx->templates, options.corpus_size, options.seed * 13 + 3);
+  if (!corpus.ok()) return corpus.status();
+  ctx->corpus = std::move(corpus.value());
+  return ctx;
+}
+
+void BenchmarkContext::Split(size_t n, std::vector<PlanSample>* train,
+                             std::vector<PlanSample>* test) const {
+  n = std::min(n, corpus.queries.size());
+  TrainTestSplit split = SplitIndices(n, 0.8, options.seed * 7 + 1);
+  train->clear();
+  test->clear();
+  for (size_t i : split.train) {
+    const LabeledQuery& q = corpus.queries[i];
+    train->push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+  for (size_t i : split.test) {
+    const LabeledQuery& q = corpus.queries[i];
+    test->push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+}
+
+}  // namespace qcfe

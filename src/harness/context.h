@@ -1,0 +1,58 @@
+#ifndef QCFE_HARNESS_CONTEXT_H_
+#define QCFE_HARNESS_CONTEXT_H_
+
+/// \file context.h
+/// Shared experiment setup: builds a benchmark database, samples the
+/// environment grid, and collects the labeled query corpus that all
+/// table/figure reproductions slice. Parameters follow the paper at
+/// QCFE_SCALE=full and a CI-friendly reduction by default.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qcfe.h"
+#include "engine/database.h"
+#include "models/cost_model.h"
+#include "util/env_config.h"
+#include "workload/benchmark.h"
+#include "workload/collector.h"
+
+namespace qcfe {
+
+/// Experiment-grid parameters for one benchmark.
+struct HarnessOptions {
+  std::string benchmark;     ///< "tpch" | "sysbench" | "joblight"
+  double scale_factor = 0.1; ///< data scale
+  int num_envs = 5;          ///< knob configurations (paper: 20)
+  size_t corpus_size = 1000; ///< labeled queries at the largest scale
+  std::vector<size_t> scales;  ///< Table IV corpus sizes
+  int qpp_epochs = 15;       ///< QPPNet training epochs (paper: 100-800)
+  int mscn_epochs = 30;      ///< MSCN training epochs
+  uint64_t seed = 7;
+};
+
+/// Paper-faithful (full) or reduced (quick) options for a benchmark.
+HarnessOptions OptionsFor(const std::string& benchmark, RunScale run_scale);
+
+/// A fully prepared benchmark: database, environments, templates, corpus.
+struct BenchmarkContext {
+  HarnessOptions options;
+  std::unique_ptr<BenchmarkWorkload> workload;
+  std::unique_ptr<Database> db;
+  std::vector<Environment> envs;
+  std::vector<QueryTemplate> templates;
+  LabeledQuerySet corpus;
+
+  /// Builds everything (database, ANALYZE, environments, corpus).
+  static Result<std::unique_ptr<BenchmarkContext>> Create(
+      const HarnessOptions& options);
+
+  /// First `n` corpus entries as PlanSamples, split 80/20.
+  void Split(size_t n, std::vector<PlanSample>* train,
+             std::vector<PlanSample>* test) const;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_HARNESS_CONTEXT_H_

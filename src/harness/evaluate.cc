@@ -1,0 +1,73 @@
+#include "harness/evaluate.h"
+
+namespace qcfe {
+
+EvalResult EvaluateModel(const CostModel& model,
+                         const std::vector<PlanSample>& test) {
+  EvalResult result;
+  std::vector<double> actual, predicted;
+  actual.reserve(test.size());
+  predicted.reserve(test.size());
+  WallTimer timer;
+  for (const auto& s : test) {
+    Result<double> p = model.PredictMs(*s.plan, s.env_id);
+    actual.push_back(s.label_ms);
+    predicted.push_back(p.ok() ? *p : 0.0);
+  }
+  result.inference_seconds = timer.Seconds();
+  result.summary = Summarize(actual, predicted);
+  return result;
+}
+
+std::vector<CellConfig> TableIvModels(const HarnessOptions& options) {
+  std::vector<CellConfig> cells;
+  cells.push_back({"PGSQL", true, EstimatorKind::kQppNet, false, 0, 0});
+  cells.push_back({"QCFE(mscn)", false, EstimatorKind::kMscn, true,
+                   options.mscn_epochs, 0});
+  cells.push_back({"QCFE(qpp)", false, EstimatorKind::kQppNet, true,
+                   options.qpp_epochs, 0});
+  cells.push_back({"MSCN", false, EstimatorKind::kMscn, false,
+                   options.mscn_epochs, 0});
+  cells.push_back({"QPPNet", false, EstimatorKind::kQppNet, false,
+                   options.qpp_epochs, 0});
+  return cells;
+}
+
+Result<CellResult> RunCell(BenchmarkContext* ctx, const CellConfig& cell,
+                           const std::vector<PlanSample>& train,
+                           const std::vector<PlanSample>& test) {
+  CellResult result;
+  result.model_name = cell.display_name;
+  if (cell.is_pg) {
+    PgCostModel pg;
+    TrainStats stats;
+    QCFE_RETURN_IF_ERROR(pg.Train(train, TrainConfig{}, &stats));
+    result.eval = EvaluateModel(pg, test);
+    result.train_seconds = stats.train_seconds;
+    return result;
+  }
+
+  QcfeBuilder builder(ctx->db.get(), &ctx->envs, &ctx->templates);
+  QcfeConfig cfg;
+  cfg.kind = cell.kind;
+  cfg.use_snapshot = cell.qcfe;
+  cfg.use_reduction = cell.qcfe;
+  cfg.snapshot_from_templates = true;  // FST: the paper's efficient default
+  cfg.snapshot_scale = 2;
+  cfg.pre_reduction_epochs = std::max(8, cell.epochs / 2);
+  cfg.train.epochs = cell.epochs;
+  cfg.train.eval_every = cell.eval_every;
+  if (cell.eval_every > 0) cfg.train.eval_set = test;
+  cfg.seed = ctx->options.seed * 97 + static_cast<uint64_t>(cell.kind) * 7 +
+             (cell.qcfe ? 3 : 0);
+
+  Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
+  if (!built.ok()) return built.status();
+  result.built = std::move(built.value());
+  result.eval = EvaluateModel(*result.built->model, test);
+  result.train_seconds = result.built->train_stats.train_seconds;
+  result.train_stats = result.built->train_stats;
+  return result;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,59 @@
+#ifndef QCFE_HARNESS_EVALUATE_H_
+#define QCFE_HARNESS_EVALUATE_H_
+
+/// \file evaluate.h
+/// Model evaluation + the Table IV "cell" runner shared by several benches:
+/// one (benchmark, model, scale) cell = train the estimator, evaluate
+/// pearson / mean q-error / quantiles, and time training and inference.
+
+#include <string>
+#include <vector>
+
+#include "harness/context.h"
+#include "models/pg_cost_model.h"
+#include "util/stats.h"
+
+namespace qcfe {
+
+/// Evaluation outcome on a test set.
+struct EvalResult {
+  MetricSummary summary;
+  double inference_seconds = 0.0;
+};
+
+/// Predicts every sample and summarises; times the prediction loop.
+EvalResult EvaluateModel(const CostModel& model,
+                         const std::vector<PlanSample>& test);
+
+/// Which estimator variant a Table IV row uses.
+struct CellConfig {
+  std::string display_name;  ///< "PGSQL", "MSCN", "QCFE(qpp)", ...
+  bool is_pg = false;
+  EstimatorKind kind = EstimatorKind::kQppNet;
+  bool qcfe = false;  ///< snapshot + reduction on
+  int epochs = 15;
+  int eval_every = 0;  ///< forward to TrainConfig for convergence traces
+};
+
+/// One trained+evaluated cell.
+struct CellResult {
+  std::string model_name;
+  EvalResult eval;
+  double train_seconds = 0.0;
+  /// The built pipeline (null for PGSQL); kept alive so benches can inspect
+  /// reduction results and reuse models.
+  std::unique_ptr<QcfeModel> built;
+  TrainStats train_stats;
+};
+
+/// The five Table IV rows for a benchmark.
+std::vector<CellConfig> TableIvModels(const HarnessOptions& options);
+
+/// Trains and evaluates one cell on the given split.
+Result<CellResult> RunCell(BenchmarkContext* ctx, const CellConfig& cell,
+                           const std::vector<PlanSample>& train,
+                           const std::vector<PlanSample>& test);
+
+}  // namespace qcfe
+
+#endif  // QCFE_HARNESS_EVALUATE_H_

@@ -1,0 +1,91 @@
+#ifndef QCFE_MODELS_COST_MODEL_H_
+#define QCFE_MODELS_COST_MODEL_H_
+
+/// \file cost_model.h
+/// The estimator interface shared by the PostgreSQL analytical baseline and
+/// the learned models (QPPNet, MSCN). Estimators are trained on labeled
+/// plans and predict total query latency in milliseconds from plan-time
+/// information only.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "featurize/featurizer.h"
+#include "nn/mlp.h"
+#include "nn/scaler.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// One training/evaluation sample: an executed plan (carrying per-operator
+/// actual latencies used as training signal), the environment it ran under,
+/// and the total ground-truth latency.
+struct PlanSample {
+  const PlanNode* plan = nullptr;
+  int env_id = 0;
+  double label_ms = 0.0;
+};
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  int epochs = 100;
+  size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  uint64_t seed = 1;
+  /// If > 0, evaluate mean q-error on `eval_set` every `eval_every` epochs
+  /// (drives the paper's Figure 8 convergence curves).
+  int eval_every = 0;
+  std::vector<PlanSample> eval_set;
+};
+
+/// Bookkeeping returned from Train().
+struct TrainStats {
+  double train_seconds = 0.0;
+  std::vector<double> loss_curve;  ///< training loss per epoch
+  /// (epoch, mean q-error on eval_set) pairs when eval_every > 0.
+  std::vector<std::pair<int, double>> eval_curve;
+};
+
+/// A query cost estimator.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains (or continues training — learned models warm-start, which is
+  /// how the transfer-learning experiment retrains a basis model).
+  virtual Status Train(const std::vector<PlanSample>& train,
+                       const TrainConfig& config, TrainStats* stats) = 0;
+
+  /// Predicted total latency (ms) for a plan under an environment.
+  virtual Result<double> PredictMs(const PlanNode& plan, int env_id) const = 0;
+
+  /// The featurizer backing this model (nullptr for analytical models).
+  virtual const OperatorFeaturizer* featurizer() const { return nullptr; }
+
+  /// Label scaler (nullptr for analytical models).
+  virtual const LogTargetScaler* label_scaler() const { return nullptr; }
+
+  /// Materializes a plain MLP view mapping one operator's feature vector to
+  /// the model's (scaled) cost prediction, holding all other model context
+  /// (child outputs / sibling sets) fixed at averages over `context`.
+  /// The feature-reduction algorithms (gradient and difference propagation)
+  /// walk this view's layers. Analytical models return FailedPrecondition.
+  virtual Result<Mlp> OperatorView(
+      OpType op, const std::vector<PlanSample>& context) const {
+    (void)op;
+    (void)context;
+    return Status::FailedPrecondition("model has no operator view");
+  }
+};
+
+/// Subtree latency of a node: the per-operator training signal used by
+/// plan-structured models (sum of actual_ms in the subtree).
+double SubtreeLatencyMs(const PlanNode& node);
+
+}  // namespace qcfe
+
+#endif  // QCFE_MODELS_COST_MODEL_H_

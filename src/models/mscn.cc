@@ -1,0 +1,399 @@
+#include "models/mscn.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/env_config.h"
+#include "util/stats.h"
+
+namespace qcfe {
+
+namespace {
+constexpr size_t kMaxTables = 24;   // join-table one-hot slots
+constexpr size_t kMaxColumns = 48;  // predicate-column one-hot slots
+constexpr size_t kNumPredOps = 9;
+}  // namespace
+
+Mscn::Mscn(const Catalog* catalog, const OperatorFeaturizer* featurizer,
+           MscnConfig config, uint64_t seed)
+    : catalog_(catalog),
+      featurizer_(featurizer),
+      config_(config),
+      rng_(seed) {
+  // Vocabularies (sorted order, same convention as OperatorEncoder).
+  for (const auto& t : catalog_->TableNames()) {
+    if (table_slots_.size() < kMaxTables) {
+      table_slots_[t] = table_slots_.size();
+    }
+    const Table* table = catalog_->GetTable(t);
+    for (const auto& col : table->schema().columns()) {
+      std::string key = t + "." + col.name;
+      if (column_slots_.size() < kMaxColumns) {
+        column_slots_[key] = column_slots_.size();
+      }
+    }
+  }
+  size_t i = 0;
+  for (auto& [k, v] : table_slots_) v = i++;
+  i = 0;
+  for (auto& [k, v] : column_slots_) v = i++;
+
+  join_dim_ = 2 * kMaxTables;
+  pred_dim_ = kMaxColumns + kNumPredOps + 1;
+  op_dim_ = featurizer_->dim(OpType::kSeqScan);
+
+  join_net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{join_dim_, config_.set_hidden, config_.set_hidden},
+      Activation::kRelu, &rng_);
+  pred_net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{pred_dim_, config_.set_hidden, config_.set_hidden},
+      Activation::kRelu, &rng_);
+  op_net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{op_dim_, config_.op_hidden, config_.set_hidden},
+      Activation::kRelu, &rng_);
+  final_net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{3 * config_.set_hidden, config_.final_hidden, 1},
+      Activation::kRelu, &rng_);
+
+  std::vector<Matrix*> params, grads;
+  for (Mlp* net : {join_net_.get(), pred_net_.get(), op_net_.get(),
+                   final_net_.get()}) {
+    for (Matrix* p : net->Params()) params.push_back(p);
+    for (Matrix* g : net->Grads()) grads.push_back(g);
+  }
+  auto adam = std::make_unique<AdamOptimizer>(params, grads, 1e-3);
+  adam->set_clip_norm(5.0);
+  optimizer_ = std::move(adam);
+}
+
+std::vector<double> Mscn::EncodeJoin(const JoinCondition& join) const {
+  std::vector<double> x(join_dim_, 0.0);
+  auto lt = table_slots_.find(join.left.table);
+  if (lt != table_slots_.end()) x[lt->second] = 1.0;
+  auto rt = table_slots_.find(join.right.table);
+  if (rt != table_slots_.end()) x[kMaxTables + rt->second] = 1.0;
+  return x;
+}
+
+std::vector<double> Mscn::EncodePredicate(const Predicate& pred) const {
+  std::vector<double> x(pred_dim_, 0.0);
+  auto ct = column_slots_.find(pred.column.ToString());
+  if (ct != column_slots_.end()) x[ct->second] = 1.0;
+  x[kMaxColumns + static_cast<size_t>(pred.op)] = 1.0;
+  // Normalised literal value (first literal; strings hash into [0,1]).
+  const ColumnStats* cs =
+      catalog_->GetColumnStats(pred.column.table, pred.column.column);
+  if (!pred.literals.empty() && cs != nullptr && cs->max > cs->min) {
+    double v = ValueToDouble(pred.literals[0]);
+    x[pred_dim_ - 1] = std::clamp((v - cs->min) / (cs->max - cs->min), 0.0, 1.0);
+  }
+  return x;
+}
+
+Mscn::EncodedQuery Mscn::EncodeQuery(const PlanNode& plan, int env_id,
+                                     bool scale) const {
+  EncodedQuery q;
+  std::function<void(const PlanNode&, size_t)> walk = [&](const PlanNode& n,
+                                                          size_t depth) {
+    if (n.join.has_value()) q.joins.push_back(EncodeJoin(*n.join));
+    for (const auto& f : n.filters) q.preds.push_back(EncodePredicate(f));
+    q.ops.push_back(featurizer_->Encode(n, depth, env_id));
+    for (const auto& c : n.children) walk(*c, depth + 1);
+  };
+  walk(plan, 0);
+  if (q.joins.empty()) q.joins.emplace_back(join_dim_, 0.0);
+  if (q.preds.empty()) q.preds.emplace_back(pred_dim_, 0.0);
+  if (q.ops.empty()) q.ops.emplace_back(op_dim_, 0.0);
+
+  if (scale && scalers_fitted_) {
+    auto apply = [](const StandardScaler& sc,
+                    std::vector<std::vector<double>>* rows) {
+      for (auto& r : *rows) {
+        for (size_t i = 0; i < r.size(); ++i) {
+          r[i] = (r[i] - sc.mean()[i]) / sc.stddev()[i];
+        }
+      }
+    };
+    apply(join_scaler_, &q.joins);
+    apply(pred_scaler_, &q.preds);
+    apply(op_scaler_, &q.ops);
+  }
+  return q;
+}
+
+Mscn::Packed Mscn::Pack(const std::vector<const EncodedQuery*>& batch) const {
+  Packed p;
+  size_t nj = 0, np = 0, no = 0;
+  for (const auto* q : batch) {
+    nj += q->joins.size();
+    np += q->preds.size();
+    no += q->ops.size();
+  }
+  p.joins = Matrix(nj, join_dim_);
+  p.preds = Matrix(np, pred_dim_);
+  p.ops = Matrix(no, op_dim_);
+  p.join_offsets = {0};
+  p.pred_offsets = {0};
+  p.op_offsets = {0};
+  size_t ji = 0, pi = 0, oi = 0;
+  for (const auto* q : batch) {
+    for (const auto& r : q->joins) p.joins.SetRow(ji++, r);
+    for (const auto& r : q->preds) p.preds.SetRow(pi++, r);
+    for (const auto& r : q->ops) p.ops.SetRow(oi++, r);
+    p.join_offsets.push_back(ji);
+    p.pred_offsets.push_back(pi);
+    p.op_offsets.push_back(oi);
+    p.labels.push_back(q->label_scaled);
+  }
+  return p;
+}
+
+namespace {
+
+/// Mean-pools rows [offsets[q], offsets[q+1]) into row q of the output.
+Matrix SegmentMean(const Matrix& rows, const std::vector<size_t>& offsets,
+                   size_t hidden) {
+  size_t nq = offsets.size() - 1;
+  Matrix out(nq, hidden);
+  for (size_t q = 0; q < nq; ++q) {
+    size_t count = offsets[q + 1] - offsets[q];
+    if (count == 0) continue;
+    for (size_t r = offsets[q]; r < offsets[q + 1]; ++r) {
+      for (size_t c = 0; c < hidden; ++c) out.At(q, c) += rows.At(r, c);
+    }
+    for (size_t c = 0; c < hidden; ++c) {
+      out.At(q, c) /= static_cast<double>(count);
+    }
+  }
+  return out;
+}
+
+/// Inverse of SegmentMean for gradients.
+Matrix SegmentExpand(const Matrix& pooled_grad,
+                     const std::vector<size_t>& offsets, size_t total_rows,
+                     size_t hidden) {
+  Matrix out(total_rows, hidden);
+  size_t nq = offsets.size() - 1;
+  for (size_t q = 0; q < nq; ++q) {
+    size_t count = offsets[q + 1] - offsets[q];
+    if (count == 0) continue;
+    double inv = 1.0 / static_cast<double>(count);
+    for (size_t r = offsets[q]; r < offsets[q + 1]; ++r) {
+      for (size_t c = 0; c < hidden; ++c) {
+        out.At(r, c) = pooled_grad.At(q, c) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b, const Matrix& c) {
+  Matrix out(a.rows(), a.cols() + b.cols() + c.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t i = 0; i < a.cols(); ++i) out.At(r, i) = a.At(r, i);
+    for (size_t i = 0; i < b.cols(); ++i) out.At(r, a.cols() + i) = b.At(r, i);
+    for (size_t i = 0; i < c.cols(); ++i) {
+      out.At(r, a.cols() + b.cols() + i) = c.At(r, i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix Mscn::Forward(const Packed& packed) {
+  size_t h = config_.set_hidden;
+  Matrix hj = join_net_->Forward(packed.joins);
+  Matrix hp = pred_net_->Forward(packed.preds);
+  Matrix ho = op_net_->Forward(packed.ops);
+  Matrix pj = SegmentMean(hj, packed.join_offsets, h);
+  Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
+  Matrix po = SegmentMean(ho, packed.op_offsets, h);
+  return final_net_->Forward(ConcatCols(pj, pp, po));
+}
+
+Matrix Mscn::PredictPacked(const Packed& packed) const {
+  size_t h = config_.set_hidden;
+  Matrix hj = join_net_->Predict(packed.joins);
+  Matrix hp = pred_net_->Predict(packed.preds);
+  Matrix ho = op_net_->Predict(packed.ops);
+  Matrix pj = SegmentMean(hj, packed.join_offsets, h);
+  Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
+  Matrix po = SegmentMean(ho, packed.op_offsets, h);
+  return final_net_->Predict(ConcatCols(pj, pp, po));
+}
+
+void Mscn::Backward(const Packed& packed, const Matrix& grad_out) {
+  size_t h = config_.set_hidden;
+  Matrix grad_concat = final_net_->Backward(grad_out);
+  // Split the concat gradient back into the three pooled segments.
+  size_t nq = grad_concat.rows();
+  Matrix gj(nq, h), gp(nq, h), go(nq, h);
+  for (size_t r = 0; r < nq; ++r) {
+    for (size_t c = 0; c < h; ++c) {
+      gj.At(r, c) = grad_concat.At(r, c);
+      gp.At(r, c) = grad_concat.At(r, h + c);
+      go.At(r, c) = grad_concat.At(r, 2 * h + c);
+    }
+  }
+  join_net_->Backward(
+      SegmentExpand(gj, packed.join_offsets, packed.joins.rows(), h));
+  pred_net_->Backward(
+      SegmentExpand(gp, packed.pred_offsets, packed.preds.rows(), h));
+  op_net_->Backward(
+      SegmentExpand(go, packed.op_offsets, packed.ops.rows(), h));
+}
+
+void Mscn::FitScalers(const std::vector<EncodedQuery>& queries,
+                      const std::vector<double>& labels_ms) {
+  if (scalers_fitted_) return;
+  auto fit = [](StandardScaler* sc, size_t dim,
+                const std::vector<const std::vector<double>*>& rows) {
+    Matrix m(std::max<size_t>(rows.size(), 1), dim);
+    for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, *rows[r]);
+    sc->Fit(m);
+  };
+  std::vector<const std::vector<double>*> jr, pr, orow;
+  for (const auto& q : queries) {
+    for (const auto& r : q.joins) jr.push_back(&r);
+    for (const auto& r : q.preds) pr.push_back(&r);
+    for (const auto& r : q.ops) orow.push_back(&r);
+  }
+  fit(&join_scaler_, join_dim_, jr);
+  fit(&pred_scaler_, pred_dim_, pr);
+  fit(&op_scaler_, op_dim_, orow);
+  label_scaler_.Fit(labels_ms);
+  scalers_fitted_ = true;
+}
+
+Status Mscn::Train(const std::vector<PlanSample>& train,
+                   const TrainConfig& config, TrainStats* stats) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  if (featurizer_->dim(OpType::kSeqScan) != op_dim_) {
+    return Status::FailedPrecondition("featurizer width changed under MSCN");
+  }
+  WallTimer timer;
+  // First encode raw (for scaler fitting), then scale.
+  std::vector<EncodedQuery> raw;
+  std::vector<double> labels_ms;
+  raw.reserve(train.size());
+  for (const auto& s : train) {
+    raw.push_back(EncodeQuery(*s.plan, s.env_id, /*scale=*/false));
+    labels_ms.push_back(s.label_ms);
+  }
+  FitScalers(raw, labels_ms);
+  std::vector<EncodedQuery> encoded;
+  encoded.reserve(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    encoded.push_back(
+        EncodeQuery(*train[i].plan, train[i].env_id, /*scale=*/true));
+    encoded.back().label_scaled = label_scaler_.TransformOne(labels_ms[i]);
+  }
+
+  static_cast<AdamOptimizer*>(optimizer_.get())->set_lr(config.learning_rate);
+  Rng shuffle_rng(config.seed);
+  std::vector<size_t> order(encoded.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < order.size(); start += config.batch_size) {
+      size_t end = std::min(start + config.batch_size, order.size());
+      std::vector<const EncodedQuery*> batch;
+      for (size_t i = start; i < end; ++i) batch.push_back(&encoded[order[i]]);
+      Packed packed = Pack(batch);
+      optimizer_->ZeroGrad();
+      Matrix out = Forward(packed);
+      Matrix grad(out.rows(), 1);
+      double inv = 1.0 / static_cast<double>(out.rows());
+      for (size_t r = 0; r < out.rows(); ++r) {
+        double err = out.At(r, 0) - packed.labels[r];
+        epoch_loss += err * err;
+        grad.At(r, 0) = 2.0 * err * inv;
+      }
+      Backward(packed, grad);
+      optimizer_->Step();
+    }
+    if (stats != nullptr) {
+      stats->loss_curve.push_back(epoch_loss /
+                                  static_cast<double>(encoded.size()));
+      if (config.eval_every > 0 && !config.eval_set.empty() &&
+          (epoch + 1) % config.eval_every == 0) {
+        std::vector<double> actual, predicted;
+        for (const auto& s : config.eval_set) {
+          Result<double> p = PredictMs(*s.plan, s.env_id);
+          if (!p.ok()) continue;
+          actual.push_back(s.label_ms);
+          predicted.push_back(*p);
+        }
+        stats->eval_curve.emplace_back(epoch + 1,
+                                       Mean(QErrors(actual, predicted)));
+      }
+    }
+  }
+  if (stats != nullptr) stats->train_seconds = timer.Seconds();
+  return Status::OK();
+}
+
+Result<double> Mscn::PredictMs(const PlanNode& plan, int env_id) const {
+  if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
+  EncodedQuery q = EncodeQuery(plan, env_id, /*scale=*/true);
+  Packed packed = Pack({&q});
+  Matrix out = PredictPacked(packed);
+  return label_scaler_.InverseTransformOne(
+      label_scaler_.ClampTransformed(out.At(0, 0)));
+}
+
+Result<Mlp> Mscn::OperatorView(OpType /*op*/,
+                               const std::vector<PlanSample>& context) const {
+  if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
+  size_t h = config_.set_hidden;
+
+  // Average join/predicate pools over the context set; they become the fixed
+  // bias of the concat embedding.
+  Matrix pj_ctx(1, h), pp_ctx(1, h);
+  size_t count = 0;
+  for (const auto& s : context) {
+    EncodedQuery q = EncodeQuery(*s.plan, s.env_id, /*scale=*/true);
+    Packed packed = Pack({&q});
+    Matrix hj = join_net_->Predict(packed.joins);
+    Matrix hp = pred_net_->Predict(packed.preds);
+    Matrix pj = SegmentMean(hj, packed.join_offsets, h);
+    Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
+    pj_ctx.Add(pj);
+    pp_ctx.Add(pp);
+    ++count;
+  }
+  if (count > 0) {
+    pj_ctx.Scale(1.0 / static_cast<double>(count));
+    pp_ctx.Scale(1.0 / static_cast<double>(count));
+  }
+
+  // View = Scale(raw op feats) ∘ op_net ∘ Concat(ctx_j, ctx_p, ·) ∘ final.
+  Mlp view;
+  auto scale_embed = Mlp::MakeZeroLinear(op_dim_, op_dim_);
+  for (size_t i = 0; i < op_dim_; ++i) {
+    double std = op_scaler_.fitted() ? op_scaler_.stddev()[i] : 1.0;
+    double mean = op_scaler_.fitted() ? op_scaler_.mean()[i] : 0.0;
+    scale_embed->weights().At(i, i) = 1.0 / std;
+    scale_embed->bias().At(0, i) = -mean / std;
+  }
+  view.AppendLayer(std::move(scale_embed));
+  for (const auto& layer : op_net_->layers()) {
+    view.AppendLayer(Mlp::CloneLayer(*layer));
+  }
+  auto concat = Mlp::MakeZeroLinear(h, 3 * h);
+  for (size_t i = 0; i < h; ++i) concat->weights().At(i, 2 * h + i) = 1.0;
+  for (size_t i = 0; i < h; ++i) {
+    concat->bias().At(0, i) = pj_ctx.At(0, i);
+    concat->bias().At(0, h + i) = pp_ctx.At(0, i);
+  }
+  view.AppendLayer(std::move(concat));
+  for (const auto& layer : final_net_->layers()) {
+    view.AppendLayer(Mlp::CloneLayer(*layer));
+  }
+  return view;
+}
+
+}  // namespace qcfe

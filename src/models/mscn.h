@@ -1,0 +1,105 @@
+#ifndef QCFE_MODELS_MSCN_H_
+#define QCFE_MODELS_MSCN_H_
+
+/// \file mscn.h
+/// MSCN (Kipf et al., "Learned Cardinalities") extended to cost estimation
+/// as in the paper's Section V-A: three set modules — joins, predicates, and
+/// fine-grained plan operators (the extension; carries cardinalities and,
+/// under QCFE, the feature snapshot) — each an MLP applied per element and
+/// mean-pooled, concatenated into a final MLP that outputs query cost.
+
+#include <memory>
+
+#include "engine/catalog.h"
+#include "models/cost_model.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace qcfe {
+
+/// MSCN hyper-parameters.
+struct MscnConfig {
+  size_t set_hidden = 32;    ///< hidden width of join/predicate modules
+  size_t op_hidden = 64;     ///< hidden width of the operator module
+  size_t final_hidden = 64;  ///< hidden width of the output MLP
+};
+
+/// Set-based estimator.
+class Mscn : public CostModel {
+ public:
+  /// `catalog` provides the join/predicate vocabularies and literal
+  /// normalisation stats; `featurizer` encodes the operator set. The
+  /// featurizer must use the same width for every operator type (MSCN's
+  /// operator module is a single MLP), which base and uniformly-masked
+  /// featurizers satisfy. Both must outlive the model.
+  Mscn(const Catalog* catalog, const OperatorFeaturizer* featurizer,
+       MscnConfig config, uint64_t seed);
+
+  std::string name() const override { return "MSCN"; }
+  Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
+               TrainStats* stats) override;
+  Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
+  const OperatorFeaturizer* featurizer() const override { return featurizer_; }
+  const LogTargetScaler* label_scaler() const override { return &label_scaler_; }
+  Result<Mlp> OperatorView(
+      OpType op, const std::vector<PlanSample>& context) const override;
+
+  size_t join_dim() const { return join_dim_; }
+  size_t pred_dim() const { return pred_dim_; }
+  size_t op_dim() const { return op_dim_; }
+
+ private:
+  /// Pre-encoded query: the three element sets (each at least one row; empty
+  /// sets contribute a single zero row, MSCN's padding convention).
+  struct EncodedQuery {
+    std::vector<std::vector<double>> joins;
+    std::vector<std::vector<double>> preds;
+    std::vector<std::vector<double>> ops;
+    double label_scaled = 0.0;
+  };
+
+  EncodedQuery EncodeQuery(const PlanNode& plan, int env_id,
+                           bool scale) const;
+  std::vector<double> EncodeJoin(const JoinCondition& join) const;
+  std::vector<double> EncodePredicate(const Predicate& pred) const;
+
+  /// Packs queries into per-module element matrices with segment offsets.
+  struct Packed {
+    Matrix joins, preds, ops;
+    std::vector<size_t> join_offsets, pred_offsets, op_offsets;  // size nq+1
+    std::vector<double> labels;
+  };
+  Packed Pack(const std::vector<const EncodedQuery*>& batch) const;
+
+  /// Forward returns per-query predictions (nq x 1); pools cached for
+  /// Backward.
+  Matrix Forward(const Packed& packed);
+  Matrix PredictPacked(const Packed& packed) const;
+  void Backward(const Packed& packed, const Matrix& grad_out);
+
+  void FitScalers(const std::vector<EncodedQuery>& queries,
+                  const std::vector<double>& labels_ms);
+
+  const Catalog* catalog_;
+  const OperatorFeaturizer* featurizer_;
+  MscnConfig config_;
+  Rng rng_;
+  size_t join_dim_ = 0;
+  size_t pred_dim_ = 0;
+  size_t op_dim_ = 0;
+  std::map<std::string, size_t> table_slots_;
+  std::map<std::string, size_t> column_slots_;
+
+  std::unique_ptr<Mlp> join_net_;
+  std::unique_ptr<Mlp> pred_net_;
+  std::unique_ptr<Mlp> op_net_;
+  std::unique_ptr<Mlp> final_net_;
+  StandardScaler join_scaler_, pred_scaler_, op_scaler_;
+  LogTargetScaler label_scaler_;
+  bool scalers_fitted_ = false;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_MODELS_MSCN_H_

@@ -1,0 +1,22 @@
+#include "models/pg_cost_model.h"
+
+namespace qcfe {
+
+double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }
+
+Status PgCostModel::Train(const std::vector<PlanSample>& /*train*/,
+                          const TrainConfig& /*config*/, TrainStats* stats) {
+  if (stats != nullptr) {
+    stats->train_seconds = 0.0;  // analytical model: nothing to train
+    stats->loss_curve.clear();
+    stats->eval_curve.clear();
+  }
+  return Status::OK();
+}
+
+Result<double> PgCostModel::PredictMs(const PlanNode& plan,
+                                      int /*env_id*/) const {
+  return plan.est_cost * ms_per_cost_unit_;
+}
+
+}  // namespace qcfe

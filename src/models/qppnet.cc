@@ -1,0 +1,281 @@
+#include "models/qppnet.h"
+
+#include <cmath>
+
+#include "util/env_config.h"
+#include "util/stats.h"
+
+namespace qcfe {
+
+QppNet::QppNet(const OperatorFeaturizer* featurizer, QppNetConfig config,
+               uint64_t seed)
+    : featurizer_(featurizer), config_(config), rng_(seed) {
+  for (OpType op : AllOpTypes()) {
+    size_t in = featurizer_->dim(op) +
+                config_.max_children * config_.data_vector_dim;
+    units_[static_cast<size_t>(op)] = std::make_unique<Mlp>(
+        std::vector<size_t>{in, config_.hidden, config_.hidden,
+                            config_.data_vector_dim},
+        Activation::kRelu, &rng_);
+  }
+  std::vector<Matrix*> params, grads;
+  for (auto& unit : units_) {
+    for (Matrix* p : unit->Params()) params.push_back(p);
+    for (Matrix* g : unit->Grads()) grads.push_back(g);
+  }
+  auto adam = std::make_unique<AdamOptimizer>(params, grads, 1e-3);
+  adam->set_clip_norm(5.0);
+  optimizer_ = std::move(adam);
+}
+
+void QppNet::FitScalers(const std::vector<PlanSample>& train) {
+  if (scalers_fitted_) return;
+  // Gather raw features and subtree latencies per operator type.
+  std::array<std::vector<std::vector<double>>, kNumOpTypes> rows;
+  std::vector<double> latencies;
+  for (const auto& sample : train) {
+    std::function<void(const PlanNode&, size_t)> walk = [&](const PlanNode& n,
+                                                            size_t depth) {
+      rows[static_cast<size_t>(n.op)].push_back(
+          featurizer_->Encode(n, depth, sample.env_id));
+      latencies.push_back(SubtreeLatencyMs(n));
+      for (const auto& c : n.children) walk(*c, depth + 1);
+    };
+    walk(*sample.plan, 0);
+  }
+  for (OpType op : AllOpTypes()) {
+    size_t oi = static_cast<size_t>(op);
+    size_t dim = featurizer_->dim(op);
+    if (rows[oi].empty()) {
+      // Never-seen operator: identity scaling.
+      Matrix empty(1, dim);
+      feature_scalers_[oi].Fit(empty);
+      continue;
+    }
+    Matrix m(rows[oi].size(), dim);
+    for (size_t r = 0; r < rows[oi].size(); ++r) m.SetRow(r, rows[oi][r]);
+    feature_scalers_[oi].Fit(m);
+  }
+  label_scaler_.Fit(latencies);
+  scalers_fitted_ = true;
+}
+
+QppNet::EncodedPlan QppNet::EncodePlan(const PlanNode& plan, int env_id,
+                                       bool scale_features) const {
+  EncodedPlan encoded;
+  std::function<size_t(const PlanNode&, size_t)> walk =
+      [&](const PlanNode& n, size_t depth) -> size_t {
+    size_t index = encoded.nodes.size();
+    encoded.nodes.emplace_back();
+    encoded.nodes[index].op = n.op;
+    encoded.nodes[index].label_scaled =
+        label_scaler_.fitted() ? label_scaler_.TransformOne(SubtreeLatencyMs(n))
+                               : 0.0;
+    std::vector<double> feats = featurizer_->Encode(n, depth, env_id);
+    if (scale_features) {
+      size_t oi = static_cast<size_t>(n.op);
+      Matrix row(1, feats.size());
+      row.SetRow(0, feats);
+      feats = feature_scalers_[oi].Transform(row).Row(0);
+    }
+    encoded.nodes[index].feats = std::move(feats);
+    for (const auto& c : n.children) {
+      size_t child = walk(*c, depth + 1);
+      encoded.nodes[index].children.push_back(child);
+    }
+    return index;
+  };
+  walk(plan, 0);
+  return encoded;
+}
+
+Matrix QppNet::UnitInput(const EncodedPlan& plan, size_t node_index,
+                         const std::vector<Matrix>& node_outputs) const {
+  const EncodedNode& node = plan.nodes[node_index];
+  size_t d = config_.data_vector_dim;
+  size_t feat_dim = node.feats.size();
+  Matrix x(1, feat_dim + config_.max_children * d);
+  for (size_t i = 0; i < feat_dim; ++i) x.At(0, i) = node.feats[i];
+  for (size_t c = 0; c < node.children.size() && c < config_.max_children;
+       ++c) {
+    const Matrix& child_out = node_outputs[node.children[c]];
+    for (size_t i = 0; i < d; ++i) {
+      x.At(0, feat_dim + c * d + i) = child_out.At(0, i);
+    }
+  }
+  return x;
+}
+
+void QppNet::ForwardPlan(const EncodedPlan& plan,
+                         std::vector<Matrix>* node_outputs) const {
+  node_outputs->assign(plan.nodes.size(), Matrix());
+  // Children precede use: walk indices in reverse pre-order so leaves are
+  // computed before parents (children always have larger indices).
+  for (size_t ii = plan.nodes.size(); ii > 0; --ii) {
+    size_t i = ii - 1;
+    Matrix x = UnitInput(plan, i, *node_outputs);
+    (*node_outputs)[i] =
+        units_[static_cast<size_t>(plan.nodes[i].op)]->Predict(x);
+  }
+}
+
+double QppNet::BackwardPlan(const EncodedPlan& plan,
+                            const std::vector<Matrix>& node_outputs,
+                            double inv_node_count) {
+  size_t d = config_.data_vector_dim;
+  std::vector<Matrix> grads(plan.nodes.size(), Matrix(1, d));
+  double loss = 0.0;
+  // Pre-order: parents first, so parent-propagated gradients are complete
+  // before a node's own backward pass runs.
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const EncodedNode& node = plan.nodes[i];
+    double err = node_outputs[i].At(0, 0) - node.label_scaled;
+    loss += err * err;
+    grads[i].At(0, 0) += 2.0 * err * inv_node_count;
+
+    Mlp* unit = units_[static_cast<size_t>(node.op)].get();
+    Matrix x = UnitInput(plan, i, node_outputs);
+    unit->Forward(x);  // restore caches for this node
+    Matrix gx = unit->Backward(grads[i]);
+    size_t feat_dim = node.feats.size();
+    for (size_t c = 0; c < node.children.size() && c < config_.max_children;
+         ++c) {
+      for (size_t k = 0; k < d; ++k) {
+        grads[node.children[c]].At(0, k) += gx.At(0, feat_dim + c * d + k);
+      }
+    }
+  }
+  return loss;
+}
+
+Status QppNet::Train(const std::vector<PlanSample>& train,
+                     const TrainConfig& config, TrainStats* stats) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  WallTimer timer;
+  FitScalers(train);
+  static_cast<AdamOptimizer*>(optimizer_.get())->set_lr(config.learning_rate);
+
+  // Pre-encode all plans once.
+  std::vector<EncodedPlan> encoded;
+  encoded.reserve(train.size());
+  size_t total_nodes = 0;
+  for (const auto& s : train) {
+    encoded.push_back(EncodePlan(*s.plan, s.env_id, /*scale_features=*/true));
+    total_nodes += encoded.back().nodes.size();
+  }
+
+  Rng shuffle_rng(config.seed);
+  std::vector<size_t> order(encoded.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t epoch_nodes = 0;
+    for (size_t start = 0; start < order.size(); start += config.batch_size) {
+      size_t end = std::min(start + config.batch_size, order.size());
+      optimizer_->ZeroGrad();
+      size_t batch_nodes = 0;
+      for (size_t i = start; i < end; ++i) {
+        batch_nodes += encoded[order[i]].nodes.size();
+      }
+      double inv = batch_nodes > 0 ? 1.0 / static_cast<double>(batch_nodes)
+                                   : 1.0;
+      std::vector<Matrix> outs;
+      for (size_t i = start; i < end; ++i) {
+        ForwardPlan(encoded[order[i]], &outs);
+        epoch_loss += BackwardPlan(encoded[order[i]], outs, inv);
+      }
+      epoch_nodes += batch_nodes;
+      optimizer_->Step();
+    }
+    if (stats != nullptr) {
+      stats->loss_curve.push_back(
+          epoch_nodes > 0 ? epoch_loss / static_cast<double>(epoch_nodes)
+                          : 0.0);
+      if (config.eval_every > 0 && !config.eval_set.empty() &&
+          (epoch + 1) % config.eval_every == 0) {
+        std::vector<double> actual, predicted;
+        for (const auto& s : config.eval_set) {
+          Result<double> p = PredictMs(*s.plan, s.env_id);
+          if (!p.ok()) continue;
+          actual.push_back(s.label_ms);
+          predicted.push_back(*p);
+        }
+        stats->eval_curve.emplace_back(epoch + 1,
+                                       Mean(QErrors(actual, predicted)));
+      }
+    }
+  }
+  if (stats != nullptr) stats->train_seconds = timer.Seconds();
+  return Status::OK();
+}
+
+Result<double> QppNet::PredictMs(const PlanNode& plan, int env_id) const {
+  if (!scalers_fitted_) {
+    return Status::FailedPrecondition("QPPNet is untrained");
+  }
+  EncodedPlan encoded = EncodePlan(plan, env_id, /*scale_features=*/true);
+  std::vector<Matrix> outs;
+  ForwardPlan(encoded, &outs);
+  return label_scaler_.InverseTransformOne(
+      label_scaler_.ClampTransformed(outs[0].At(0, 0)));
+}
+
+Result<Mlp> QppNet::OperatorView(
+    OpType op, const std::vector<PlanSample>& context) const {
+  if (!scalers_fitted_) {
+    return Status::FailedPrecondition("QPPNet is untrained");
+  }
+  size_t oi = static_cast<size_t>(op);
+  size_t feat_dim = featurizer_->dim(op);
+  size_t d = config_.data_vector_dim;
+  size_t child_dims = config_.max_children * d;
+
+  // Average child-output context for this operator type over the context set.
+  std::vector<double> child_ctx(child_dims, 0.0);
+  size_t ctx_count = 0;
+  for (const auto& s : context) {
+    EncodedPlan encoded = EncodePlan(*s.plan, s.env_id, true);
+    std::vector<Matrix> outs;
+    ForwardPlan(encoded, &outs);
+    for (size_t i = 0; i < encoded.nodes.size(); ++i) {
+      if (encoded.nodes[i].op != op) continue;
+      Matrix x = UnitInput(encoded, i, outs);
+      for (size_t k = 0; k < child_dims; ++k) {
+        child_ctx[k] += x.At(0, feat_dim + k);
+      }
+      ++ctx_count;
+    }
+  }
+  if (ctx_count > 0) {
+    for (double& v : child_ctx) v /= static_cast<double>(ctx_count);
+  }
+
+  // View = Embed(raw feat -> [scaled feat, child_ctx]) ∘ unit layers ∘
+  // SelectChannel0. Folding the standardisation into the embed layer means
+  // the view consumes *raw* featurizer output, so reduction code needs no
+  // access to the model's internal scalers.
+  Mlp view;
+  auto embed = Mlp::MakeZeroLinear(feat_dim, feat_dim + child_dims);
+  const StandardScaler& sc = feature_scalers_[oi];
+  for (size_t i = 0; i < feat_dim; ++i) {
+    double std = sc.fitted() ? sc.stddev()[i] : 1.0;
+    double mean = sc.fitted() ? sc.mean()[i] : 0.0;
+    embed->weights().At(i, i) = 1.0 / std;
+    embed->bias().At(0, i) = -mean / std;
+  }
+  for (size_t k = 0; k < child_dims; ++k) {
+    embed->bias().At(0, feat_dim + k) = child_ctx[k];
+  }
+  view.AppendLayer(std::move(embed));
+  for (const auto& layer : units_[oi]->layers()) {
+    view.AppendLayer(Mlp::CloneLayer(*layer));
+  }
+  auto select = Mlp::MakeZeroLinear(d, 1);
+  select->weights().At(0, 0) = 1.0;
+  view.AppendLayer(std::move(select));
+  return view;
+}
+
+}  // namespace qcfe

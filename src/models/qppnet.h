@@ -1,0 +1,91 @@
+#ifndef QCFE_MODELS_QPPNET_H_
+#define QCFE_MODELS_QPPNET_H_
+
+/// \file qppnet.h
+/// QPPNet (Marcus & Papaemmanouil, "Plan-Structured Deep Neural Network
+/// Models for Query Performance Prediction"): one MLP "neural unit" per
+/// physical operator type. A unit consumes the operator's feature vector
+/// concatenated with its children's output vectors and emits a d-dimensional
+/// vector whose first channel is the predicted (scaled) latency of the
+/// operator's subtree; the remaining channels are a learned "data vector"
+/// passed to the parent. Training backpropagates a per-operator latency loss
+/// through the plan-tree structure.
+
+#include <array>
+#include <memory>
+
+#include "models/cost_model.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace qcfe {
+
+/// QPPNet hyper-parameters.
+struct QppNetConfig {
+  size_t hidden = 48;          ///< hidden width of each neural unit
+  size_t data_vector_dim = 8;  ///< unit output width (latency + data vector)
+  size_t max_children = 2;     ///< plan nodes have at most two children
+};
+
+/// Plan-structured estimator.
+class QppNet : public CostModel {
+ public:
+  /// `featurizer` must outlive the model.
+  QppNet(const OperatorFeaturizer* featurizer, QppNetConfig config,
+         uint64_t seed);
+
+  std::string name() const override { return "QPPNet"; }
+  Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
+               TrainStats* stats) override;
+  Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
+  const OperatorFeaturizer* featurizer() const override { return featurizer_; }
+  const LogTargetScaler* label_scaler() const override { return &label_scaler_; }
+  Result<Mlp> OperatorView(
+      OpType op, const std::vector<PlanSample>& context) const override;
+
+  const Mlp& unit(OpType op) const { return *units_[static_cast<size_t>(op)]; }
+
+ private:
+  /// Pre-encoded plan: nodes in pre-order with child links.
+  struct EncodedNode {
+    OpType op = OpType::kSeqScan;
+    std::vector<double> feats;      ///< scaled features
+    std::vector<size_t> children;   ///< indices into EncodedPlan::nodes
+    double label_scaled = 0.0;      ///< scaled subtree latency
+  };
+  struct EncodedPlan {
+    std::vector<EncodedNode> nodes;  ///< pre-order; root at 0
+  };
+
+  EncodedPlan EncodePlan(const PlanNode& plan, int env_id,
+                         bool scale_features) const;
+
+  /// Forward all nodes of one plan; returns per-node outputs (1 x d rows).
+  void ForwardPlan(const EncodedPlan& plan,
+                   std::vector<Matrix>* node_outputs) const;
+
+  /// Accumulates gradients for one plan given per-node output gradients
+  /// seeded with the per-node loss terms. Returns the plan's summed loss.
+  double BackwardPlan(const EncodedPlan& plan,
+                      const std::vector<Matrix>& node_outputs,
+                      double inv_node_count);
+
+  /// Fits feature scalers and the label scaler on first training.
+  void FitScalers(const std::vector<PlanSample>& train);
+
+  Matrix UnitInput(const EncodedPlan& plan, size_t node_index,
+                   const std::vector<Matrix>& node_outputs) const;
+
+  const OperatorFeaturizer* featurizer_;
+  QppNetConfig config_;
+  Rng rng_;
+  std::array<std::unique_ptr<Mlp>, kNumOpTypes> units_;
+  std::array<StandardScaler, kNumOpTypes> feature_scalers_;
+  LogTargetScaler label_scaler_;
+  bool scalers_fitted_ = false;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_MODELS_QPPNET_H_

@@ -1,0 +1,102 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+LinearLayer::LinearLayer(size_t in_dim, size_t out_dim, Rng* rng)
+    : w_(in_dim, out_dim),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {
+  double stddev = std::sqrt(2.0 / static_cast<double>(in_dim == 0 ? 1 : in_dim));
+  w_.RandomizeGaussian(rng, stddev);
+}
+
+Matrix LinearLayer::Forward(const Matrix& input) {
+  cached_input_ = input;
+  return ForwardConst(input);
+}
+
+Matrix LinearLayer::ForwardConst(const Matrix& input) const {
+  Matrix out = Matrix::MatMul(input, w_);
+  out.AddRowBroadcast(b_);
+  return out;
+}
+
+Matrix LinearLayer::Backward(const Matrix& grad_output) {
+  // dW += X^T * dY ; db += colsum(dY) ; dX = dY * W^T
+  dw_.Add(Matrix::MatMulAT(cached_input_, grad_output));
+  db_.Add(grad_output.ColSum());
+  return Matrix::MatMulBT(grad_output, w_);
+}
+
+void LinearLayer::ZeroGrad() {
+  dw_.Fill(0.0);
+  db_.Fill(0.0);
+}
+
+Matrix ReluLayer::Forward(const Matrix& input) {
+  cached_input_ = input;
+  return ForwardConst(input);
+}
+
+Matrix ReluLayer::ForwardConst(const Matrix& input) const {
+  Matrix out = input;
+  for (double& x : out.data()) x = x > 0.0 ? x : 0.0;
+  return out;
+}
+
+Matrix ReluLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+Matrix SigmoidLayer::Forward(const Matrix& input) {
+  Matrix out = ForwardConst(input);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix SigmoidLayer::ForwardConst(const Matrix& input) const {
+  Matrix out = input;
+  for (double& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
+  return out;
+}
+
+Matrix SigmoidLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    double y = cached_output_.data()[i];
+    grad.data()[i] *= y * (1.0 - y);
+  }
+  return grad;
+}
+
+Matrix TanhLayer::Forward(const Matrix& input) {
+  Matrix out = ForwardConst(input);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix TanhLayer::ForwardConst(const Matrix& input) const {
+  Matrix out = input;
+  for (double& x : out.data()) x = std::tanh(x);
+  return out;
+}
+
+Matrix TanhLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    double y = cached_output_.data()[i];
+    grad.data()[i] *= 1.0 - y * y;
+  }
+  return grad;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,124 @@
+#ifndef QCFE_NN_LAYERS_H_
+#define QCFE_NN_LAYERS_H_
+
+/// \file layers.h
+/// Minimal layer zoo with hand-derived backprop. Each layer caches what its
+/// backward pass needs during Forward(); Backward() returns the gradient with
+/// respect to the layer input, which is what both weight training and
+/// input-importance methods (gradient reduction, difference propagation)
+/// consume.
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace qcfe {
+
+class Rng;
+
+/// Discriminates layer types for serialization and for the difference-
+/// propagation walker in src/core (which re-derives per-layer multipliers).
+enum class LayerKind {
+  kLinear,
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+/// Base layer: batch-in, batch-out, differentiable.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+
+  /// Forward pass for a batch (rows = samples). Caches activations needed by
+  /// Backward().
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  /// Forward pass with no caching and no side effects (thread-safe w.r.t.
+  /// other Forward calls); used for inference and diff-prop replays.
+  virtual Matrix ForwardConst(const Matrix& input) const = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients (if any) and returns
+  /// dL/d(input). Must be called after Forward() on the same batch.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Parameter/gradient pairs for the optimizer (empty for activations).
+  virtual std::vector<Matrix*> Params() { return {}; }
+  virtual std::vector<Matrix*> Grads() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  virtual void ZeroGrad() {}
+};
+
+/// Fully connected layer: out = in * W + b, W is (in_dim x out_dim).
+class LinearLayer : public Layer {
+ public:
+  /// He-style initialisation scaled for the fan-in.
+  LinearLayer(size_t in_dim, size_t out_dim, Rng* rng);
+
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  Matrix Forward(const Matrix& input) override;
+  Matrix ForwardConst(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Matrix*> Params() override { return {&w_, &b_}; }
+  std::vector<Matrix*> Grads() override { return {&dw_, &db_}; }
+  void ZeroGrad() override;
+
+  size_t in_dim() const { return w_.rows(); }
+  size_t out_dim() const { return w_.cols(); }
+  const Matrix& weights() const { return w_; }
+  Matrix& weights() { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& bias() { return b_; }
+
+ private:
+  Matrix w_;
+  Matrix b_;   // 1 x out_dim
+  Matrix dw_;
+  Matrix db_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear unit. The dead-zero gradient of this layer is exactly the
+/// failure mode the paper's difference-propagation method works around.
+class ReluLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kRelu; }
+  Matrix Forward(const Matrix& input) override;
+  Matrix ForwardConst(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Logistic sigmoid.
+class SigmoidLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kSigmoid; }
+  Matrix Forward(const Matrix& input) override;
+  Matrix ForwardConst(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Hyperbolic tangent.
+class TanhLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kTanh; }
+  Matrix Forward(const Matrix& input) override;
+  Matrix ForwardConst(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_LAYERS_H_

@@ -1,0 +1,116 @@
+#include "nn/linalg.h"
+
+#include <cmath>
+
+namespace qcfe {
+
+Status CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                     std::vector<double>* x) {
+  size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  // Factor A = L L^T.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return Status::NumericError("matrix not SPD");
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Solve L z = b, then L^T x = z.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * z[k];
+    z[i] = sum / l.At(i, i);
+  }
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = z[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * (*x)[k];
+    (*x)[i] = sum / l.At(i, i);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& y,
+                                         double ridge) {
+  if (a.rows() == 0 || a.cols() == 0 || a.rows() != y.size()) {
+    return Status::InvalidArgument("LeastSquares: empty or mismatched input");
+  }
+  size_t n = a.cols();
+  // Normal equations: (A^T A + ridge I) x = A^T y.
+  Matrix ym(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) ym.At(r, 0) = y[r];
+  Matrix ata = Matrix::MatMulAT(a, a);
+  Matrix aty = Matrix::MatMulAT(a, ym);
+  std::vector<double> rhs(n);
+  for (size_t i = 0; i < n; ++i) rhs[i] = aty.At(i, 0);
+
+  double lambda = ridge;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix reg = ata;
+    // Scale the ridge by the diagonal magnitude so it is unit-free.
+    double diag_scale = 0.0;
+    for (size_t i = 0; i < n; ++i) diag_scale += ata.At(i, i);
+    diag_scale = diag_scale / static_cast<double>(n) + 1e-12;
+    for (size_t i = 0; i < n; ++i) reg.At(i, i) += lambda * diag_scale + 1e-12;
+    std::vector<double> x;
+    Status st = CholeskySolve(reg, rhs, &x);
+    if (st.ok()) return x;
+    lambda = lambda == 0.0 ? 1e-8 : lambda * 100.0;
+  }
+  return Status::NumericError("LeastSquares: could not regularize system");
+}
+
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& y, int max_iters,
+    double ridge) {
+  if (a.rows() == 0 || a.cols() == 0 || a.rows() != y.size()) {
+    return Status::InvalidArgument("NNLS: empty or mismatched input");
+  }
+  size_t n = a.cols();
+  Matrix ym(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) ym.At(r, 0) = y[r];
+  Matrix ata = Matrix::MatMulAT(a, a);
+  Matrix aty = Matrix::MatMulAT(a, ym);
+  double diag_scale = 0.0;
+  for (size_t i = 0; i < n; ++i) diag_scale += ata.At(i, i);
+  diag_scale = diag_scale / static_cast<double>(n) + 1e-12;
+  for (size_t i = 0; i < n; ++i) ata.At(i, i) += ridge * diag_scale + 1e-12;
+
+  // Warm start from the unconstrained solution clipped at zero.
+  std::vector<double> x(n, 0.0);
+  Result<std::vector<double>> warm = LeastSquares(a, y, ridge);
+  if (warm.ok()) {
+    x = warm.value();
+    for (double& v : x) v = v < 0.0 ? 0.0 : v;
+  }
+  // Projected coordinate descent on 1/2 x^T (A^T A) x - (A^T y)^T x.
+  for (int it = 0; it < max_iters; ++it) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double denom = ata.At(i, i);
+      if (denom <= 0.0) continue;
+      double grad_i = -aty.At(i, 0);
+      for (size_t j = 0; j < n; ++j) grad_i += ata.At(i, j) * x[j];
+      double next = x[i] - grad_i / denom;
+      if (next < 0.0) next = 0.0;
+      max_delta = std::max(max_delta, std::fabs(next - x[i]));
+      x[i] = next;
+    }
+    if (max_delta < 1e-12) break;
+  }
+  return x;
+}
+
+}  // namespace qcfe

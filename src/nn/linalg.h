@@ -1,0 +1,40 @@
+#ifndef QCFE_NN_LINALG_H_
+#define QCFE_NN_LINALG_H_
+
+/// \file linalg.h
+/// Small dense linear-algebra routines. The feature snapshot (paper
+/// Section III-A) fits per-operator cost coefficients with ordinary least
+/// squares; we solve the normal equations with a Cholesky factorisation and
+/// a ridge fallback for rank-deficient designs (e.g. an operator observed at
+/// a single cardinality).
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Solves the symmetric positive definite system A x = b in place via
+/// Cholesky (A is n x n, b is n x 1). Fails on non-SPD input.
+Status CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                     std::vector<double>* x);
+
+/// Least squares: minimises ||A x - y||^2 (+ ridge * ||x||^2).
+/// A is (m x n) with m >= 1; returns coefficient vector of length n.
+/// If the normal equations are singular, retries with increasing ridge so a
+/// finite answer is always produced for non-empty input.
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& y,
+                                         double ridge = 0.0);
+
+/// Non-negative least squares via projected coordinate descent. Cost
+/// coefficients are physically non-negative (time per page / per tuple), so
+/// the snapshot uses this to keep estimates interpretable.
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& y, int max_iters = 200,
+    double ridge = 1e-9);
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_LINALG_H_

@@ -1,0 +1,159 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  assert(r < rows_ && values.size() == cols_);
+  double* dst = RowPtr(r);
+  for (size_t c = 0; c < cols_; ++c) dst[c] = values[c];
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    const double* src = RowPtr(indices[i]);
+    double* dst = out.RowPtr(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
+  Matrix out(rows_, indices.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    double* dst = out.RowPtr(r);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      assert(indices[i] < cols_);
+      dst[i] = src[indices[i]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulBT(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulAT(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.RowPtr(r);
+    const double* brow = b.RowPtr(r);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& x : data_) x *= s;
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::AddRowBroadcast(const Matrix& row) {
+  assert(row.rows() == 1 && row.cols() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* dst = RowPtr(r);
+    const double* src = row.RowPtr(0);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    double* dst = out.RowPtr(0);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::ColMean() const {
+  Matrix out = ColSum();
+  if (rows_ > 0) out.Scale(1.0 / static_cast<double>(rows_));
+  return out;
+}
+
+void Matrix::RandomizeGaussian(Rng* rng, double stddev) {
+  for (double& x : data_) x = rng->Gaussian(0.0, stddev);
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace qcfe

@@ -1,0 +1,108 @@
+#ifndef QCFE_NN_MATRIX_H_
+#define QCFE_NN_MATRIX_H_
+
+/// \file matrix.h
+/// Dense row-major double matrix. This is the numeric workhorse of the
+/// from-scratch neural-network library (the PyTorch substitute): batches are
+/// rows, features are columns.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace qcfe {
+
+class Rng;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Zero-initialised rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Takes ownership of a flat row-major buffer (size must be rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Sets every entry to v.
+  void Fill(double v);
+
+  /// Copies one row out as a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites one row from a vector (size must equal cols()).
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  /// Returns a new matrix restricted to the given rows (in the given order).
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns a new matrix restricted to the given columns (in order).
+  Matrix SelectCols(const std::vector<size_t>& indices) const;
+
+  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  static Matrix MatMul(const Matrix& a, const Matrix& b);
+
+  /// a * b^T without materialising the transpose: (m x k) * (n x k) -> (m x n).
+  static Matrix MatMulBT(const Matrix& a, const Matrix& b);
+
+  /// a^T * b without materialising the transpose: (k x m) * (k x n) -> (m x n).
+  static Matrix MatMulAT(const Matrix& a, const Matrix& b);
+
+  Matrix Transposed() const;
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this -= other (same shape).
+  void Sub(const Matrix& other);
+  /// this *= scalar.
+  void Scale(double s);
+  /// this = this (elementwise *) other (same shape).
+  void Hadamard(const Matrix& other);
+
+  /// Adds a row vector (1 x cols) to every row; used for biases.
+  void AddRowBroadcast(const Matrix& row);
+
+  /// Column-wise sum producing a 1 x cols row vector.
+  Matrix ColSum() const;
+
+  /// Column-wise mean producing a 1 x cols row vector.
+  Matrix ColMean() const;
+
+  /// Gaussian init: N(0, stddev). Used for weight initialisation.
+  void RandomizeGaussian(Rng* rng, double stddev);
+
+  /// Frobenius norm.
+  double Norm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_MATRIX_H_

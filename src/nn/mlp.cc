@@ -1,0 +1,239 @@
+#include "nn/mlp.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+namespace {
+std::unique_ptr<Layer> MakeActivation(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return std::make_unique<ReluLayer>();
+    case Activation::kSigmoid:
+      return std::make_unique<SigmoidLayer>();
+    case Activation::kTanh:
+      return std::make_unique<TanhLayer>();
+  }
+  return std::make_unique<ReluLayer>();
+}
+}  // namespace
+
+Mlp::Mlp(const std::vector<size_t>& layer_dims, Activation act, Rng* rng)
+    : act_(act) {
+  if (layer_dims.size() < 2) return;
+  in_dim_ = layer_dims.front();
+  out_dim_ = layer_dims.back();
+  for (size_t i = 0; i + 1 < layer_dims.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<LinearLayer>(layer_dims[i], layer_dims[i + 1], rng));
+    bool is_last = (i + 2 == layer_dims.size());
+    if (!is_last) layers_.push_back(MakeActivation(act));
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Mlp::Predict(const Matrix& input) const {
+  Matrix x = input;
+  for (const auto& layer : layers_) x = layer->ForwardConst(x);
+  return x;
+}
+
+Matrix Mlp::ForwardCollect(const Matrix& input,
+                           std::vector<Matrix>* activations) const {
+  activations->clear();
+  Matrix x = input;
+  for (const auto& layer : layers_) {
+    activations->push_back(x);
+    x = layer->ForwardConst(x);
+  }
+  activations->push_back(x);
+  return x;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (size_t i = layers_.size(); i > 0; --i) {
+    g = layers_[i - 1]->Backward(g);
+  }
+  return g;
+}
+
+Matrix Mlp::InputGradient(const Matrix& input) {
+  // Snapshot parameter grads so this probe does not pollute training state.
+  std::vector<Matrix> saved;
+  for (Matrix* g : Grads()) saved.push_back(*g);
+
+  Matrix out = Forward(input);
+  Matrix seed(out.rows(), out.cols());
+  for (size_t r = 0; r < seed.rows(); ++r) seed.At(r, 0) = 1.0;
+  Matrix gin = Backward(seed);
+
+  std::vector<Matrix*> grads = Grads();
+  for (size_t i = 0; i < grads.size(); ++i) *grads[i] = saved[i];
+  return gin;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) layer->ZeroGrad();
+}
+
+std::vector<Matrix*> Mlp::Params() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> Mlp::Grads() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* g : layer->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+Status Mlp::Save(std::ostream& os) const {
+  os << std::setprecision(17);
+  os << "mlp " << in_dim_ << " " << out_dim_ << " "
+     << static_cast<int>(act_) << " " << layers_.size() << "\n";
+  for (const auto& layer : layers_) {
+    os << static_cast<int>(layer->kind());
+    if (layer->kind() == LayerKind::kLinear) {
+      const auto* lin = static_cast<const LinearLayer*>(layer.get());
+      os << " " << lin->in_dim() << " " << lin->out_dim() << "\n";
+      for (double v : lin->weights().data()) os << v << " ";
+      os << "\n";
+      for (double v : lin->bias().data()) os << v << " ";
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status Mlp::Load(std::istream& is) {
+  std::string magic;
+  size_t n_layers = 0;
+  int act = 0;
+  is >> magic >> in_dim_ >> out_dim_ >> act >> n_layers;
+  if (magic != "mlp" || !is.good()) {
+    return Status::ParseError("bad mlp header");
+  }
+  act_ = static_cast<Activation>(act);
+  layers_.clear();
+  Rng dummy(0);
+  for (size_t i = 0; i < n_layers; ++i) {
+    int kind = 0;
+    is >> kind;
+    switch (static_cast<LayerKind>(kind)) {
+      case LayerKind::kLinear: {
+        size_t in = 0, out = 0;
+        is >> in >> out;
+        auto lin = std::make_unique<LinearLayer>(in, out, &dummy);
+        for (double& v : lin->weights().data()) is >> v;
+        for (double& v : lin->bias().data()) is >> v;
+        layers_.push_back(std::move(lin));
+        break;
+      }
+      case LayerKind::kRelu:
+        layers_.push_back(std::make_unique<ReluLayer>());
+        break;
+      case LayerKind::kSigmoid:
+        layers_.push_back(std::make_unique<SigmoidLayer>());
+        break;
+      case LayerKind::kTanh:
+        layers_.push_back(std::make_unique<TanhLayer>());
+        break;
+      default:
+        return Status::ParseError("unknown layer kind");
+    }
+    if (!is.good() && !is.eof()) return Status::ParseError("truncated mlp");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Layer> Mlp::CloneLayer(const Layer& layer) {
+  Rng dummy(0);
+  switch (layer.kind()) {
+    case LayerKind::kLinear: {
+      const auto& lin = static_cast<const LinearLayer&>(layer);
+      auto nl =
+          std::make_unique<LinearLayer>(lin.in_dim(), lin.out_dim(), &dummy);
+      nl->weights() = lin.weights();
+      nl->bias() = lin.bias();
+      return nl;
+    }
+    case LayerKind::kRelu:
+      return std::make_unique<ReluLayer>();
+    case LayerKind::kSigmoid:
+      return std::make_unique<SigmoidLayer>();
+    case LayerKind::kTanh:
+      return std::make_unique<TanhLayer>();
+  }
+  return std::make_unique<ReluLayer>();
+}
+
+std::unique_ptr<LinearLayer> Mlp::MakeZeroLinear(size_t in, size_t out) {
+  Rng dummy(0);
+  auto layer = std::make_unique<LinearLayer>(in, out, &dummy);
+  layer->weights().Fill(0.0);
+  layer->bias().Fill(0.0);
+  return layer;
+}
+
+void Mlp::AppendLayer(std::unique_ptr<Layer> layer) {
+  if (layer->kind() == LayerKind::kLinear) {
+    const auto* lin = static_cast<const LinearLayer*>(layer.get());
+    if (layers_.empty()) in_dim_ = lin->in_dim();
+    out_dim_ = lin->out_dim();
+  } else if (layers_.empty()) {
+    in_dim_ = 0;
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Mlp Mlp::Clone() const {
+  Mlp copy;
+  copy.in_dim_ = in_dim_;
+  copy.out_dim_ = out_dim_;
+  copy.act_ = act_;
+  for (const auto& layer : layers_) {
+    copy.layers_.push_back(CloneLayer(*layer));
+  }
+  return copy;
+}
+
+Status Mlp::ShrinkInputs(const std::vector<size_t>& kept_columns) {
+  if (layers_.empty() || layers_[0]->kind() != LayerKind::kLinear) {
+    return Status::FailedPrecondition("first layer is not linear");
+  }
+  auto* lin = static_cast<LinearLayer*>(layers_[0].get());
+  for (size_t c : kept_columns) {
+    if (c >= lin->in_dim()) return Status::OutOfRange("kept column out of range");
+  }
+  Rng dummy(0);
+  auto shrunk = std::make_unique<LinearLayer>(kept_columns.size(),
+                                              lin->out_dim(), &dummy);
+  // Keep the trained rows of W for surviving inputs (W is in_dim x out_dim).
+  for (size_t i = 0; i < kept_columns.size(); ++i) {
+    for (size_t j = 0; j < lin->out_dim(); ++j) {
+      shrunk->weights().At(i, j) = lin->weights().At(kept_columns[i], j);
+    }
+  }
+  shrunk->bias() = lin->bias();
+  layers_[0] = std::move(shrunk);
+  in_dim_ = kept_columns.size();
+  return Status::OK();
+}
+
+}  // namespace qcfe

@@ -1,0 +1,104 @@
+#ifndef QCFE_NN_MLP_H_
+#define QCFE_NN_MLP_H_
+
+/// \file mlp.h
+/// Multi-layer perceptron built from the layers in layers.h. This is the
+/// building block for both estimators: QPPNet instantiates one Mlp "neural
+/// unit" per physical operator type; MSCN uses Mlps as set modules and as the
+/// final regressor.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+class Rng;
+
+/// Activation used between hidden layers.
+enum class Activation {
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+/// Feed-forward network: Linear(+act) x hidden, final Linear (no activation).
+class Mlp {
+ public:
+  /// Builds [in, h1, h2, ..., out] with the given hidden activation. The
+  /// paper's models use ReLU; Sigmoid/Tanh exist for ablation tests.
+  Mlp(const std::vector<size_t>& layer_dims, Activation act, Rng* rng);
+
+  /// Deserialization constructor (empty net; use Load()).
+  Mlp() = default;
+
+  /// Forward pass caching intermediates for a subsequent Backward().
+  Matrix Forward(const Matrix& input);
+
+  /// Inference-only forward (no caches touched).
+  Matrix Predict(const Matrix& input) const;
+
+  /// Forward pass that records the input to every layer plus the final
+  /// output: activations[0] = input, activations[i] = input of layer i,
+  /// activations[num_layers] = output. Used by difference propagation.
+  Matrix ForwardCollect(const Matrix& input,
+                        std::vector<Matrix>* activations) const;
+
+  /// Backprop from dL/d(output); accumulates parameter grads and returns
+  /// dL/d(input).
+  Matrix Backward(const Matrix& grad_output);
+
+  /// d(output_0)/d(input) for each sample: runs Forward+Backward with a
+  /// one-hot output gradient; does not disturb accumulated parameter grads.
+  /// Returns a (batch x in_dim) matrix.
+  Matrix InputGradient(const Matrix& input);
+
+  void ZeroGrad();
+
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  size_t num_layers() const { return layers_.size(); }
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+  /// Serializes architecture + weights to a text stream.
+  Status Save(std::ostream& os) const;
+  /// Restores a network saved with Save().
+  Status Load(std::istream& is);
+
+  /// Deep copy (fresh caches, same weights).
+  Mlp Clone() const;
+
+  /// Appends a layer (composite-view construction: feature reduction builds
+  /// "embed -> unit -> select" stacks from trained layers). Updates
+  /// in_dim/out_dim bookkeeping for Linear layers.
+  void AppendLayer(std::unique_ptr<Layer> layer);
+
+  /// Deep-copies a single layer.
+  static std::unique_ptr<Layer> CloneLayer(const Layer& layer);
+
+  /// A zero-initialised Linear layer (weights and bias all 0) for callers
+  /// that assemble affine embeddings by hand.
+  static std::unique_ptr<LinearLayer> MakeZeroLinear(size_t in, size_t out);
+
+  /// Rebuilds the first linear layer keeping only the given input columns.
+  /// This is how feature reduction physically shrinks a trained model.
+  Status ShrinkInputs(const std::vector<size_t>& kept_columns);
+
+ private:
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+  Activation act_ = Activation::kRelu;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_MLP_H_

@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qcfe {
+
+SgdOptimizer::SgdOptimizer(std::vector<Matrix*> params,
+                           std::vector<Matrix*> grads, double lr,
+                           double momentum)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      momentum_(momentum) {
+  assert(params_.size() == grads_.size());
+  for (Matrix* p : params_) velocity_.emplace_back(p->rows(), p->cols());
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    Matrix& v = velocity_[i];
+    for (size_t k = 0; k < p.data().size(); ++k) {
+      v.data()[k] = momentum_ * v.data()[k] - lr_ * g.data()[k];
+      p.data()[k] += v.data()[k];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Matrix*> params,
+                             std::vector<Matrix*> grads, double lr,
+                             double beta1, double beta2, double eps)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  assert(params_.size() == grads_.size());
+  for (Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  if (clip_norm_ > 0.0) {
+    double norm_sq = 0.0;
+    for (const Matrix* g : grads_) {
+      for (double v : g->data()) norm_sq += v * v;
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm > clip_norm_) {
+      double scale = clip_norm_ / norm;
+      for (Matrix* g : grads_) {
+        for (double& v : g->data()) v *= scale;
+      }
+    }
+  }
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    for (size_t k = 0; k < p.data().size(); ++k) {
+      double gk = g.data()[k];
+      m_[i].data()[k] = beta1_ * m_[i].data()[k] + (1.0 - beta1_) * gk;
+      v_[i].data()[k] = beta2_ * v_[i].data()[k] + (1.0 - beta2_) * gk * gk;
+      double mhat = m_[i].data()[k] / bc1;
+      double vhat = v_[i].data()[k] / bc2;
+      p.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace qcfe

@@ -1,0 +1,79 @@
+#ifndef QCFE_NN_OPTIMIZER_H_
+#define QCFE_NN_OPTIMIZER_H_
+
+/// \file optimizer.h
+/// First-order optimizers over (param, grad) pairs. Adam is the default for
+/// both estimators, matching the reference QPPNet/MSCN implementations.
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace qcfe {
+
+/// Base optimizer bound to a fixed set of parameter/gradient pairs.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+      : params_(std::move(params)), grads_(std::move(grads)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all bound gradients.
+  void ZeroGrad() {
+    for (Matrix* g : grads_) g->Fill(0.0);
+  }
+
+ protected:
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+               double lr, double momentum = 0.0);
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+                double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+  /// Global-norm gradient clipping (0 disables). Stabilises the
+  /// plan-structured training where rare deep plans can spike gradients.
+  void set_clip_norm(double clip) { clip_norm_ = clip; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double clip_norm_ = 0.0;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_OPTIMIZER_H_

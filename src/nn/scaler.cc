@@ -1,0 +1,163 @@
+#include "nn/scaler.h"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+namespace qcfe {
+
+namespace {
+constexpr double kMinStd = 1e-9;
+}  // namespace
+
+void StandardScaler::Fit(const Matrix& x) {
+  size_t n = x.rows(), d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  if (n == 0) return;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (size_t c = 0; c < d; ++c) mean_[c] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      double dv = row[c] - mean_[c];
+      var[c] += dv * dv;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    std_[c] = std::sqrt(var[c] / static_cast<double>(n));
+    if (std_[c] < kMinStd) std_[c] = 1.0;  // constant column -> exact zero out
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  Matrix out = x;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+Status StandardScaler::ShrinkTo(const std::vector<size_t>& kept_columns) {
+  std::vector<double> nm, ns;
+  for (size_t c : kept_columns) {
+    if (c >= mean_.size()) return Status::OutOfRange("scaler column");
+    nm.push_back(mean_[c]);
+    ns.push_back(std_[c]);
+  }
+  mean_ = std::move(nm);
+  std_ = std::move(ns);
+  return Status::OK();
+}
+
+Status StandardScaler::Save(std::ostream& os) const {
+  os << std::setprecision(17);
+  os << "scaler " << mean_.size() << "\n";
+  for (double v : mean_) os << v << " ";
+  os << "\n";
+  for (double v : std_) os << v << " ";
+  os << "\n";
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status StandardScaler::Load(std::istream& is) {
+  std::string magic;
+  size_t d = 0;
+  is >> magic >> d;
+  if (magic != "scaler") return Status::ParseError("bad scaler header");
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  for (double& v : mean_) is >> v;
+  for (double& v : std_) is >> v;
+  if (is.fail()) return Status::ParseError("truncated scaler");
+  return Status::OK();
+}
+
+void LogTargetScaler::Fit(const std::vector<double>& y) {
+  fitted_ = true;
+  if (y.empty()) {
+    mean_ = 0.0;
+    std_ = 1.0;
+    return;
+  }
+  double sum = 0.0;
+  for (double v : y) sum += std::log1p(std::max(v, 0.0));
+  mean_ = sum / static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) {
+    double d = std::log1p(std::max(v, 0.0)) - mean_;
+    var += d * d;
+  }
+  std_ = std::sqrt(var / static_cast<double>(y.size()));
+  if (std_ < kMinStd) std_ = 1.0;
+  t_min_ = HUGE_VAL;
+  t_max_ = -HUGE_VAL;
+  for (double v : y) {
+    double t = TransformOne(v);
+    t_min_ = std::min(t_min_, t);
+    t_max_ = std::max(t_max_, t);
+  }
+}
+
+double LogTargetScaler::ClampTransformed(double yt, double margin) const {
+  if (!fitted_) return yt;
+  if (yt < t_min_ - margin) return t_min_ - margin;
+  if (yt > t_max_ + margin) return t_max_ + margin;
+  return yt;
+}
+
+std::vector<double> LogTargetScaler::Transform(
+    const std::vector<double>& y) const {
+  std::vector<double> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = TransformOne(y[i]);
+  return out;
+}
+
+double LogTargetScaler::TransformOne(double y) const {
+  return (std::log1p(std::max(y, 0.0)) - mean_) / std_;
+}
+
+std::vector<double> LogTargetScaler::InverseTransform(
+    const std::vector<double>& yt) const {
+  std::vector<double> out(yt.size());
+  for (size_t i = 0; i < yt.size(); ++i) out[i] = InverseTransformOne(yt[i]);
+  return out;
+}
+
+double LogTargetScaler::InverseTransformOne(double yt) const {
+  return std::expm1(yt * std_ + mean_);
+}
+
+Status LogTargetScaler::Save(std::ostream& os) const {
+  os << std::setprecision(17);
+  os << "logscaler " << mean_ << " " << std_ << " " << t_min_ << " " << t_max_
+     << "\n";
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status LogTargetScaler::Load(std::istream& is) {
+  std::string magic;
+  is >> magic >> mean_ >> std_ >> t_min_ >> t_max_;
+  if (magic != "logscaler" || is.fail()) {
+    return Status::ParseError("bad logscaler");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace qcfe

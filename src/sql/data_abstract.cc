@@ -1,0 +1,44 @@
+#include "sql/data_abstract.h"
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+Result<Value> DataAbstract::SampleValue(const std::string& table,
+                                        const std::string& column,
+                                        Rng* rng) const {
+  const ColumnStats* cs = catalog_->GetColumnStats(table, column);
+  if (cs == nullptr) {
+    return Status::NotFound("no statistics for " + table + "." + column);
+  }
+  if (!cs->sample.empty()) {
+    return cs->sample[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(cs->sample.size()) - 1))];
+  }
+  return Value(rng->Uniform(cs->min, cs->max));
+}
+
+Result<std::string> DataAbstract::SamplePrefix(const std::string& table,
+                                               const std::string& column,
+                                               Rng* rng,
+                                               size_t prefix_len) const {
+  Result<Value> v = SampleValue(table, column, rng);
+  if (!v.ok()) return v.status();
+  if (v.value().index() != 2) {
+    return Status::InvalidArgument(table + "." + column +
+                                   " is not a string column");
+  }
+  const std::string& s = std::get<std::string>(v.value());
+  return s.substr(0, std::min(prefix_len, s.size()));
+}
+
+bool DataAbstract::IsStringColumn(const std::string& table,
+                                  const std::string& column) const {
+  const Table* t = catalog_->GetTable(table);
+  if (t == nullptr) return false;
+  auto idx = t->schema().FindColumn(column);
+  if (!idx.has_value()) return false;
+  return t->schema().column(*idx).type == DataType::kString;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,47 @@
+#ifndef QCFE_SQL_DATA_ABSTRACT_H_
+#define QCFE_SQL_DATA_ABSTRACT_H_
+
+/// \file data_abstract.h
+/// The "data abstract R" of paper Algorithm 1: a compact per-column summary
+/// (built from ANALYZE statistics) from which realistic literal values are
+/// sampled when filling query templates.
+
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/types.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+class Rng;
+
+/// Samples literals for template parameters from column statistics.
+class DataAbstract {
+ public:
+  /// The catalog must outlive the DataAbstract and be analyzed already.
+  explicit DataAbstract(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// A value drawn from the column's sample (falls back to the min/max range
+  /// for columns without samples). Errors on unknown table/column.
+  Result<Value> SampleValue(const std::string& table, const std::string& column,
+                            Rng* rng) const;
+
+  /// A short prefix (default 3 chars) of a sampled string value, for LIKE
+  /// patterns. Errors if the column is not a string column.
+  Result<std::string> SamplePrefix(const std::string& table,
+                                   const std::string& column, Rng* rng,
+                                   size_t prefix_len = 3) const;
+
+  /// True if the column exists and holds strings.
+  bool IsStringColumn(const std::string& table, const std::string& column) const;
+
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_SQL_DATA_ABSTRACT_H_

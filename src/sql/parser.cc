@@ -1,0 +1,339 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/tokenizer.h"
+#include "util/string_util.h"
+
+namespace qcfe {
+
+namespace {
+
+/// Token cursor with small helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool IsKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kIdentifier && Peek().text == kw;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (!IsKeyword(kw)) return false;
+    Next();
+    return true;
+  }
+  bool AcceptPunct(const std::string& p) {
+    if (Peek().type != TokenType::kPunct || Peek().text != p) return false;
+    Next();
+    return true;
+  }
+  Status Expect(TokenType type, const std::string& what) {
+    if (Peek().type != type) {
+      return Status::ParseError("expected " + what + " near offset " +
+                                std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool IsAggregateName(const std::string& name, Aggregate::Kind* kind) {
+  if (name == "count") *kind = Aggregate::Kind::kCount;
+  else if (name == "sum") *kind = Aggregate::Kind::kSum;
+  else if (name == "avg") *kind = Aggregate::Kind::kAvg;
+  else if (name == "min") *kind = Aggregate::Kind::kMin;
+  else if (name == "max") *kind = Aggregate::Kind::kMax;
+  else return false;
+  return true;
+}
+
+/// The parser builds unresolved refs first; single-table queries may omit the
+/// qualifier.
+struct ParserState {
+  QuerySpec query;
+
+  Status ResolveRef(ColumnRef* ref) const {
+    if (!ref->table.empty()) return Status::OK();
+    if (query.tables.size() == 1) {
+      ref->table = query.tables[0];
+      return Status::OK();
+    }
+    return Status::ParseError("unqualified column '" + ref->column +
+                              "' with multiple tables");
+  }
+};
+
+Result<ColumnRef> ParseColumnRef(Cursor* cur) {
+  QCFE_RETURN_IF_ERROR(cur->Expect(TokenType::kIdentifier, "column reference"));
+  std::string first = cur->Next().text;
+  if (cur->AcceptPunct(".")) {
+    QCFE_RETURN_IF_ERROR(cur->Expect(TokenType::kIdentifier, "column name"));
+    return ColumnRef{first, cur->Next().text};
+  }
+  return ColumnRef{"", first};
+}
+
+Result<Value> ParseLiteral(Cursor* cur) {
+  const Token& t = cur->Peek();
+  if (t.type == TokenType::kNumber) {
+    std::string text = cur->Next().text;
+    if (text.find('.') != std::string::npos) {
+      return Value(std::strtod(text.c_str(), nullptr));
+    }
+    return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+  }
+  if (t.type == TokenType::kString) {
+    return Value(cur->Next().text);
+  }
+  if (t.type == TokenType::kPlaceholder) {
+    return Status::ParseError(
+        "unbound placeholder {" + t.text +
+        "}: instantiate the template before parsing");
+  }
+  return Status::ParseError("expected literal near offset " +
+                            std::to_string(t.position));
+}
+
+Status ParsePredicateOrJoin(Cursor* cur, ParserState* state) {
+  Result<ColumnRef> lhs = ParseColumnRef(cur);
+  if (!lhs.ok()) return lhs.status();
+
+  const Token& t = cur->Peek();
+  if (t.type == TokenType::kOperator) {
+    std::string op = cur->Next().text;
+    // Column-vs-column equality is an implicit join condition.
+    if (op == "=" && cur->Peek().type == TokenType::kIdentifier &&
+        !cur->IsKeyword("true") && !cur->IsKeyword("false")) {
+      Result<ColumnRef> rhs = ParseColumnRef(cur);
+      if (!rhs.ok()) return rhs.status();
+      QCFE_RETURN_IF_ERROR(state->ResolveRef(&lhs.value()));
+      QCFE_RETURN_IF_ERROR(state->ResolveRef(&rhs.value()));
+      state->query.joins.push_back({lhs.value(), rhs.value()});
+      return Status::OK();
+    }
+    Result<Value> lit = ParseLiteral(cur);
+    if (!lit.ok()) return lit.status();
+    Predicate p;
+    QCFE_RETURN_IF_ERROR(state->ResolveRef(&lhs.value()));
+    p.column = lhs.value();
+    if (op == "=") p.op = CompareOp::kEq;
+    else if (op == "<>") p.op = CompareOp::kNe;
+    else if (op == "<") p.op = CompareOp::kLt;
+    else if (op == "<=") p.op = CompareOp::kLe;
+    else if (op == ">") p.op = CompareOp::kGt;
+    else if (op == ">=") p.op = CompareOp::kGe;
+    else return Status::ParseError("unknown operator " + op);
+    p.literals = {lit.value()};
+    state->query.filters.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  if (cur->AcceptKeyword("between")) {
+    Result<Value> lo = ParseLiteral(cur);
+    if (!lo.ok()) return lo.status();
+    if (!cur->AcceptKeyword("and")) {
+      return Status::ParseError("expected AND in BETWEEN");
+    }
+    Result<Value> hi = ParseLiteral(cur);
+    if (!hi.ok()) return hi.status();
+    Predicate p;
+    QCFE_RETURN_IF_ERROR(state->ResolveRef(&lhs.value()));
+    p.column = lhs.value();
+    p.op = CompareOp::kBetween;
+    p.literals = {lo.value(), hi.value()};
+    state->query.filters.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  if (cur->AcceptKeyword("in")) {
+    if (!cur->AcceptPunct("(")) return Status::ParseError("expected ( after IN");
+    Predicate p;
+    QCFE_RETURN_IF_ERROR(state->ResolveRef(&lhs.value()));
+    p.column = lhs.value();
+    p.op = CompareOp::kIn;
+    do {
+      Result<Value> lit = ParseLiteral(cur);
+      if (!lit.ok()) return lit.status();
+      p.literals.push_back(lit.value());
+    } while (cur->AcceptPunct(","));
+    if (!cur->AcceptPunct(")")) return Status::ParseError("expected ) after IN list");
+    state->query.filters.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  if (cur->AcceptKeyword("like")) {
+    QCFE_RETURN_IF_ERROR(cur->Expect(TokenType::kString, "LIKE pattern"));
+    Predicate p;
+    QCFE_RETURN_IF_ERROR(state->ResolveRef(&lhs.value()));
+    p.column = lhs.value();
+    p.op = CompareOp::kLike;
+    p.literals = {Value(cur->Next().text)};
+    state->query.filters.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  return Status::ParseError("expected predicate near offset " +
+                            std::to_string(t.position));
+}
+
+struct SelectItem {
+  bool star = false;
+  bool is_aggregate = false;
+  Aggregate agg;
+  ColumnRef col;
+};
+
+Result<SelectItem> ParseSelectItem(Cursor* cur) {
+  SelectItem item;
+  if (cur->AcceptPunct("*")) {
+    item.star = true;
+    return item;
+  }
+  QCFE_RETURN_IF_ERROR(cur->Expect(TokenType::kIdentifier, "select item"));
+  Aggregate::Kind kind;
+  if (IsAggregateName(cur->Peek().text, &kind)) {
+    std::string name = cur->Next().text;
+    if (cur->AcceptPunct("(")) {
+      item.is_aggregate = true;
+      item.agg.kind = kind;
+      if (!cur->AcceptPunct("*")) {
+        Result<ColumnRef> ref = ParseColumnRef(cur);
+        if (!ref.ok()) return ref.status();
+        item.agg.column = ref.value();
+      }
+      if (!cur->AcceptPunct(")")) {
+        return Status::ParseError("expected ) after aggregate");
+      }
+      return item;
+    }
+    // Not an aggregate call: treat the keyword as a plain column name.
+    item.col = ColumnRef{"", name};
+    if (cur->AcceptPunct(".")) {
+      QCFE_RETURN_IF_ERROR(cur->Expect(TokenType::kIdentifier, "column name"));
+      item.col = ColumnRef{name, cur->Next().text};
+    }
+    return item;
+  }
+  Result<ColumnRef> ref = ParseColumnRef(cur);
+  if (!ref.ok()) return ref.status();
+  item.col = ref.value();
+  return item;
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const std::string& sql) {
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cur(std::move(tokens.value()));
+  ParserState state;
+
+  if (!cur.AcceptKeyword("select")) {
+    return Status::ParseError("query must start with SELECT");
+  }
+  state.query.distinct = cur.AcceptKeyword("distinct");
+
+  std::vector<SelectItem> items;
+  do {
+    Result<SelectItem> item = ParseSelectItem(&cur);
+    if (!item.ok()) return item.status();
+    items.push_back(item.value());
+  } while (cur.AcceptPunct(","));
+
+  if (!cur.AcceptKeyword("from")) {
+    return Status::ParseError("expected FROM");
+  }
+  // FROM list: comma-separated tables and/or JOIN ... ON chains.
+  QCFE_RETURN_IF_ERROR(cur.Expect(TokenType::kIdentifier, "table name"));
+  state.query.tables.push_back(cur.Next().text);
+  while (true) {
+    if (cur.AcceptPunct(",")) {
+      QCFE_RETURN_IF_ERROR(cur.Expect(TokenType::kIdentifier, "table name"));
+      state.query.tables.push_back(cur.Next().text);
+      continue;
+    }
+    if (cur.AcceptKeyword("join")) {
+      QCFE_RETURN_IF_ERROR(cur.Expect(TokenType::kIdentifier, "table name"));
+      state.query.tables.push_back(cur.Next().text);
+      if (!cur.AcceptKeyword("on")) {
+        return Status::ParseError("expected ON after JOIN");
+      }
+      Result<ColumnRef> l = ParseColumnRef(&cur);
+      if (!l.ok()) return l.status();
+      if (cur.Peek().type != TokenType::kOperator || cur.Peek().text != "=") {
+        return Status::ParseError("JOIN condition must be an equality");
+      }
+      cur.Next();
+      Result<ColumnRef> r = ParseColumnRef(&cur);
+      if (!r.ok()) return r.status();
+      state.query.joins.push_back({l.value(), r.value()});
+      continue;
+    }
+    break;
+  }
+
+  if (cur.AcceptKeyword("where")) {
+    do {
+      QCFE_RETURN_IF_ERROR(ParsePredicateOrJoin(&cur, &state));
+    } while (cur.AcceptKeyword("and"));
+  }
+
+  if (cur.AcceptKeyword("group")) {
+    if (!cur.AcceptKeyword("by")) return Status::ParseError("expected BY");
+    do {
+      Result<ColumnRef> ref = ParseColumnRef(&cur);
+      if (!ref.ok()) return ref.status();
+      QCFE_RETURN_IF_ERROR(state.ResolveRef(&ref.value()));
+      state.query.group_by.push_back(ref.value());
+    } while (cur.AcceptPunct(","));
+  }
+
+  if (cur.AcceptKeyword("order")) {
+    if (!cur.AcceptKeyword("by")) return Status::ParseError("expected BY");
+    do {
+      Result<ColumnRef> ref = ParseColumnRef(&cur);
+      if (!ref.ok()) return ref.status();
+      QCFE_RETURN_IF_ERROR(state.ResolveRef(&ref.value()));
+      OrderKey key;
+      key.column = ref.value();
+      if (cur.AcceptKeyword("desc")) key.descending = true;
+      else cur.AcceptKeyword("asc");
+      state.query.order_by.push_back(key);
+    } while (cur.AcceptPunct(","));
+  }
+
+  if (cur.AcceptKeyword("limit")) {
+    QCFE_RETURN_IF_ERROR(cur.Expect(TokenType::kNumber, "LIMIT count"));
+    state.query.limit = static_cast<size_t>(
+        std::strtoll(cur.Next().text.c_str(), nullptr, 10));
+  }
+
+  if (!cur.AtEnd()) {
+    return Status::ParseError("unexpected trailing tokens near offset " +
+                              std::to_string(cur.Peek().position));
+  }
+
+  // Resolve select items now that tables are known.
+  for (auto& item : items) {
+    if (item.star) continue;
+    if (item.is_aggregate) {
+      if (!item.agg.column.column.empty()) {
+        QCFE_RETURN_IF_ERROR(state.ResolveRef(&item.agg.column));
+      }
+      state.query.aggregates.push_back(item.agg);
+    } else {
+      QCFE_RETURN_IF_ERROR(state.ResolveRef(&item.col));
+      state.query.select_columns.push_back(item.col);
+    }
+  }
+  return state.query;
+}
+
+}  // namespace qcfe

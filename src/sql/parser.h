@@ -1,0 +1,33 @@
+#ifndef QCFE_SQL_PARSER_H_
+#define QCFE_SQL_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser for the workload SQL dialect. Supported grammar
+/// (case-insensitive keywords):
+///
+///   query    := SELECT [DISTINCT] items FROM tables [WHERE conj]
+///               [GROUP BY cols] [ORDER BY keys] [LIMIT n]
+///   items    := '*' | item (',' item)*
+///   item     := agg '(' (colref|'*') ')' | colref
+///   tables   := tref (',' tref)* | tref (JOIN tref ON colref '=' colref)*
+///   conj     := pred (AND pred)*
+///   pred     := colref op literal | colref BETWEEN lit AND lit
+///             | colref IN '(' lit (',' lit)* ')' | colref LIKE string
+///             | colref '=' colref            -- implicit join condition
+///
+/// Column references are `table.column`; unqualified columns are resolved
+/// against the single FROM table when unambiguous.
+
+#include <string>
+
+#include "engine/query.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Parses one statement into the logical query IR.
+Result<QuerySpec> ParseQuery(const std::string& sql);
+
+}  // namespace qcfe
+
+#endif  // QCFE_SQL_PARSER_H_

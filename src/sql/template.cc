@@ -1,0 +1,150 @@
+#include "sql/template.h"
+
+#include <map>
+
+#include "engine/types.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qcfe {
+
+namespace {
+
+struct PlaceholderSpec {
+  std::string table;
+  std::string column;
+  double offset = 0.0;
+  bool has_offset = false;
+  bool prefix = false;
+};
+
+Result<PlaceholderSpec> ParsePlaceholder(const std::string& body) {
+  PlaceholderSpec spec;
+  std::string rest = body;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    std::string mode = Trim(rest.substr(colon + 1));
+    if (mode != "prefix") {
+      return Status::ParseError("unknown placeholder mode :" + mode);
+    }
+    spec.prefix = true;
+    rest = Trim(rest.substr(0, colon));
+  }
+  size_t plus = rest.find('+');
+  if (plus != std::string::npos) {
+    spec.has_offset = true;
+    spec.offset = std::strtod(rest.substr(plus + 1).c_str(), nullptr);
+    rest = Trim(rest.substr(0, plus));
+  }
+  size_t dot = rest.find('.');
+  if (dot == std::string::npos) {
+    return Status::ParseError("placeholder must be table.column: {" + body +
+                              "}");
+  }
+  spec.table = Trim(rest.substr(0, dot));
+  spec.column = Trim(rest.substr(dot + 1));
+  return spec;
+}
+
+std::string RenderLiteral(const Value& v) {
+  // Numeric values render bare; strings render quoted.
+  return ValueToString(v);
+}
+
+}  // namespace
+
+Result<std::string> QueryTemplate::InstantiateText(
+    const DataAbstract& abstract, Rng* rng) const {
+  std::string out;
+  out.reserve(text.size());
+  // Last numeric sample per column, for {t.c+K} correlation.
+  std::map<std::string, double> last_numeric;
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '{') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t close = text.find('}', i);
+    if (close == std::string::npos) {
+      return Status::ParseError("unterminated placeholder in template " + name);
+    }
+    std::string body = Trim(text.substr(i + 1, close - i - 1));
+    Result<PlaceholderSpec> spec = ParsePlaceholder(body);
+    if (!spec.ok()) return spec.status();
+    std::string key = spec->table + "." + spec->column;
+
+    if (spec->prefix) {
+      Result<std::string> prefix =
+          abstract.SamplePrefix(spec->table, spec->column, rng);
+      if (!prefix.ok()) return prefix.status();
+      out += *prefix;  // caller supplies quotes/wildcards in the text
+    } else if (spec->has_offset) {
+      auto it = last_numeric.find(key);
+      double base;
+      if (it != last_numeric.end()) {
+        base = it->second;
+      } else {
+        Result<Value> v = abstract.SampleValue(spec->table, spec->column, rng);
+        if (!v.ok()) return v.status();
+        base = ValueToDouble(*v);
+        last_numeric[key] = base;
+      }
+      double shifted = base + spec->offset;
+      // Preserve integer-ness when the offset and base are integral.
+      if (shifted == static_cast<double>(static_cast<int64_t>(shifted))) {
+        out += std::to_string(static_cast<int64_t>(shifted));
+      } else {
+        out += FormatDouble(shifted, 4);
+      }
+    } else {
+      Result<Value> v = abstract.SampleValue(spec->table, spec->column, rng);
+      if (!v.ok()) return v.status();
+      if (v->index() != 2) last_numeric[key] = ValueToDouble(*v);
+      out += RenderLiteral(*v);
+    }
+    i = close + 1;
+  }
+  return out;
+}
+
+Result<QuerySpec> QueryTemplate::Instantiate(const DataAbstract& abstract,
+                                             Rng* rng) const {
+  Result<std::string> sql = InstantiateText(abstract, rng);
+  if (!sql.ok()) return sql.status();
+  Result<QuerySpec> parsed = ParseQuery(*sql);
+  if (!parsed.ok()) {
+    return Status::ParseError("template " + name + ": " +
+                              parsed.status().message() + " in: " + *sql);
+  }
+  return parsed;
+}
+
+Result<QuerySpec> QueryTemplate::ParseStructure() const {
+  // Replace placeholders with a neutral numeric literal; prefix placeholders
+  // sit inside string quotes already, so they vanish harmlessly.
+  std::string neutral;
+  neutral.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '{') {
+      neutral.push_back(text[i]);
+      ++i;
+      continue;
+    }
+    size_t close = text.find('}', i);
+    if (close == std::string::npos) {
+      return Status::ParseError("unterminated placeholder in template " + name);
+    }
+    std::string body = text.substr(i + 1, close - i - 1);
+    neutral += Contains(body, ":prefix") ? "" : "0";
+    i = close + 1;
+  }
+  return ParseQuery(neutral);
+}
+
+}  // namespace qcfe

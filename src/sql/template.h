@@ -1,0 +1,47 @@
+#ifndef QCFE_SQL_TEMPLATE_H_
+#define QCFE_SQL_TEMPLATE_H_
+
+/// \file template.h
+/// Query templates: SQL text with `{table.column}` placeholders that are
+/// bound from the data abstract at instantiation time.
+///
+/// Placeholder forms:
+///   {table.column}        fresh sample from the column
+///   {table.column+K}      last sample of that column plus constant K
+///                         (correlates range endpoints, e.g. Sysbench's
+///                          BETWEEN {id} AND {id+99})
+///   {table.column:prefix} 3-char prefix of a sampled string (LIKE patterns)
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "sql/data_abstract.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+class Rng;
+
+/// A named SQL template.
+struct QueryTemplate {
+  std::string name;
+  std::string text;
+
+  /// Substitutes every placeholder using `abstract` + `rng` and returns the
+  /// concrete SQL text.
+  Result<std::string> InstantiateText(const DataAbstract& abstract,
+                                      Rng* rng) const;
+
+  /// InstantiateText + ParseQuery.
+  Result<QuerySpec> Instantiate(const DataAbstract& abstract, Rng* rng) const;
+
+  /// Parses the template structure itself (placeholders replaced by neutral
+  /// literals) — used by Algorithm 1 to extract operator/table/column info
+  /// without touching data.
+  Result<QuerySpec> ParseStructure() const;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_SQL_TEMPLATE_H_

@@ -1,0 +1,83 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace qcfe {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({TokenType::kIdentifier,
+                        ToLower(sql.substr(i, j - i)), start});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot &&
+                        j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(sql[j + 1]))))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tokens.push_back({TokenType::kNumber, sql.substr(i, j - i), start});
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, sql.substr(i + 1, j - i - 1),
+                        start});
+      i = j + 1;
+    } else if (c == '{') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '}') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated placeholder at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kPlaceholder,
+                        ToLower(Trim(sql.substr(i + 1, j - i - 1))), start});
+      i = j + 1;
+    } else if (c == '<' || c == '>' || c == '=') {
+      size_t j = i + 1;
+      if (j < n && (sql[j] == '=' || (c == '<' && sql[j] == '>'))) ++j;
+      tokens.push_back({TokenType::kOperator, sql.substr(i, j - i), start});
+      i = j;
+    } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+               c == ';') {
+      if (c != ';') {
+        tokens.push_back({TokenType::kPunct, std::string(1, c), start});
+      }
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace qcfe

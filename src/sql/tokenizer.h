@@ -1,0 +1,40 @@
+#ifndef QCFE_SQL_TOKENIZER_H_
+#define QCFE_SQL_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// Lexer for the SQL dialect used by workload templates: SELECT/FROM/JOIN/
+/// WHERE/GROUP BY/ORDER BY/LIMIT plus `{placeholder}` tokens that templates
+/// bind at instantiation time.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Token categories.
+enum class TokenType {
+  kIdentifier,   ///< unquoted name (select, lineitem, l_quantity, ...)
+  kNumber,       ///< integer or decimal literal
+  kString,       ///< single-quoted literal, quotes stripped
+  kOperator,     ///< = <> < <= > >=
+  kPunct,        ///< ( ) , . *
+  kPlaceholder,  ///< {table.column} or {table.column+offset}
+  kEnd,
+};
+
+/// One token with its source text (identifiers lower-cased).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  ///< byte offset for error messages
+};
+
+/// Splits `sql` into tokens. Fails on unterminated strings/placeholders or
+/// unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qcfe
+
+#endif  // QCFE_SQL_TOKENIZER_H_

@@ -1,0 +1,39 @@
+#include "util/env_config.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace qcfe {
+
+RunScale GetRunScale() {
+  const char* v = std::getenv("QCFE_SCALE");
+  if (v != nullptr && ToLower(v) == "full") return RunScale::kFull;
+  return RunScale::kQuick;
+}
+
+size_t ScaledCount(size_t paper_count, size_t divisor, size_t min_quick) {
+  if (GetRunScale() == RunScale::kFull) return paper_count;
+  size_t scaled = paper_count / (divisor == 0 ? 1 : divisor);
+  return scaled < min_quick ? min_quick : scaled;
+}
+
+std::string RunScaleName() {
+  return GetRunScale() == RunScale::kFull ? "full" : "quick";
+}
+
+namespace {
+double NowSeconds() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+}  // namespace
+
+WallTimer::WallTimer() : start_(NowSeconds()) {}
+
+double WallTimer::Seconds() const { return NowSeconds() - start_; }
+
+void WallTimer::Reset() { start_ = NowSeconds(); }
+
+}  // namespace qcfe

@@ -1,0 +1,44 @@
+#ifndef QCFE_UTIL_ENV_CONFIG_H_
+#define QCFE_UTIL_ENV_CONFIG_H_
+
+/// \file env_config.h
+/// Run-scale selection for bench binaries. By default benches run a reduced
+/// ("quick") configuration so the full suite completes in minutes; setting
+/// QCFE_SCALE=full in the environment switches to paper-scale parameters.
+
+#include <cstddef>
+#include <string>
+
+namespace qcfe {
+
+/// Which parameter grid the bench binaries use.
+enum class RunScale {
+  kQuick,  ///< reduced scales; default, CI-friendly
+  kFull,   ///< paper-scale grids (slow)
+};
+
+/// Reads QCFE_SCALE ("quick"/"full"); defaults to kQuick.
+RunScale GetRunScale();
+
+/// Scales a paper-sized count down for quick runs (divides by `divisor`,
+/// clamped below by `min_quick`).
+size_t ScaledCount(size_t paper_count, size_t divisor, size_t min_quick);
+
+/// Human-readable name of the active scale ("quick" or "full").
+std::string RunScaleName();
+
+/// Simple monotonic wall timer returning elapsed seconds.
+class WallTimer {
+ public:
+  WallTimer();
+  /// Seconds since construction or the last Reset().
+  double Seconds() const;
+  void Reset();
+
+ private:
+  double start_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_ENV_CONFIG_H_

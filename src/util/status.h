@@ -1,0 +1,114 @@
+#ifndef QCFE_UTIL_STATUS_H_
+#define QCFE_UTIL_STATUS_H_
+
+/// \file status.h
+/// RocksDB-style Status / Result<T> error handling. Library code never throws
+/// across public boundaries; fallible operations return Status (or Result<T>
+/// when they also produce a value).
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qcfe {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kNumericError,
+  kInternal,
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// Usage mirrors rocksdb::Status:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: scale must be positive".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `ok()` implies `value()` is valid.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status (failure).
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const {
+    return std::holds_alternative<T>(data_);
+  }
+  /// Returns the error status (OK if the result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define QCFE_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::qcfe::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#include "workload/benchmark.h"
+
+#include "workload/joblight.h"
+#include "workload/sysbench.h"
+#include "workload/tpch.h"
+
+namespace qcfe {
+
+Result<std::unique_ptr<BenchmarkWorkload>> MakeBenchmark(
+    const std::string& name) {
+  if (name == "tpch") {
+    return std::unique_ptr<BenchmarkWorkload>(new TpchBenchmark());
+  }
+  if (name == "joblight") {
+    return std::unique_ptr<BenchmarkWorkload>(new JobLightBenchmark());
+  }
+  if (name == "sysbench") {
+    return std::unique_ptr<BenchmarkWorkload>(new SysbenchBenchmark());
+  }
+  return Status::NotFound("unknown benchmark " + name);
+}
+
+const std::vector<std::string>& AllBenchmarkNames() {
+  static const std::vector<std::string> kNames = {"tpch", "sysbench",
+                                                  "joblight"};
+  return kNames;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,47 @@
+#ifndef QCFE_WORKLOAD_BENCHMARK_H_
+#define QCFE_WORKLOAD_BENCHMARK_H_
+
+/// \file benchmark.h
+/// Interface of the three evaluation workloads (paper Section V-A): TPC-H,
+/// job-light (IMDB) and Sysbench oltp_read_only. Each workload builds its
+/// database (schema + synthetic data + indexes + ANALYZE) and supplies its
+/// query templates.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sql/template.h"
+
+namespace qcfe {
+
+/// One benchmark workload.
+class BenchmarkWorkload {
+ public:
+  virtual ~BenchmarkWorkload() = default;
+
+  /// "tpch", "joblight" or "sysbench".
+  virtual std::string name() const = 0;
+
+  /// Builds and analyzes the database. `scale_factor` scales table
+  /// cardinalities (1.0 = this repo's reference size, see DESIGN.md for the
+  /// substitution of the paper's full-size datasets).
+  virtual std::unique_ptr<Database> BuildDatabase(double scale_factor,
+                                                  uint64_t seed) const = 0;
+
+  /// The workload's query templates (22 for TPC-H, 70 for job-light, 5 for
+  /// Sysbench oltp_read_only).
+  virtual std::vector<QueryTemplate> Templates() const = 0;
+};
+
+/// Factory by benchmark name; unknown names return an error.
+Result<std::unique_ptr<BenchmarkWorkload>> MakeBenchmark(
+    const std::string& name);
+
+/// The three benchmark names in paper order.
+const std::vector<std::string>& AllBenchmarkNames();
+
+}  // namespace qcfe
+
+#endif  // QCFE_WORKLOAD_BENCHMARK_H_

@@ -1,0 +1,72 @@
+#include "workload/collector.h"
+
+#include "sql/data_abstract.h"
+#include "util/rng.h"
+
+namespace qcfe {
+
+Result<LabeledQuerySet> QueryCollector::Collect(
+    const std::vector<QueryTemplate>& templates, size_t count, uint64_t seed) {
+  if (templates.empty()) {
+    return Status::InvalidArgument("no templates to collect from");
+  }
+  if (envs_->empty()) {
+    return Status::InvalidArgument("no environments configured");
+  }
+  Rng rng(seed);
+  Rng noise = rng.Fork(1);
+  DataAbstract abstract(db_->catalog());
+
+  LabeledQuerySet set;
+  set.queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t ti = i % templates.size();
+    const Environment& env = (*envs_)[(i / templates.size()) % envs_->size()];
+    Result<QuerySpec> spec = templates[ti].Instantiate(abstract, &rng);
+    if (!spec.ok()) return spec.status();
+    Result<QueryRunResult> run = db_->Run(*spec, env, &noise);
+    if (!run.ok()) return run.status();
+    LabeledQuery lq;
+    lq.template_index = ti;
+    lq.env_id = env.id;
+    lq.total_ms = run->total_ms;
+    lq.plan = std::move(run->plan);
+    set.collection_ms += lq.total_ms;
+    set.queries.push_back(std::move(lq));
+  }
+  return set;
+}
+
+Result<LabeledQuerySet> QueryCollector::RunSpecsUnderEnv(
+    const std::vector<QuerySpec>& specs, const Environment& env,
+    uint64_t seed) {
+  Rng noise(seed);
+  LabeledQuerySet set;
+  set.queries.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<QueryRunResult> run = db_->Run(specs[i], env, &noise);
+    if (!run.ok()) return run.status();
+    LabeledQuery lq;
+    lq.template_index = i;
+    lq.env_id = env.id;
+    lq.total_ms = run->total_ms;
+    lq.plan = std::move(run->plan);
+    set.collection_ms += lq.total_ms;
+    set.queries.push_back(std::move(lq));
+  }
+  return set;
+}
+
+TrainTestSplit SplitIndices(size_t n, double train_fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.Shuffle(&idx);
+  TrainTestSplit split;
+  size_t n_train = static_cast<size_t>(static_cast<double>(n) * train_fraction);
+  split.train.assign(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(n_train));
+  split.test.assign(idx.begin() + static_cast<ptrdiff_t>(n_train), idx.end());
+  return split;
+}
+
+}  // namespace qcfe

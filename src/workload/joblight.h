@@ -1,0 +1,25 @@
+#ifndef QCFE_WORKLOAD_JOBLIGHT_H_
+#define QCFE_WORKLOAD_JOBLIGHT_H_
+
+/// \file joblight.h
+/// job-light workload: an IMDB-like six-table star schema (title plus five
+/// satellite tables joined on movie_id) with skewed synthetic data, and the
+/// 70 job-light-shaped COUNT(*) join templates (1-4 way joins with 0-3
+/// numeric predicates), generated deterministically.
+
+#include "workload/benchmark.h"
+
+namespace qcfe {
+
+/// job-light (IMDB) benchmark. scale_factor 1.0 ~ 140k cast_info rows.
+class JobLightBenchmark : public BenchmarkWorkload {
+ public:
+  std::string name() const override { return "joblight"; }
+  std::unique_ptr<Database> BuildDatabase(double scale_factor,
+                                          uint64_t seed) const override;
+  std::vector<QueryTemplate> Templates() const override;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_WORKLOAD_JOBLIGHT_H_

@@ -1,0 +1,25 @@
+#ifndef QCFE_WORKLOAD_SYSBENCH_H_
+#define QCFE_WORKLOAD_SYSBENCH_H_
+
+/// \file sysbench.h
+/// Sysbench oltp_read_only workload: the single sbtest1 table and the five
+/// read statements of oltp_read_only.lua (point select, covered range,
+/// SUM range, ORDER BY range, DISTINCT range).
+
+#include "workload/benchmark.h"
+
+namespace qcfe {
+
+/// Sysbench benchmark. scale_factor 1.0 ~ 100k sbtest1 rows (the paper uses
+/// 5M on real hardware; see DESIGN.md for the scaling substitution).
+class SysbenchBenchmark : public BenchmarkWorkload {
+ public:
+  std::string name() const override { return "sysbench"; }
+  std::unique_ptr<Database> BuildDatabase(double scale_factor,
+                                          uint64_t seed) const override;
+  std::vector<QueryTemplate> Templates() const override;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_WORKLOAD_SYSBENCH_H_

@@ -1,0 +1,347 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace qcfe {
+
+namespace {
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kStatuses[] = {"F", "O", "P"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatuses[] = {"F", "O"};
+const char* kContainers[] = {"SM CASE", "SM BOX",  "MED BAG", "MED BOX",
+                             "LG CASE", "LG BOX",  "JUMBO PKG", "WRAP CASE"};
+const char* kBrandRoots[] = {"Brand#1", "Brand#2", "Brand#3", "Brand#4",
+                             "Brand#5"};
+const char* kTypes[] = {"STANDARD ANODIZED", "SMALL PLATED", "MEDIUM BURNISHED",
+                        "ECONOMY BRUSHED", "PROMO POLISHED", "LARGE TIN"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+/// Dates are integers: days since 1992-01-01; the TPC-H date span is ~2556
+/// days (7 years).
+constexpr int64_t kDateLo = 0;
+constexpr int64_t kDateHi = 2555;
+
+}  // namespace
+
+std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
+                                                       uint64_t seed) const {
+  auto db = std::make_unique<Database>("tpch");
+  Rng rng(seed);
+  auto count = [&](double base) {
+    return static_cast<int64_t>(std::max(1.0, base * scale_factor));
+  };
+
+  // region / nation (fixed size).
+  auto region = std::make_unique<Table>(
+      "region",
+      Schema({{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}}));
+  for (int64_t i = 0; i < 5; ++i) {
+    (void)region->AppendRow({Value(i), Value(std::string(kRegions[i]))});
+  }
+  (void)region->BuildIndex("r_regionkey");
+  (void)db->catalog()->AddTable(std::move(region));
+
+  auto nation = std::make_unique<Table>(
+      "nation", Schema({{"n_nationkey", DataType::kInt64},
+                        {"n_regionkey", DataType::kInt64},
+                        {"n_name", DataType::kString}}));
+  for (int64_t i = 0; i < 25; ++i) {
+    (void)nation->AppendRow(
+        {Value(i), Value(i % 5), Value("NATION_" + std::to_string(i))});
+  }
+  (void)nation->BuildIndex("n_nationkey");
+  (void)db->catalog()->AddTable(std::move(nation));
+
+  // supplier.
+  int64_t n_supplier = count(100);
+  auto supplier = std::make_unique<Table>(
+      "supplier", Schema({{"s_suppkey", DataType::kInt64},
+                          {"s_nationkey", DataType::kInt64},
+                          {"s_acctbal", DataType::kFloat64},
+                          {"s_name", DataType::kString}}));
+  for (int64_t i = 0; i < n_supplier; ++i) {
+    (void)supplier->AppendRow({Value(i), Value(rng.UniformInt(0, 24)),
+                               Value(rng.Uniform(-999.0, 9999.0)),
+                               Value("Supplier#" + std::to_string(i))});
+  }
+  (void)supplier->BuildIndex("s_suppkey");
+  (void)db->catalog()->AddTable(std::move(supplier));
+
+  // customer.
+  int64_t n_customer = count(1500);
+  auto customer = std::make_unique<Table>(
+      "customer", Schema({{"c_custkey", DataType::kInt64},
+                          {"c_nationkey", DataType::kInt64},
+                          {"c_acctbal", DataType::kFloat64},
+                          {"c_mktsegment", DataType::kString},
+                          {"c_name", DataType::kString}}));
+  for (int64_t i = 0; i < n_customer; ++i) {
+    (void)customer->AppendRow(
+        {Value(i), Value(rng.UniformInt(0, 24)),
+         Value(rng.Uniform(-999.0, 9999.0)),
+         Value(std::string(kSegments[rng.UniformInt(0, 4)])),
+         Value("Customer#" + std::to_string(i))});
+  }
+  (void)customer->BuildIndex("c_custkey");
+  (void)db->catalog()->AddTable(std::move(customer));
+
+  // part.
+  int64_t n_part = count(2000);
+  auto part = std::make_unique<Table>(
+      "part", Schema({{"p_partkey", DataType::kInt64},
+                      {"p_size", DataType::kInt64},
+                      {"p_retailprice", DataType::kFloat64},
+                      {"p_brand", DataType::kString},
+                      {"p_type", DataType::kString},
+                      {"p_container", DataType::kString},
+                      {"p_name", DataType::kString}}));
+  for (int64_t i = 0; i < n_part; ++i) {
+    std::string brand = std::string(kBrandRoots[rng.UniformInt(0, 4)]) +
+                        std::to_string(rng.UniformInt(1, 5));
+    (void)part->AppendRow(
+        {Value(i), Value(rng.UniformInt(1, 50)),
+         Value(rng.Uniform(900.0, 2100.0)), Value(brand),
+         Value(std::string(kTypes[rng.UniformInt(0, 5)])),
+         Value(std::string(kContainers[rng.UniformInt(0, 7)])),
+         Value("part_" + rng.RandomString(8))});
+  }
+  (void)part->BuildIndex("p_partkey");
+  (void)db->catalog()->AddTable(std::move(part));
+
+  // partsupp: 4 suppliers per part.
+  auto partsupp = std::make_unique<Table>(
+      "partsupp", Schema({{"ps_partkey", DataType::kInt64},
+                          {"ps_suppkey", DataType::kInt64},
+                          {"ps_availqty", DataType::kInt64},
+                          {"ps_supplycost", DataType::kFloat64}}));
+  for (int64_t p = 0; p < n_part; ++p) {
+    for (int64_t s = 0; s < 4; ++s) {
+      (void)partsupp->AppendRow(
+          {Value(p), Value(rng.UniformInt(0, n_supplier - 1)),
+           Value(rng.UniformInt(1, 9999)), Value(rng.Uniform(1.0, 1000.0))});
+    }
+  }
+  (void)partsupp->BuildIndex("ps_partkey");
+  (void)db->catalog()->AddTable(std::move(partsupp));
+
+  // orders + lineitem with correlated dates.
+  int64_t n_orders = count(15000);
+  auto orders = std::make_unique<Table>(
+      "orders", Schema({{"o_orderkey", DataType::kInt64},
+                        {"o_custkey", DataType::kInt64},
+                        {"o_totalprice", DataType::kFloat64},
+                        {"o_orderdate", DataType::kInt64},
+                        {"o_shippriority", DataType::kInt64},
+                        {"o_orderstatus", DataType::kString},
+                        {"o_orderpriority", DataType::kString}}));
+  auto lineitem = std::make_unique<Table>(
+      "lineitem", Schema({{"l_orderkey", DataType::kInt64},
+                          {"l_partkey", DataType::kInt64},
+                          {"l_suppkey", DataType::kInt64},
+                          {"l_linenumber", DataType::kInt64},
+                          {"l_quantity", DataType::kInt64},
+                          {"l_extendedprice", DataType::kFloat64},
+                          {"l_discount", DataType::kFloat64},
+                          {"l_tax", DataType::kFloat64},
+                          {"l_shipdate", DataType::kInt64},
+                          {"l_commitdate", DataType::kInt64},
+                          {"l_receiptdate", DataType::kInt64},
+                          {"l_returnflag", DataType::kString},
+                          {"l_linestatus", DataType::kString},
+                          {"l_shipmode", DataType::kString}}));
+  for (int64_t o = 0; o < n_orders; ++o) {
+    int64_t orderdate = rng.UniformInt(kDateLo, kDateHi - 150);
+    double total = 0.0;
+    int64_t n_lines = rng.UniformInt(1, 7);
+    for (int64_t l = 0; l < n_lines; ++l) {
+      int64_t quantity = rng.UniformInt(1, 50);
+      double price = rng.Uniform(900.0, 105000.0);
+      total += price;
+      int64_t shipdate = orderdate + rng.UniformInt(1, 121);
+      int64_t commitdate = orderdate + rng.UniformInt(30, 90);
+      int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+      bool shipped_past = shipdate <= kDateHi - 400;
+      (void)lineitem->AppendRow(
+          {Value(o), Value(rng.UniformInt(0, n_part - 1)),
+           Value(rng.UniformInt(0, n_supplier - 1)), Value(l + 1),
+           Value(quantity), Value(price), Value(rng.Uniform(0.0, 0.1)),
+           Value(rng.Uniform(0.0, 0.08)), Value(shipdate), Value(commitdate),
+           Value(receiptdate),
+           Value(std::string(shipped_past ? kReturnFlags[rng.UniformInt(0, 2)]
+                                          : "N")),
+           Value(std::string(kLineStatuses[shipped_past ? 0 : 1])),
+           Value(std::string(kShipModes[rng.UniformInt(0, 6)]))});
+    }
+    (void)orders->AppendRow(
+        {Value(o), Value(rng.UniformInt(0, n_customer - 1)), Value(total),
+         Value(orderdate), Value(rng.UniformInt(0, 1)),
+         Value(std::string(kStatuses[rng.UniformInt(0, 2)])),
+         Value(std::string(kPriorities[rng.UniformInt(0, 4)]))});
+  }
+  (void)orders->BuildIndex("o_orderkey");
+  (void)orders->BuildIndex("o_custkey");
+  (void)lineitem->BuildIndex("l_orderkey");
+  (void)lineitem->BuildIndex("l_partkey");
+  (void)db->catalog()->AddTable(std::move(orders));
+  (void)db->catalog()->AddTable(std::move(lineitem));
+
+  db->Analyze();
+  return db;
+}
+
+std::vector<QueryTemplate> TpchBenchmark::Templates() const {
+  // Operator-footprint approximations of TPC-H Q1..Q22 in the single-block
+  // SPJA dialect (no subqueries/CTEs; see DESIGN.md).
+  std::vector<QueryTemplate> t;
+  t.push_back({"q1",
+               "select count(*), sum(lineitem.l_quantity), "
+               "sum(lineitem.l_extendedprice), avg(lineitem.l_discount) "
+               "from lineitem where lineitem.l_shipdate <= "
+               "{lineitem.l_shipdate} group by lineitem.l_returnflag, "
+               "lineitem.l_linestatus order by lineitem.l_returnflag"});
+  t.push_back({"q2",
+               "select min(partsupp.ps_supplycost) from partsupp "
+               "join part on partsupp.ps_partkey = part.p_partkey "
+               "join supplier on partsupp.ps_suppkey = supplier.s_suppkey "
+               "where part.p_size = {part.p_size}"});
+  t.push_back({"q3",
+               "select orders.o_orderkey, orders.o_orderdate, "
+               "orders.o_shippriority from customer "
+               "join orders on customer.c_custkey = orders.o_custkey "
+               "join lineitem on orders.o_orderkey = lineitem.l_orderkey "
+               "where customer.c_mktsegment = {customer.c_mktsegment} "
+               "and orders.o_orderdate < {orders.o_orderdate} "
+               "and lineitem.l_shipdate > {lineitem.l_shipdate} "
+               "order by orders.o_orderdate limit 10"});
+  t.push_back({"q4",
+               "select count(*) from orders where orders.o_orderdate between "
+               "{orders.o_orderdate} and {orders.o_orderdate+90} "
+               "group by orders.o_orderpriority "
+               "order by orders.o_orderpriority"});
+  t.push_back({"q5",
+               "select sum(lineitem.l_extendedprice) from customer "
+               "join orders on customer.c_custkey = orders.o_custkey "
+               "join lineitem on orders.o_orderkey = lineitem.l_orderkey "
+               "join supplier on lineitem.l_suppkey = supplier.s_suppkey "
+               "join nation on supplier.s_nationkey = nation.n_nationkey "
+               "where orders.o_orderdate >= {orders.o_orderdate} "
+               "group by nation.n_name order by nation.n_name"});
+  t.push_back({"q6",
+               "select sum(lineitem.l_extendedprice) from lineitem where "
+               "lineitem.l_shipdate >= {lineitem.l_shipdate} and "
+               "lineitem.l_shipdate < {lineitem.l_shipdate+365} and "
+               "lineitem.l_discount between {lineitem.l_discount} and "
+               "{lineitem.l_discount+0.02} and lineitem.l_quantity < "
+               "{lineitem.l_quantity}"});
+  t.push_back({"q7",
+               "select sum(lineitem.l_extendedprice) from supplier "
+               "join lineitem on supplier.s_suppkey = lineitem.l_suppkey "
+               "join orders on lineitem.l_orderkey = orders.o_orderkey "
+               "join nation on supplier.s_nationkey = nation.n_nationkey "
+               "where lineitem.l_shipdate between {lineitem.l_shipdate} and "
+               "{lineitem.l_shipdate+365} group by nation.n_name"});
+  t.push_back({"q8",
+               "select avg(lineitem.l_discount) from part "
+               "join lineitem on part.p_partkey = lineitem.l_partkey "
+               "join orders on lineitem.l_orderkey = orders.o_orderkey "
+               "join customer on orders.o_custkey = customer.c_custkey "
+               "where orders.o_orderdate between {orders.o_orderdate} and "
+               "{orders.o_orderdate+730} and part.p_type = {part.p_type}"});
+  t.push_back({"q9",
+               "select sum(lineitem.l_extendedprice), "
+               "sum(partsupp.ps_supplycost) from part "
+               "join lineitem on part.p_partkey = lineitem.l_partkey "
+               "join partsupp on lineitem.l_partkey = partsupp.ps_partkey "
+               "where part.p_name like '{part.p_name:prefix}%' "
+               "group by lineitem.l_returnflag"});
+  t.push_back({"q10",
+               "select sum(lineitem.l_extendedprice) from customer "
+               "join orders on customer.c_custkey = orders.o_custkey "
+               "join lineitem on orders.o_orderkey = lineitem.l_orderkey "
+               "where orders.o_orderdate >= {orders.o_orderdate} and "
+               "lineitem.l_returnflag = 'R' group by customer.c_name "
+               "order by customer.c_name limit 20"});
+  t.push_back({"q11",
+               "select sum(partsupp.ps_supplycost) from partsupp "
+               "join supplier on partsupp.ps_suppkey = supplier.s_suppkey "
+               "join nation on supplier.s_nationkey = nation.n_nationkey "
+               "where nation.n_nationkey = {nation.n_nationkey} "
+               "group by partsupp.ps_partkey order by partsupp.ps_partkey "
+               "limit 50"});
+  t.push_back({"q12",
+               "select count(*) from orders "
+               "join lineitem on orders.o_orderkey = lineitem.l_orderkey "
+               "where lineitem.l_orderkey between {lineitem.l_orderkey} and "
+               "{lineitem.l_orderkey+150} and lineitem.l_shipmode in "
+               "({lineitem.l_shipmode}, {lineitem.l_shipmode}) "
+               "group by lineitem.l_shipmode"});
+  t.push_back({"q13",
+               "select count(*) from customer "
+               "join orders on customer.c_custkey = orders.o_custkey "
+               "where orders.o_orderpriority <> {orders.o_orderpriority} "
+               "group by customer.c_custkey limit 100"});
+  t.push_back({"q14",
+               "select sum(lineitem.l_extendedprice) from lineitem "
+               "join part on lineitem.l_partkey = part.p_partkey "
+               "where lineitem.l_shipdate between {lineitem.l_shipdate} and "
+               "{lineitem.l_shipdate+30}"});
+  t.push_back({"q15",
+               "select sum(lineitem.l_extendedprice) from lineitem "
+               "join supplier on lineitem.l_suppkey = supplier.s_suppkey "
+               "where lineitem.l_shipdate >= {lineitem.l_shipdate} "
+               "group by supplier.s_name order by supplier.s_name"});
+  t.push_back({"q16",
+               "select count(*) from partsupp "
+               "join part on partsupp.ps_partkey = part.p_partkey "
+               "where part.p_brand <> {part.p_brand} and part.p_size in "
+               "({part.p_size}, {part.p_size}, {part.p_size}) "
+               "group by part.p_brand order by part.p_brand"});
+  t.push_back({"q17",
+               "select avg(lineitem.l_quantity) from lineitem "
+               "join part on lineitem.l_partkey = part.p_partkey "
+               "where part.p_brand = {part.p_brand} and part.p_container = "
+               "{part.p_container}"});
+  t.push_back({"q18",
+               "select sum(lineitem.l_quantity) from customer "
+               "join orders on customer.c_custkey = orders.o_custkey "
+               "join lineitem on orders.o_orderkey = lineitem.l_orderkey "
+               "where lineitem.l_quantity > {lineitem.l_quantity} "
+               "group by customer.c_name order by customer.c_name limit 100"});
+  t.push_back({"q19",
+               "select sum(lineitem.l_extendedprice) from lineitem "
+               "join part on lineitem.l_partkey = part.p_partkey "
+               "where part.p_brand = {part.p_brand} and "
+               "lineitem.l_quantity between {lineitem.l_quantity} and "
+               "{lineitem.l_quantity+10} and part.p_size between "
+               "{part.p_size} and {part.p_size+5}"});
+  t.push_back({"q20",
+               "select count(*) from partsupp "
+               "join part on partsupp.ps_partkey = part.p_partkey "
+               "join supplier on partsupp.ps_suppkey = supplier.s_suppkey "
+               "where part.p_name like '{part.p_name:prefix}%' and "
+               "partsupp.ps_availqty > {partsupp.ps_availqty}"});
+  t.push_back({"q21",
+               "select count(*) from supplier "
+               "join lineitem on supplier.s_suppkey = lineitem.l_suppkey "
+               "join orders on lineitem.l_orderkey = orders.o_orderkey "
+               "join nation on supplier.s_nationkey = nation.n_nationkey "
+               "where orders.o_orderstatus = 'F' and "
+               "lineitem.l_receiptdate > {lineitem.l_receiptdate} "
+               "group by supplier.s_name order by supplier.s_name limit 100"});
+  t.push_back({"q22",
+               "select count(*), sum(customer.c_acctbal) from customer "
+               "where customer.c_acctbal > {customer.c_acctbal} "
+               "group by customer.c_nationkey order by customer.c_nationkey"});
+  return t;
+}
+
+}  // namespace qcfe

@@ -1,0 +1,25 @@
+#ifndef QCFE_WORKLOAD_TPCH_H_
+#define QCFE_WORKLOAD_TPCH_H_
+
+/// \file tpch.h
+/// TPC-H-like workload: the full eight-table schema with synthetic data and
+/// 22 query templates approximating the operator footprint (joins, filters,
+/// aggregation, sorting) of the official TPC-H queries within this engine's
+/// single-block SPJA dialect. See DESIGN.md for the substitution note.
+
+#include "workload/benchmark.h"
+
+namespace qcfe {
+
+/// TPC-H-like benchmark. scale_factor 1.0 ~ 60k lineitem rows.
+class TpchBenchmark : public BenchmarkWorkload {
+ public:
+  std::string name() const override { return "tpch"; }
+  std::unique_ptr<Database> BuildDatabase(double scale_factor,
+                                          uint64_t seed) const override;
+  std::vector<QueryTemplate> Templates() const override;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_WORKLOAD_TPCH_H_

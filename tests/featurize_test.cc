@@ -1,0 +1,170 @@
+/// Tests for src/featurize: schema naming/groups, operator encoding content
+/// (one-hot placement, numerics, padding), plan-time-only information, and
+/// masked featurizers.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "featurize/featurizer.h"
+#include "featurize/operator_encoder.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+#include "workload/benchmark.h"
+
+namespace qcfe {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+  Environment env;
+
+  Fixture() {
+    auto bench = MakeBenchmark("tpch");
+    db = (*bench)->BuildDatabase(0.03, 21);
+    env.hardware = HardwareProfile::H1();
+  }
+
+  std::unique_ptr<PlanNode> PlanOf(const std::string& sql) {
+    auto spec = ParseQuery(sql);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto plan = db->Plan(*spec, env.knobs);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan.value());
+  }
+};
+
+TEST(FeatureSchemaTest, AddFindGroup) {
+  FeatureSchema s;
+  EXPECT_EQ(s.Add("a.one"), 0u);
+  EXPECT_EQ(s.Add("a.two"), 1u);
+  EXPECT_EQ(s.Add("b.one"), 2u);
+  EXPECT_EQ(s.Find("a.two"), 1u);
+  EXPECT_FALSE(s.Find("zzz").has_value());
+  EXPECT_EQ(s.FindGroup("a.").size(), 2u);
+  EXPECT_EQ(s.FindGroup("b.").size(), 1u);
+}
+
+TEST(OperatorEncoderTest, SchemaHasAllBlocks) {
+  Fixture fx;
+  OperatorEncoder enc(fx.db->catalog());
+  const FeatureSchema& s = enc.schema();
+  EXPECT_FALSE(s.FindGroup("op=").empty());
+  EXPECT_FALSE(s.FindGroup("table=").empty());
+  EXPECT_FALSE(s.FindGroup("idx=").empty());
+  EXPECT_FALSE(s.FindGroup("filtercol=").empty());
+  EXPECT_FALSE(s.FindGroup("predop=").empty());
+  EXPECT_FALSE(s.FindGroup("jointable=").empty());
+  EXPECT_FALSE(s.FindGroup("num.").empty());
+  EXPECT_FALSE(s.FindGroup("pad.").empty());
+  EXPECT_EQ(s.FindGroup("op=").size(), kNumOpTypes);
+  EXPECT_EQ(enc.dim(), s.size());
+  // The fixed-width layout deliberately includes unused slots.
+  EXPECT_FALSE(s.FindGroup("table=unused").empty());
+}
+
+TEST(OperatorEncoderTest, ScanEncodingSetsExpectedBits) {
+  Fixture fx;
+  OperatorEncoder enc(fx.db->catalog());
+  auto plan = fx.PlanOf(
+      "select * from lineitem where lineitem.l_quantity > 10");
+  ASSERT_EQ(plan->op, OpType::kSeqScan);
+  auto x = enc.Encode(*plan, 0);
+  const FeatureSchema& s = enc.schema();
+  EXPECT_EQ(x[*s.Find("op=Seq Scan")], 1.0);
+  EXPECT_EQ(x[*s.Find("table=lineitem")], 1.0);
+  EXPECT_EQ(x[*s.Find("filtercol=lineitem.l_quantity")], 1.0);
+  EXPECT_EQ(x[*s.Find("predop=>")], 1.0);
+  EXPECT_GT(x[*s.Find("num.log_est_rows")], 0.0);
+  // Other tables stay zero.
+  EXPECT_EQ(x[*s.Find("table=orders")], 0.0);
+  // Padding always zero.
+  for (size_t i : s.FindGroup("pad.")) EXPECT_EQ(x[i], 0.0);
+}
+
+TEST(OperatorEncoderTest, IndexScanSetsIndexBit) {
+  Fixture fx;
+  OperatorEncoder enc(fx.db->catalog());
+  auto plan = fx.PlanOf(
+      "select * from orders where orders.o_orderkey = 5");
+  ASSERT_EQ(plan->op, OpType::kIndexScan);
+  auto x = enc.Encode(*plan, 0);
+  const FeatureSchema& s = enc.schema();
+  EXPECT_EQ(x[*s.Find("op=Index Scan")], 1.0);
+  EXPECT_EQ(x[*s.Find("idx=orders.o_orderkey")], 1.0);
+}
+
+TEST(OperatorEncoderTest, JoinEncodingSetsJoinTables) {
+  Fixture fx;
+  OperatorEncoder enc(fx.db->catalog());
+  auto plan = fx.PlanOf(
+      "select count(*) from orders join lineitem on orders.o_orderkey = "
+      "lineitem.l_orderkey");
+  // Root is the aggregate; its child is the join.
+  ASSERT_EQ(plan->op, OpType::kAggregate);
+  const PlanNode* join = plan->child(0);
+  ASSERT_TRUE(join->join.has_value());
+  auto x = enc.Encode(*join, 1);
+  const FeatureSchema& s = enc.schema();
+  EXPECT_EQ(x[*s.Find("jointable=orders")], 1.0);
+  EXPECT_EQ(x[*s.Find("jointable=lineitem")], 1.0);
+  EXPECT_EQ(x[*s.Find("num.depth")], 1.0);
+  // Aggregate node encodes its aggregate counts.
+  auto xa = enc.Encode(*plan, 0);
+  EXPECT_EQ(xa[*s.Find("num.agg_count")], 1.0);
+}
+
+TEST(OperatorEncoderTest, UsesOnlyPlanTimeInformation) {
+  Fixture fx;
+  OperatorEncoder enc(fx.db->catalog());
+  auto plan = fx.PlanOf("select * from customer where customer.c_acctbal > 0");
+  auto before = enc.Encode(*plan, 0);
+  // Mutating execution artifacts must not change the encoding.
+  plan->actual_rows = 12345;
+  plan->actual_ms = 99.0;
+  plan->work.tuples = 777;
+  auto after = enc.Encode(*plan, 0);
+  EXPECT_EQ(before, after);
+}
+
+TEST(BaseFeaturizerTest, SameWidthForAllOps) {
+  Fixture fx;
+  BaseFeaturizer f(fx.db->catalog());
+  size_t d = f.dim(OpType::kSeqScan);
+  for (OpType op : AllOpTypes()) {
+    EXPECT_EQ(f.dim(op), d);
+    EXPECT_EQ(f.schema(op).size(), d);
+  }
+}
+
+TEST(MaskedFeaturizerTest, MasksPerOpType) {
+  Fixture fx;
+  BaseFeaturizer base(fx.db->catalog());
+  std::map<OpType, std::vector<size_t>> kept;
+  kept[OpType::kSeqScan] = {0, 2, 5};
+  MaskedFeaturizer masked(&base, kept);
+  EXPECT_EQ(masked.dim(OpType::kSeqScan), 3u);
+  // Unlisted types keep full width.
+  EXPECT_EQ(masked.dim(OpType::kSort), base.dim(OpType::kSort));
+  EXPECT_EQ(masked.TotalRemoved(), base.dim(OpType::kSeqScan) - 3);
+  // Schema names follow the kept columns.
+  EXPECT_EQ(masked.schema(OpType::kSeqScan).name(1), base.schema(OpType::kSeqScan).name(2));
+}
+
+TEST(MaskedFeaturizerTest, EncodeProjectsValues) {
+  Fixture fx;
+  BaseFeaturizer base(fx.db->catalog());
+  auto plan = fx.PlanOf("select * from nation where nation.n_regionkey = 2");
+  auto full = base.Encode(*plan, 0, 0);
+  std::map<OpType, std::vector<size_t>> kept;
+  std::vector<size_t> cols = {1, 3, 7, 20};
+  for (OpType op : AllOpTypes()) kept[op] = cols;
+  MaskedFeaturizer masked(&base, kept);
+  auto small = masked.Encode(*plan, 0, 0);
+  ASSERT_EQ(small.size(), cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(small[i], full[cols[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace qcfe

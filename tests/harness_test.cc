@@ -1,0 +1,102 @@
+/// Tests for src/harness: option presets, context creation, splits,
+/// evaluation and the Table IV cell runner (including the PGSQL path).
+
+#include <gtest/gtest.h>
+
+#include "harness/evaluate.h"
+
+namespace qcfe {
+namespace {
+
+TEST(HarnessOptionsTest, QuickPresetsAreSmall) {
+  for (const auto& bench : AllBenchmarkNames()) {
+    HarnessOptions opt = OptionsFor(bench, RunScale::kQuick);
+    EXPECT_EQ(opt.benchmark, bench);
+    EXPECT_LE(opt.num_envs, 5);
+    EXPECT_LE(opt.corpus_size, 1000u);
+    EXPECT_EQ(opt.scales.size(), 5u);
+    EXPECT_LE(opt.scales.back(), opt.corpus_size);
+  }
+}
+
+TEST(HarnessOptionsTest, FullPresetsMatchPaperGrids) {
+  HarnessOptions opt = OptionsFor("tpch", RunScale::kFull);
+  EXPECT_EQ(opt.num_envs, 20);  // paper: 20 knob configurations
+  EXPECT_EQ(opt.scales,
+            (std::vector<size_t>{2000, 4000, 6000, 8000, 10000}));
+  EXPECT_EQ(opt.corpus_size, 10000u);
+}
+
+TEST(HarnessTest, ContextBuildsAndSplits) {
+  HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+  opt.corpus_size = 150;
+  auto ctx = BenchmarkContext::Create(opt);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  EXPECT_EQ((*ctx)->corpus.queries.size(), 150u);
+  EXPECT_EQ((*ctx)->envs.size(), static_cast<size_t>(opt.num_envs));
+
+  std::vector<PlanSample> train, test;
+  (*ctx)->Split(100, &train, &test);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  for (const auto& s : train) {
+    EXPECT_NE(s.plan, nullptr);
+    EXPECT_GT(s.label_ms, 0.0);
+  }
+  // Splitting larger than the corpus clamps gracefully.
+  (*ctx)->Split(100000, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), 150u);
+}
+
+TEST(HarnessTest, TableIvModelListMatchesPaperRows) {
+  HarnessOptions opt = OptionsFor("tpch", RunScale::kQuick);
+  auto cells = TableIvModels(opt);
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0].display_name, "PGSQL");
+  EXPECT_TRUE(cells[0].is_pg);
+  EXPECT_EQ(cells[1].display_name, "QCFE(mscn)");
+  EXPECT_EQ(cells[2].display_name, "QCFE(qpp)");
+  EXPECT_EQ(cells[3].display_name, "MSCN");
+  EXPECT_EQ(cells[4].display_name, "QPPNet");
+}
+
+TEST(HarnessTest, RunCellPgAndLearned) {
+  HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+  opt.corpus_size = 200;
+  auto ctx = BenchmarkContext::Create(opt);
+  ASSERT_TRUE(ctx.ok());
+  std::vector<PlanSample> train, test;
+  (*ctx)->Split(200, &train, &test);
+
+  CellConfig pg{"PGSQL", true, EstimatorKind::kQppNet, false, 0, 0};
+  auto pg_res = RunCell(ctx->get(), pg, train, test);
+  ASSERT_TRUE(pg_res.ok());
+  EXPECT_EQ(pg_res->built, nullptr);
+  EXPECT_GT(pg_res->eval.summary.mean_qerror, 1.0);
+
+  CellConfig qcfe{"QCFE(qpp)", false, EstimatorKind::kQppNet, true, 10, 0};
+  auto qcfe_res = RunCell(ctx->get(), qcfe, train, test);
+  ASSERT_TRUE(qcfe_res.ok()) << qcfe_res.status().ToString();
+  ASSERT_NE(qcfe_res->built, nullptr);
+  EXPECT_EQ(qcfe_res->built->name(), "QCFE(qpp)");
+  EXPECT_GT(qcfe_res->train_seconds, 0.0);
+  EXPECT_GT(qcfe_res->eval.inference_seconds, 0.0);
+  // The learned model beats the uncalibrated analytical baseline.
+  EXPECT_LT(qcfe_res->eval.summary.mean_qerror,
+            pg_res->eval.summary.mean_qerror);
+}
+
+TEST(HarnessTest, EvaluateModelCountsAllSamples) {
+  HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+  opt.corpus_size = 120;
+  auto ctx = BenchmarkContext::Create(opt);
+  ASSERT_TRUE(ctx.ok());
+  std::vector<PlanSample> train, test;
+  (*ctx)->Split(120, &train, &test);
+  PgCostModel pg;
+  EvalResult eval = EvaluateModel(pg, test);
+  EXPECT_EQ(eval.summary.count, test.size());
+}
+
+}  // namespace
+}  // namespace qcfe

@@ -1,0 +1,304 @@
+/// Unit tests for src/util: Status/Result, RNG determinism and distribution
+/// sanity, metric definitions (q-error, Pearson, quantiles), string helpers
+/// and table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/env_config.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qcfe {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad scale");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad scale");
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusTest, ResultHoldsError) {
+  Result<int> r = Status::NotFound("no such table");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    QCFE_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_FALSE(wrapper().ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Gaussian();
+  EXPECT_NEAR(Mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(Stddev(xs), 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalNoiseMeanIsOne) {
+  Rng rng(13);
+  std::vector<double> xs(40000);
+  for (double& x : xs) x = rng.LognormalNoise(0.1);
+  EXPECT_NEAR(Mean(xs), 1.0, 0.01);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(RngTest, LognormalZeroSigmaIsExactlyOne) {
+  Rng rng(13);
+  EXPECT_EQ(rng.LognormalNoise(0.0), 1.0);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(17);
+  int low = 0, n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.2) <= 10) ++low;
+  }
+  // With s=1.2 the first decile carries well over half the mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(17);
+  int low = 0, n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.0) <= 50) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.03);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(19);
+  auto idx = rng.SampleIndices(50, 20);
+  std::set<size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(RngTest, SampleAllIndices) {
+  Rng rng(19);
+  auto idx = rng.SampleIndices(10, 10);
+  std::set<size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkStreamsAreIndependent) {
+  Rng parent(31);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  EXPECT_NE(c1.Next(), c2.Next());
+}
+
+TEST(StatsTest, QErrorPerfectPredictionIsOne) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 10.0), 1.0);
+}
+
+TEST(StatsTest, QErrorSymmetric) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 5.0), QError(5.0, 10.0));
+  EXPECT_DOUBLE_EQ(QError(10.0, 5.0), 2.0);
+}
+
+TEST(StatsTest, QErrorClampsNonPositive) {
+  double q = QError(10.0, -5.0);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_GT(q, 1.0);
+}
+
+TEST(StatsTest, QErrorAlwaysAtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.Uniform(0.001, 100.0), p = rng.Uniform(0.001, 100.0);
+    EXPECT_GE(QError(a, p), 1.0);
+  }
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  std::vector<double> a{1, 2, 3, 4}, b{2, 4, 6, 8};
+  EXPECT_NEAR(Pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  std::vector<double> a{1, 2, 3, 4}, b{8, 6, 4, 2};
+  EXPECT_NEAR(Pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  std::vector<double> a{1, 1, 1, 1}, b{2, 4, 6, 8};
+  EXPECT_EQ(Pearson(a, b), 0.0);
+}
+
+TEST(StatsTest, QuantileEdges) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, MeanVarianceKnownValues) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(Stddev(xs), 2.0);
+}
+
+TEST(StatsTest, SummarizeBundlesAllMetrics) {
+  std::vector<double> actual{10, 20, 30, 40};
+  std::vector<double> pred{10, 20, 30, 80};
+  MetricSummary s = Summarize(actual, pred);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.max_qerror, 2.0);
+  EXPECT_GE(s.mean_qerror, 1.0);
+  EXPECT_GT(s.pearson, 0.9);
+  EXPECT_LE(s.q25, s.median_qerror);
+  EXPECT_LE(s.median_qerror, s.q75);
+  EXPECT_LE(s.q75, s.q90);
+  EXPECT_LE(s.q90, s.q95);
+}
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SELECT * FROM T"), "select * from t");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringTest, JoinAndReplace) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(StringTest, StartsWithContains) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SE", "SELECT"));
+  EXPECT_TRUE(Contains("a join b", "join"));
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPadsShortRows) {
+  TablePrinter tp({"model", "qerr"});
+  tp.AddRow({"QCFE(qpp)", "1.072"});
+  tp.AddRow({"pg"});
+  std::ostringstream os;
+  tp.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("QCFE(qpp)"), std::string::npos);
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter tp({"a", "b"});
+  tp.AddRow({"1", "2"});
+  std::ostringstream os;
+  tp.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(EnvConfigTest, DefaultsToQuickScale) {
+  // The test environment does not set QCFE_SCALE.
+  EXPECT_EQ(RunScaleName(), "quick");
+  EXPECT_EQ(ScaledCount(10000, 10, 500), 1000u);
+  EXPECT_EQ(ScaledCount(1000, 10, 500), 500u);
+}
+
+TEST(EnvConfigTest, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.Seconds(), 0.0);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace qcfe
