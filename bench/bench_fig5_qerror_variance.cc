@@ -35,7 +35,7 @@ int RunBenchmark(const std::string& bench_name) {
     std::vector<PlanSample> train, test;
     (*ctx)->Split(scale, &train, &test);
     for (const CellConfig& cell : TableIvModels(opt)) {
-      if (cell.is_pg) continue;
+      if (cell.estimator == "pgsql") continue;
       Result<CellResult> res = RunCell(ctx->get(), cell, train, test);
       if (!res.ok()) {
         std::cerr << res.status().ToString() << "\n";

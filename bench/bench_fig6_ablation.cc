@@ -47,10 +47,9 @@ int RunBenchmark(const std::string& bench_name) {
 
   TablePrinter tp({"variant", "mean q-error", "q50", "q90", "train (s)",
                    "reduction"});
-  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
   for (const Variant& v : variants) {
-    QcfeConfig cfg;
-    cfg.kind = EstimatorKind::kQppNet;
+    PipelineConfig cfg;
+    cfg.estimator = "qppnet";
     cfg.use_snapshot = true;
     cfg.snapshot_from_templates = v.from_templates;
     cfg.snapshot_scale = 2;
@@ -59,19 +58,20 @@ int RunBenchmark(const std::string& bench_name) {
     cfg.pre_reduction_epochs = std::max(8, opt.qpp_epochs / 2);
     cfg.train.epochs = opt.qpp_epochs;
     cfg.seed = opt.seed * 11 + 1;
-    Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
+    Result<std::unique_ptr<Pipeline>> built = (*ctx)->FitPipeline(cfg, train);
     if (!built.ok()) {
       std::cerr << v.name << ": " << built.status().ToString() << "\n";
       return 1;
     }
-    EvalResult eval = EvaluateModel(*(*built)->model, test);
+    EvalResult eval = EvaluateModel(**built, test);
     tp.AddRow({v.name, FormatDouble(eval.summary.mean_qerror, 3),
                FormatDouble(eval.summary.median_qerror, 3),
                FormatDouble(eval.summary.q90, 3),
-               FormatDouble((*built)->train_stats.train_seconds, 2),
+               FormatDouble((*built)->train_stats().train_seconds, 2),
                v.reduce
-                   ? FormatDouble(100.0 * (*built)->reduction.ReductionRatio(),
-                                  1) + "%"
+                   ? FormatDouble(
+                         100.0 * (*built)->reduction().ReductionRatio(), 1) +
+                         "%"
                    : "-"});
   }
   tp.Print(std::cout);

@@ -26,16 +26,15 @@ int Run() {
 
   // One provisional QCFE(qpp) model (snapshot on, no reduction) shared by
   // all three algorithms, exactly like the paper's ablation.
-  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.use_snapshot = true;
   cfg.snapshot_from_templates = false;  // FSO, as in the paper's Figure 7
   cfg.snapshot_scale = 2;
   cfg.use_reduction = false;
   cfg.train.epochs = std::max(10, opt.qpp_epochs);
   cfg.seed = opt.seed * 17 + 3;
-  Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
+  Result<std::unique_ptr<Pipeline>> built = (*ctx)->FitPipeline(cfg, train);
   if (!built.ok()) {
     std::cerr << built.status().ToString() << "\n";
     return 1;
@@ -55,7 +54,7 @@ int Run() {
         ReductionAlgorithm::kDiffProp}) {
     ReductionConfig rcfg;
     rcfg.algorithm = algo;
-    Result<ReductionResult> r = ReduceFeatures(*(*built)->model, train, rcfg);
+    Result<ReductionResult> r = ReduceFeatures((*built)->model(), train, rcfg);
     if (!r.ok()) {
       std::cerr << r.status().ToString() << "\n";
       return 1;

@@ -45,8 +45,8 @@ int RunBenchmark(const std::string& bench_name) {
   }
 
   auto cfg_for = [&](uint64_t seed_off) {
-    QcfeConfig cfg;
-    cfg.kind = EstimatorKind::kQppNet;
+    PipelineConfig cfg;
+    cfg.estimator = "qppnet";
     cfg.use_snapshot = true;
     cfg.snapshot_from_templates = true;
     cfg.snapshot_scale = 2;
@@ -60,32 +60,29 @@ int RunBenchmark(const std::string& bench_name) {
   // Direct model: trained on h2 from scratch, tracing test q-error.
   std::vector<std::pair<int, double>> direct_curve;
   {
-    QcfeBuilder h2_builder((*ctx)->db.get(), &h2_envs, &(*ctx)->templates);
-    QcfeConfig cfg = cfg_for(1);
+    PipelineConfig cfg = cfg_for(1);
     cfg.train.eval_every = 1;
     cfg.train.eval_set = h2_test;
-    Result<std::unique_ptr<QcfeModel>> direct =
-        h2_builder.Build(cfg, h2_train);
+    Result<std::unique_ptr<Pipeline>> direct = Pipeline::Fit(
+        (*ctx)->db.get(), &h2_envs, &(*ctx)->templates, cfg, h2_train);
     if (!direct.ok()) {
       std::cerr << direct.status().ToString() << "\n";
       return 1;
     }
-    direct_curve = (*direct)->train_stats.eval_curve;
+    direct_curve = (*direct)->train_stats().eval_curve;
   }
 
   // Transferable model: basis on h1, FST snapshot for h2, warm retrain.
   std::vector<std::pair<int, double>> transfer_curve;
   {
-    QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
-    QcfeConfig cfg = cfg_for(2);
-    Result<std::unique_ptr<QcfeModel>> basis = builder.Build(cfg, h1_train);
+    PipelineConfig cfg = cfg_for(2);
+    Result<std::unique_ptr<Pipeline>> basis = (*ctx)->FitPipeline(cfg, h1_train);
     if (!basis.ok()) {
       std::cerr << basis.status().ToString() << "\n";
       return 1;
     }
-    Status st = builder.ComputeSnapshots(
-        h2_envs, /*from_templates=*/true, cfg.snapshot_scale, cfg.seed + 5,
-        (*basis)->snapshot_store.get(), nullptr, nullptr, nullptr);
+    Status st = (*basis)->ExtendSnapshots(h2_envs, /*from_templates=*/true,
+                                          cfg.snapshot_scale, cfg.seed + 5);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
@@ -96,7 +93,7 @@ int RunBenchmark(const std::string& bench_name) {
     retrain.eval_set = h2_test;
     retrain.seed = cfg.seed + 6;
     TrainStats stats;
-    st = (*basis)->model->Train(h2_train, retrain, &stats);
+    st = (*basis)->Retrain(h2_train, retrain, &stats);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;

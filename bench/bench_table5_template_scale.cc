@@ -37,13 +37,12 @@ int RunBenchmark(const std::string& bench_name) {
   std::vector<int> fst_scales = bench_name == "joblight"
                                     ? std::vector<int>{2, 4, 6, 8}
                                     : std::vector<int>{1, 2, 3, 4};
-  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
   TablePrinter tp({"snapshot", "templates", "collect (sim ms)",
                    "mean q-error", "pearson"});
   auto run_variant = [&](const std::string& name, bool from_templates,
                          int snapshot_scale) -> Status {
-    QcfeConfig cfg;
-    cfg.kind = EstimatorKind::kQppNet;
+    PipelineConfig cfg;
+    cfg.estimator = "qppnet";
     cfg.use_snapshot = true;
     cfg.snapshot_from_templates = from_templates;
     cfg.snapshot_scale = snapshot_scale;
@@ -51,11 +50,11 @@ int RunBenchmark(const std::string& bench_name) {
     cfg.pre_reduction_epochs = std::max(8, opt.qpp_epochs / 2);
     cfg.train.epochs = opt.qpp_epochs;
     cfg.seed = opt.seed * 23 + 7;
-    Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
+    Result<std::unique_ptr<Pipeline>> built = (*ctx)->FitPipeline(cfg, train);
     if (!built.ok()) return built.status();
-    EvalResult eval = EvaluateModel(*(*built)->model, test);
-    tp.AddRow({name, std::to_string((*built)->snapshot_num_templates),
-               FormatDouble((*built)->snapshot_collection_ms, 1),
+    EvalResult eval = EvaluateModel(**built, test);
+    tp.AddRow({name, std::to_string((*built)->snapshot_num_templates()),
+               FormatDouble((*built)->snapshot_collection_ms(), 1),
                FormatDouble(eval.summary.mean_qerror, 3),
                FormatDouble(eval.summary.pearson, 3)});
     return Status::OK();

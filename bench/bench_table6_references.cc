@@ -24,17 +24,16 @@ int Run() {
   (*ctx)->Split(scale, &train, &test);
 
   // Shared provisional model (snapshot, no reduction yet).
-  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
-  QcfeConfig base_cfg;
-  base_cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig base_cfg;
+  base_cfg.estimator = "qppnet";
   base_cfg.use_snapshot = true;
   base_cfg.snapshot_from_templates = true;
   base_cfg.snapshot_scale = 2;
   base_cfg.use_reduction = false;
   base_cfg.train.epochs = std::max(8, opt.qpp_epochs / 2);
   base_cfg.seed = opt.seed * 29 + 11;
-  Result<std::unique_ptr<QcfeModel>> provisional =
-      builder.Build(base_cfg, train);
+  Result<std::unique_ptr<Pipeline>> provisional =
+      (*ctx)->FitPipeline(base_cfg, train);
   if (!provisional.ok()) {
     std::cerr << provisional.status().ToString() << "\n";
     return 1;
@@ -57,23 +56,30 @@ int Run() {
     rcfg.algorithm = ReductionAlgorithm::kDiffProp;
     rcfg.num_references = n_refs;
     Result<ReductionResult> reduction =
-        ReduceFeatures(*(*provisional)->model, train, rcfg);
+        ReduceFeatures((*provisional)->model(), train, rcfg);
     if (!reduction.ok()) {
       std::cerr << reduction.status().ToString() << "\n";
       return 1;
     }
-    // Retrain on the reduced features.
+    // Retrain on the reduced features, instantiating through the registry.
     MaskedFeaturizer masked((*provisional)->active_featurizer(),
                             reduction->KeptMap(false));
-    QppNet reduced(&masked, QppNetConfig{}, base_cfg.seed + n_refs);
+    Result<std::unique_ptr<CostModel>> reduced =
+        EstimatorRegistry::Global().Create(
+            "qppnet",
+            {(*ctx)->db->catalog(), &masked, base_cfg.seed + n_refs});
+    if (!reduced.ok()) {
+      std::cerr << reduced.status().ToString() << "\n";
+      return 1;
+    }
     TrainConfig tc;
     tc.epochs = opt.qpp_epochs;
-    Status st = reduced.Train(train, tc, nullptr);
+    Status st = (*reduced)->Train(train, tc, nullptr);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
     }
-    EvalResult eval = EvaluateModel(reduced, test);
+    EvalResult eval = EvaluateModel(**reduced, test);
     tp.AddRow({std::to_string(n_refs),
                FormatDouble(eval.summary.mean_qerror, 3),
                FormatDouble(eval.summary.q95, 3),

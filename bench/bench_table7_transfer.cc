@@ -46,10 +46,9 @@ int RunBenchmark(const std::string& bench_name) {
         .push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  QcfeBuilder builder((*ctx)->db.get(), &(*ctx)->envs, &(*ctx)->templates);
   auto base_config = [&]() {
-    QcfeConfig cfg;
-    cfg.kind = EstimatorKind::kQppNet;
+    PipelineConfig cfg;
+    cfg.estimator = "qppnet";
     cfg.use_snapshot = true;
     cfg.snapshot_from_templates = true;
     cfg.snapshot_scale = 2;
@@ -72,18 +71,17 @@ int RunBenchmark(const std::string& bench_name) {
 
   // Row 1: "basis" — trained from scratch on the h2 labels (full budget).
   {
-    QcfeBuilder h2_builder((*ctx)->db.get(), &h2_envs, &(*ctx)->templates);
-    QcfeConfig cfg = base_config();
-    Result<std::unique_ptr<QcfeModel>> direct =
-        h2_builder.Build(cfg, h2_train);
+    PipelineConfig cfg = base_config();
+    Result<std::unique_ptr<Pipeline>> direct = Pipeline::Fit(
+        (*ctx)->db.get(), &h2_envs, &(*ctx)->templates, cfg, h2_train);
     if (!direct.ok()) {
       std::cerr << direct.status().ToString() << "\n";
       return 1;
     }
-    EvalResult eval = EvaluateModel(*(*direct)->model, h2_test);
+    EvalResult eval = EvaluateModel(**direct, h2_test);
     tp.AddRow({"basis (direct on h2)", FormatDouble(eval.summary.pearson, 3),
                FormatDouble(eval.summary.mean_qerror, 3),
-               FormatDouble((*direct)->train_stats.train_seconds, 2)});
+               FormatDouble((*direct)->train_stats().train_seconds, 2)});
   }
 
   // Rows 2-3: basis model trained on h1, snapshots swapped for h2, short
@@ -91,18 +89,19 @@ int RunBenchmark(const std::string& bench_name) {
   // snapshot method (FSO or FST) as the h2 swap so the snapshot dims stay
   // in-distribution for the basis model's feature scalers.
   for (bool fst : {false, true}) {
-    QcfeConfig cfg = base_config();
+    PipelineConfig cfg = base_config();
     cfg.snapshot_from_templates = fst;
-    Result<std::unique_ptr<QcfeModel>> basis = builder.Build(cfg, h1_train);
+    Result<std::unique_ptr<Pipeline>> basis =
+        (*ctx)->FitPipeline(cfg, h1_train);
     if (!basis.ok()) {
       std::cerr << basis.status().ToString() << "\n";
       return 1;
     }
-    // Compute h2 snapshots into the basis model's store (FSO or FST).
+    // Compute h2 snapshots into the basis pipeline's store (FSO or FST).
     double collect_ms = 0.0;
-    Status st = builder.ComputeSnapshots(
-        h2_envs, fst, cfg.snapshot_scale, cfg.seed + (fst ? 5 : 4),
-        (*basis)->snapshot_store.get(), &collect_ms, nullptr, nullptr);
+    Status st = (*basis)->ExtendSnapshots(h2_envs, fst, cfg.snapshot_scale,
+                                          cfg.seed + (fst ? 5 : 4),
+                                          &collect_ms);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
@@ -111,12 +110,12 @@ int RunBenchmark(const std::string& bench_name) {
     retrain.epochs = std::max(2, opt.qpp_epochs / 4);
     retrain.seed = cfg.seed + 9;
     TrainStats stats;
-    st = (*basis)->model->Train(h2_train, retrain, &stats);
+    st = (*basis)->Retrain(h2_train, retrain, &stats);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
     }
-    EvalResult eval = EvaluateModel(*(*basis)->model, h2_test);
+    EvalResult eval = EvaluateModel(**basis, h2_test);
     tp.AddRow({fst ? "trans-FST" : "trans-FSO",
                FormatDouble(eval.summary.pearson, 3),
                FormatDouble(eval.summary.mean_qerror, 3),

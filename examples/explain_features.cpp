@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "sql/parser.h"
 #include "util/string_util.h"
 #include "workload/benchmark.h"
@@ -33,22 +33,22 @@ int main() {
     train.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.train.epochs = 14;
-  auto model = builder.Build(cfg, train);
+  auto model = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
   if (!model.ok()) {
     std::cerr << model.status().ToString() << "\n";
     return 1;
   }
+  std::cout << (*model)->Explain() << "\n";
 
   // 1. Encode one operator of a fresh query and print non-zero dimensions.
   auto spec = ParseQuery(
       "select * from lineitem where lineitem.l_quantity > 25 "
       "order by lineitem.l_extendedprice");
   auto plan = db->Plan(*spec, envs[0].knobs);
-  const OperatorFeaturizer* featurizer = (*model)->snapshot_featurizer.get();
+  const OperatorFeaturizer* featurizer = (*model)->snapshot_featurizer();
   const PlanNode* scan = plan.value()->child(0);
   std::vector<double> x = featurizer->Encode(*scan, 1, envs[0].id);
   const FeatureSchema& schema = featurizer->schema(scan->op);
@@ -65,7 +65,7 @@ int main() {
   std::cout << "\nfeature snapshot (Seq Scan: t = c0*n + c1) per "
                "environment:\n";
   for (const auto& env : envs) {
-    const FeatureSnapshot* snap = (*model)->snapshot_store->Get(env.id);
+    const FeatureSnapshot* snap = (*model)->snapshot_store()->Get(env.id);
     const OperatorSnapshot& os = snap->Get(OpType::kSeqScan);
     std::cout << "  env" << env.id << ": c0=" << FormatDouble(os.coeffs[0], 6)
               << " ms/tuple, c1=" << FormatDouble(os.coeffs[1], 4)
@@ -74,7 +74,7 @@ int main() {
   }
 
   // 3. What feature reduction kept for the Seq Scan unit.
-  const auto& reduction = (*model)->reduction.per_op.at(OpType::kSeqScan);
+  const auto& reduction = (*model)->reduction().per_op.at(OpType::kSeqScan);
   std::cout << "\ndifference-propagation reduction for Seq Scan: kept "
             << reduction.kept.size() << "/" << reduction.original_dim
             << " dims\n  survivors: ";

@@ -9,9 +9,11 @@
 ///   ./build/examples/knob_tuning
 
 #include <iostream>
+#include <limits>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "sql/data_abstract.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "workload/benchmark.h"
@@ -21,18 +23,26 @@ using namespace qcfe;
 
 namespace {
 
-/// Mean predicted latency of a workload under one environment.
-double ScoreEnvironment(const QcfeModel& model, Database* db,
+/// Mean predicted latency of a workload under one environment: plan every
+/// query under the candidate knobs, then score the whole workload through
+/// the pipeline's batched serving path.
+double ScoreEnvironment(const Pipeline& pipeline, Database* db,
                         const std::vector<QuerySpec>& workload,
                         const Environment& env) {
-  std::vector<double> preds;
+  std::vector<std::unique_ptr<PlanNode>> plans;
+  std::vector<PlanSample> batch;
   for (const auto& spec : workload) {
     auto plan = db->Plan(spec, env.knobs);
     if (!plan.ok()) continue;
-    auto p = model.PredictMs(*plan.value(), env.id);
-    if (p.ok()) preds.push_back(*p);
+    plans.push_back(std::move(plan.value()));
+    batch.push_back({plans.back().get(), env.id, 0.0});
   }
-  return Mean(preds);
+  auto preds = pipeline.PredictBatch(batch);
+  if (!preds.ok() || preds->empty()) {
+    // An unscorable candidate must never look like the cheapest one.
+    return std::numeric_limits<double>::infinity();
+  }
+  return Mean(*preds);
 }
 
 /// Ground-truth mean latency (what an actual deployment would measure).
@@ -88,11 +98,10 @@ int main() {
     train.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.train.epochs = 20;
-  auto model = builder.Build(cfg, train);
+  auto model = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
   if (!model.ok()) {
     std::cerr << model.status().ToString() << "\n";
     return 1;

@@ -1,13 +1,18 @@
 /// Quickstart: build a database, run queries under different environments,
-/// train a QCFE-enhanced cost estimator, and compare its predictions with
-/// ground truth. This walks the whole public API surface in ~100 lines.
+/// then fit a QCFE cost-estimation Pipeline and serve predictions from it.
+/// This walks the whole public API surface in ~100 lines:
+///
+///   - Pipeline::Fit     — snapshot + reduction + estimator, one call
+///   - Pipeline::PredictMs / PredictBatch — one-off and batched serving
+///   - Pipeline::Explain — what the feature engineering actually did
 ///
 ///   ./build/examples/quickstart
 
 #include <iostream>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "sql/parser.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "workload/benchmark.h"
@@ -73,31 +78,31 @@ int main() {
     test.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  // 5. Train QCFE(qpp): feature snapshot (simplified templates) + reduction.
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  // 5. Fit the pipeline. The default PipelineConfig is the paper's full
+  //    QCFE recipe around QPPNet: a feature snapshot from simplified
+  //    templates (FST), then difference-propagation feature reduction.
+  //    Swapping cfg.estimator to "mscn" (or any registered name) is the
+  //    only change needed to serve a different model.
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.train.epochs = 20;
-  auto model = builder.Build(cfg, train);
-  if (!model.ok()) {
-    std::cerr << model.status().ToString() << "\n";
+  auto pipeline = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
+  if (!pipeline.ok()) {
+    std::cerr << pipeline.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\ntrained " << (*model)->name() << " in "
-            << FormatDouble((*model)->train_stats.train_seconds, 2)
-            << " s; feature reduction removed "
-            << FormatDouble(100.0 * (*model)->reduction.ReductionRatio(), 1)
-            << "% of input dims\n";
+  std::cout << "\n" << (*pipeline)->Explain();
 
-  // 6. Evaluate on held-out queries.
-  std::vector<double> actual, predicted;
-  for (const auto& s : test) {
-    auto p = (*model)->PredictMs(*s.plan, s.env_id);
-    if (!p.ok()) continue;
-    actual.push_back(s.label_ms);
-    predicted.push_back(*p);
+  // 6. Serve the held-out queries through the batched hot path; PredictMs
+  //    is the equivalent one-plan-at-a-time call.
+  auto predicted = (*pipeline)->PredictBatch(test);
+  if (!predicted.ok()) {
+    std::cerr << predicted.status().ToString() << "\n";
+    return 1;
   }
-  MetricSummary m = Summarize(actual, predicted);
+  std::vector<double> actual;
+  for (const auto& s : test) actual.push_back(s.label_ms);
+  MetricSummary m = Summarize(actual, *predicted);
   std::cout << "test set: pearson=" << FormatDouble(m.pearson, 3)
             << " mean q-error=" << FormatDouble(m.mean_qerror, 3)
             << " (n=" << m.count << ")\n";

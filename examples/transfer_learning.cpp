@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "harness/evaluate.h"
 #include "util/string_util.h"
 #include "workload/benchmark.h"
@@ -35,17 +35,17 @@ int main() {
     h1_train.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  QcfeBuilder builder(db.get(), &h1, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.train.epochs = 24;
-  auto basis = builder.Build(cfg, h1_train);
+  auto basis = Pipeline::Fit(db.get(), &h1, &templates, cfg, h1_train);
   if (!basis.ok()) {
     std::cerr << basis.status().ToString() << "\n";
     return 1;
   }
   std::cout << "basis model trained on h1 in "
-            << FormatDouble((*basis)->train_stats.train_seconds, 2) << " s\n";
+            << FormatDouble((*basis)->train_stats().train_seconds, 2)
+            << " s\n";
 
   // Hardware h2: same data, faster machine, new knob grid (fresh env ids).
   std::vector<Environment> h2 =
@@ -65,11 +65,9 @@ int main() {
   }
 
   // Transfer: compute h2 snapshots (cheap, simplified templates) into the
-  // basis model's snapshot store, then retrain briefly.
-  Status st = builder.ComputeSnapshots(h2, /*from_templates=*/true,
-                                       /*scale=*/2, /*seed=*/83,
-                                       (*basis)->snapshot_store.get(), nullptr,
-                                       nullptr, nullptr);
+  // basis pipeline's snapshot store, then retrain briefly.
+  Status st = (*basis)->ExtendSnapshots(h2, /*from_templates=*/true,
+                                        /*scale=*/2, /*seed=*/83);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;
@@ -77,26 +75,25 @@ int main() {
   TrainConfig retrain;
   retrain.epochs = 6;  // 25% of the basis budget
   TrainStats transfer_stats;
-  st = (*basis)->model->Train(h2_train, retrain, &transfer_stats);
+  st = (*basis)->Retrain(h2_train, retrain, &transfer_stats);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
-  EvalResult transfer_eval = EvaluateModel(*(*basis)->model, h2_test);
+  EvalResult transfer_eval = EvaluateModel(**basis, h2_test);
 
   // Baseline: train from scratch on h2 with the full budget.
-  QcfeBuilder h2_builder(db.get(), &h2, &templates);
-  auto direct = h2_builder.Build(cfg, h2_train);
+  auto direct = Pipeline::Fit(db.get(), &h2, &templates, cfg, h2_train);
   if (!direct.ok()) {
     std::cerr << direct.status().ToString() << "\n";
     return 1;
   }
-  EvalResult direct_eval = EvaluateModel(*(*direct)->model, h2_test);
+  EvalResult direct_eval = EvaluateModel(**direct, h2_test);
 
   std::cout << "direct on h2   : median q-error "
             << FormatDouble(direct_eval.summary.median_qerror, 3) << " (mean "
             << FormatDouble(direct_eval.summary.mean_qerror, 3) << ") after "
-            << FormatDouble((*direct)->train_stats.train_seconds, 2)
+            << FormatDouble((*direct)->train_stats().train_seconds, 2)
             << " s of training\n";
   std::cout << "transfer to h2 : median q-error "
             << FormatDouble(transfer_eval.summary.median_qerror, 3) << " (mean "

@@ -1,0 +1,162 @@
+#include "core/pipeline.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace qcfe {
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
+    Database* db, const std::vector<Environment>* envs,
+    const std::vector<QueryTemplate>* templates, const PipelineConfig& config,
+    const std::vector<PlanSample>& train) {
+  if (db == nullptr || envs == nullptr || templates == nullptr) {
+    return Status::InvalidArgument(
+        "Pipeline::Fit requires a database, environments and templates");
+  }
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  Result<EstimatorInfo> info = registry.Info(config.estimator);
+  if (!info.ok()) return info.status();
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->db_ = db;
+  pipeline->envs_ = envs;
+  pipeline->templates_ = templates;
+  pipeline->config_ = config;
+  pipeline->info_ = *info;
+  // Analytical estimators have no learned features to snapshot or reduce.
+  pipeline->config_.use_snapshot = config.use_snapshot && info->learned;
+  pipeline->config_.use_reduction = config.use_reduction && info->learned;
+
+  pipeline->base_featurizer_ = std::make_unique<BaseFeaturizer>(db->catalog());
+  const OperatorFeaturizer* active = pipeline->base_featurizer_.get();
+
+  if (pipeline->config_.use_snapshot) {
+    pipeline->snapshot_store_ = std::make_unique<SnapshotStore>();
+    SnapshotBuilder snapshots(db, templates);
+    QCFE_RETURN_IF_ERROR(snapshots.ComputeSnapshots(
+        *envs, config.snapshot_from_templates, config.snapshot_scale,
+        config.seed, pipeline->snapshot_store_.get(),
+        &pipeline->snapshot_collection_ms_, &pipeline->snapshot_num_queries_,
+        &pipeline->snapshot_num_templates_, config.snapshot_granularity));
+    pipeline->snapshot_featurizer_ = std::make_unique<SnapshotFeaturizer>(
+        active, pipeline->snapshot_store_.get(),
+        config.snapshot_granularity == SnapshotGranularity::kOperatorTable);
+    active = pipeline->snapshot_featurizer_.get();
+  }
+
+  if (pipeline->config_.use_reduction) {
+    // Provisional model: enough training for meaningful importance scores.
+    Result<std::unique_ptr<CostModel>> provisional = registry.Create(
+        config.estimator, {db->catalog(), active, config.seed + 1});
+    if (!provisional.ok()) return provisional.status();
+    TrainConfig pre_cfg = config.train;
+    pre_cfg.epochs = config.pre_reduction_epochs;
+    pre_cfg.eval_every = 0;
+    QCFE_RETURN_IF_ERROR(
+        (*provisional)->Train(train, pre_cfg, &pipeline->pre_train_stats_));
+
+    Result<ReductionResult> reduction =
+        ReduceFeatures(**provisional, train, config.reduction);
+    if (!reduction.ok()) return reduction.status();
+    pipeline->reduction_ = std::move(reduction.value());
+
+    pipeline->masked_featurizer_ = std::make_unique<MaskedFeaturizer>(
+        active, pipeline->reduction_.KeptMap(info->uniform_feature_width));
+    active = pipeline->masked_featurizer_.get();
+  }
+
+  Result<std::unique_ptr<CostModel>> model = registry.Create(
+      config.estimator, {db->catalog(), active, config.seed + 2});
+  if (!model.ok()) return model.status();
+  pipeline->model_ = std::move(model.value());
+  QCFE_RETURN_IF_ERROR(
+      pipeline->model_->Train(train, config.train, &pipeline->train_stats_));
+  return pipeline;
+}
+
+Result<double> Pipeline::PredictMs(const PlanNode& plan, int env_id) const {
+  return model_->PredictMs(plan, env_id);
+}
+
+Result<std::vector<double>> Pipeline::PredictBatch(
+    const std::vector<PlanSample>& samples) const {
+  return model_->PredictBatchMs(samples);
+}
+
+std::string Pipeline::name() const {
+  bool qcfe = config_.use_snapshot || config_.use_reduction;
+  return qcfe ? "QCFE(" + info_.qcfe_label + ")" : info_.display_name;
+}
+
+const OperatorFeaturizer* Pipeline::active_featurizer() const {
+  if (masked_featurizer_ != nullptr) return masked_featurizer_.get();
+  if (snapshot_featurizer_ != nullptr) return snapshot_featurizer_.get();
+  return base_featurizer_.get();
+}
+
+std::string Pipeline::Explain() const {
+  std::ostringstream os;
+  os << "pipeline " << name() << " (estimator \"" << config_.estimator
+     << "\")\n";
+  os << "  chain: base featurizer";
+  if (snapshot_featurizer_ != nullptr) {
+    os << " -> snapshot("
+       << (config_.snapshot_from_templates ? "FST" : "FSO") << ", scale "
+       << config_.snapshot_scale << ", "
+       << (config_.snapshot_granularity == SnapshotGranularity::kOperatorTable
+               ? "per-operator-table"
+               : "per-operator")
+       << ")";
+  }
+  if (masked_featurizer_ != nullptr) {
+    os << " -> reduction mask";
+  }
+  os << "\n";
+  if (snapshot_store_ != nullptr) {
+    os << "  snapshot: " << snapshot_store_->size() << " environments from "
+       << snapshot_num_queries_ << " queries (" << snapshot_num_templates_
+       << " templates, " << FormatDouble(snapshot_collection_ms_, 1)
+       << " simulated collection ms)\n";
+  }
+  if (config_.use_reduction) {
+    os << "  reduction: removed "
+       << FormatDouble(100.0 * reduction_.ReductionRatio(), 1)
+       << "% of feature dims\n";
+  }
+  os << "  training: " << config_.train.epochs << " epochs in "
+     << FormatDouble(train_stats_.train_seconds, 2) << " s";
+  if (!train_stats_.loss_curve.empty()) {
+    os << ", final loss " << FormatDouble(train_stats_.loss_curve.back(), 5);
+  }
+  os << "\n";
+  return os.str();
+}
+
+Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
+                                 bool from_templates, int scale, uint64_t seed,
+                                 double* collection_ms) {
+  if (snapshot_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "pipeline was fitted without a snapshot store");
+  }
+  SnapshotBuilder snapshots(db_, templates_);
+  double extra_ms = 0.0;
+  size_t extra_queries = 0;
+  QCFE_RETURN_IF_ERROR(snapshots.ComputeSnapshots(
+      envs, from_templates, scale, seed, snapshot_store_.get(), &extra_ms,
+      &extra_queries, nullptr, config_.snapshot_granularity));
+  // Keep the pipeline's cost accounting (Explain, Table V style stats)
+  // covering the extended store, not just the original Fit.
+  snapshot_collection_ms_ += extra_ms;
+  snapshot_num_queries_ += extra_queries;
+  if (collection_ms != nullptr) *collection_ms += extra_ms;
+  return Status::OK();
+}
+
+Status Pipeline::Retrain(const std::vector<PlanSample>& train,
+                         const TrainConfig& config, TrainStats* stats) {
+  return model_->Train(train, config, stats);
+}
+
+}  // namespace qcfe

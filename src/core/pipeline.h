@@ -1,0 +1,149 @@
+#ifndef QCFE_CORE_PIPELINE_H_
+#define QCFE_CORE_PIPELINE_H_
+
+/// \file pipeline.h
+/// The public serving facade of QCFE. A Pipeline owns the whole feature-
+/// engineering chain (base featurizer -> optional per-environment snapshot
+/// -> optional reduction mask), the estimator behind it (any name in the
+/// EstimatorRegistry: "qppnet", "mscn", "pgsql", ...), and the snapshot
+/// store, so callers train, serve, inspect and transfer a cost model
+/// through one object:
+///
+///   auto pipeline = Pipeline::Fit(db, &envs, &templates, config, train);
+///   double ms   = *(*pipeline)->PredictMs(plan, env_id);       // one-off
+///   auto  batch = (*pipeline)->PredictBatch(samples);          // serving
+///   std::cout << (*pipeline)->Explain();                       // introspect
+///
+/// PredictBatch is the hot path: it forwards to the estimator's matrix-
+/// batched implementation, which amortises featurization and runs batched
+/// GEMMs instead of per-plan scalar loops.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_reduction.h"
+#include "core/feature_snapshot.h"
+#include "core/qcfe.h"
+#include "core/snapshot_featurizer.h"
+#include "engine/database.h"
+#include "models/cost_model.h"
+#include "models/registry.h"
+#include "sql/template.h"
+
+namespace qcfe {
+
+/// Pipeline configuration. The default is the paper's full QCFE recipe
+/// (FST snapshot + difference-propagation reduction) around QPPNet; setting
+/// use_snapshot/use_reduction to false yields the plain baselines.
+struct PipelineConfig {
+  /// EstimatorRegistry name: "qppnet", "mscn", "pgsql", or any plugin.
+  std::string estimator = "qppnet";
+
+  /// Feature snapshot (Section III). `snapshot_from_templates` selects FST
+  /// (simplified templates) over FSO (original queries); `snapshot_scale` is
+  /// the paper's template fill scale N; kOperatorTable granularity fits
+  /// extra per-(operator, table) coefficients (the paper's fine-grained
+  /// extension).
+  bool use_snapshot = true;
+  bool snapshot_from_templates = true;
+  int snapshot_scale = 2;
+  SnapshotGranularity snapshot_granularity = SnapshotGranularity::kOperator;
+
+  /// Feature reduction (Section IV).
+  bool use_reduction = true;
+  ReductionConfig reduction;
+  int pre_reduction_epochs = 12;  ///< provisional model training budget
+
+  /// Final model training.
+  TrainConfig train;
+
+  uint64_t seed = 2024;
+};
+
+/// A fitted estimation pipeline. Construct with Fit(); every owned piece
+/// (featurizers, snapshot store, model) lives exactly as long as the
+/// pipeline, so there is no lifetime choreography for callers.
+class Pipeline {
+ public:
+  /// Runs the full pipeline on a training corpus: compute snapshots, train
+  /// a provisional model, reduce features, train the final estimator. The
+  /// db/envs/templates pointers must outlive the pipeline. Analytical
+  /// estimators ("pgsql") skip snapshot and reduction.
+  static Result<std::unique_ptr<Pipeline>> Fit(
+      Database* db, const std::vector<Environment>* envs,
+      const std::vector<QueryTemplate>* templates, const PipelineConfig& config,
+      const std::vector<PlanSample>& train);
+
+  /// Predicted latency (ms) of one plan under one environment.
+  Result<double> PredictMs(const PlanNode& plan, int env_id) const;
+
+  /// Batched prediction, positionally aligned with `samples` and
+  /// bit-identical to per-plan PredictMs. This is the serving hot path.
+  Result<std::vector<double>> PredictBatch(
+      const std::vector<PlanSample>& samples) const;
+
+  /// Human-readable description of the fitted chain: estimator, snapshot
+  /// provenance and cost, reduction ratio, training stats.
+  std::string Explain() const;
+
+  /// "QCFE(qpp)", "QPPNet", "QCFE(mscn)", "MSCN", "PGSQL", ... depending on
+  /// the estimator and which QCFE stages are enabled.
+  std::string name() const;
+
+  /// Computes snapshots for additional environments (new hardware) into the
+  /// existing store: the transfer-learning entry point. Follow with
+  /// Retrain() on labels from the new environments.
+  Status ExtendSnapshots(const std::vector<Environment>& envs,
+                         bool from_templates, int scale, uint64_t seed,
+                         double* collection_ms = nullptr);
+
+  /// Continues training the fitted estimator (learned models warm-start;
+  /// this is how transfer reaches basis accuracy in a fraction of the
+  /// epochs). Does not overwrite the Fit-time train_stats().
+  Status Retrain(const std::vector<PlanSample>& train,
+                 const TrainConfig& config, TrainStats* stats);
+
+  // Introspection.
+  const CostModel& model() const { return *model_; }
+  const PipelineConfig& config() const { return config_; }
+  const EstimatorInfo& estimator_info() const { return info_; }
+  /// Featurizer the final model consumes (end of the chain).
+  const OperatorFeaturizer* active_featurizer() const;
+  const SnapshotFeaturizer* snapshot_featurizer() const {
+    return snapshot_featurizer_.get();
+  }
+  const SnapshotStore* snapshot_store() const { return snapshot_store_.get(); }
+  const ReductionResult& reduction() const { return reduction_; }
+  const TrainStats& train_stats() const { return train_stats_; }
+  const TrainStats& pre_train_stats() const { return pre_train_stats_; }
+  double snapshot_collection_ms() const { return snapshot_collection_ms_; }
+  size_t snapshot_num_queries() const { return snapshot_num_queries_; }
+  size_t snapshot_num_templates() const { return snapshot_num_templates_; }
+
+ private:
+  Pipeline() = default;
+
+  Database* db_ = nullptr;
+  const std::vector<Environment>* envs_ = nullptr;
+  const std::vector<QueryTemplate>* templates_ = nullptr;
+  PipelineConfig config_;
+  EstimatorInfo info_;
+
+  std::unique_ptr<BaseFeaturizer> base_featurizer_;
+  std::unique_ptr<SnapshotStore> snapshot_store_;
+  std::unique_ptr<SnapshotFeaturizer> snapshot_featurizer_;
+  std::unique_ptr<MaskedFeaturizer> masked_featurizer_;
+  std::unique_ptr<CostModel> model_;
+
+  double snapshot_collection_ms_ = 0.0;  ///< simulated label cost (Table V)
+  size_t snapshot_num_queries_ = 0;
+  size_t snapshot_num_templates_ = 0;
+  ReductionResult reduction_;
+  TrainStats pre_train_stats_;
+  TrainStats train_stats_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_CORE_PIPELINE_H_

@@ -3,40 +3,17 @@
 #include "sql/data_abstract.h"
 #include "sql/simplified_templates.h"
 #include "util/rng.h"
+#include "workload/collector.h"
 
 namespace qcfe {
 
-const OperatorFeaturizer* QcfeModel::active_featurizer() const {
-  if (masked_featurizer != nullptr) return masked_featurizer.get();
-  if (snapshot_featurizer != nullptr) return snapshot_featurizer.get();
-  return base_featurizer.get();
-}
-
-std::string QcfeModel::name() const {
-  bool qcfe = config.use_snapshot || config.use_reduction;
-  if (config.kind == EstimatorKind::kQppNet) {
-    return qcfe ? "QCFE(qpp)" : "QPPNet";
-  }
-  return qcfe ? "QCFE(mscn)" : "MSCN";
-}
-
-std::unique_ptr<CostModel> QcfeBuilder::MakeModel(
-    EstimatorKind kind, const OperatorFeaturizer* featurizer,
-    uint64_t seed) const {
-  if (kind == EstimatorKind::kQppNet) {
-    return std::make_unique<QppNet>(featurizer, QppNetConfig{}, seed);
-  }
-  return std::make_unique<Mscn>(db_->catalog(), featurizer, MscnConfig{},
-                                seed);
-}
-
-Status QcfeBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
-                                     bool from_templates, int scale,
-                                     uint64_t seed, SnapshotStore* store,
-                                     double* collection_ms,
-                                     size_t* num_queries,
-                                     size_t* num_templates,
-                                     SnapshotGranularity granularity) {
+Status SnapshotBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
+                                         bool from_templates, int scale,
+                                         uint64_t seed, SnapshotStore* store,
+                                         double* collection_ms,
+                                         size_t* num_queries,
+                                         size_t* num_templates,
+                                         SnapshotGranularity granularity) {
   DataAbstract abstract(db_->catalog());
   Rng rng(seed);
   std::vector<QuerySpec> specs;
@@ -64,7 +41,7 @@ Status QcfeBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
   }
   if (num_queries != nullptr) *num_queries = specs.size() * envs.size();
 
-  QueryCollector collector(db_, envs_);
+  QueryCollector collector(db_, &envs);
   for (const auto& env : envs) {
     Result<LabeledQuerySet> set = collector.RunSpecsUnderEnv(
         specs, env, seed ^ (0x9E37ULL * (static_cast<uint64_t>(env.id) + 1)));
@@ -76,53 +53,6 @@ Status QcfeBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
     store->Put(env.id, std::move(snapshot.value()));
   }
   return Status::OK();
-}
-
-Result<std::unique_ptr<QcfeModel>> QcfeBuilder::Build(
-    const QcfeConfig& config, const std::vector<PlanSample>& train) {
-  auto built = std::make_unique<QcfeModel>();
-  built->config = config;
-  built->base_featurizer = std::make_unique<BaseFeaturizer>(db_->catalog());
-  const OperatorFeaturizer* active = built->base_featurizer.get();
-
-  if (config.use_snapshot) {
-    built->snapshot_store = std::make_unique<SnapshotStore>();
-    QCFE_RETURN_IF_ERROR(ComputeSnapshots(
-        *envs_, config.snapshot_from_templates, config.snapshot_scale,
-        config.seed, built->snapshot_store.get(),
-        &built->snapshot_collection_ms, &built->snapshot_num_queries,
-        &built->snapshot_num_templates, config.snapshot_granularity));
-    built->snapshot_featurizer = std::make_unique<SnapshotFeaturizer>(
-        active, built->snapshot_store.get(),
-        config.snapshot_granularity == SnapshotGranularity::kOperatorTable);
-    active = built->snapshot_featurizer.get();
-  }
-
-  if (config.use_reduction) {
-    // Provisional model: enough training for meaningful importance scores.
-    std::unique_ptr<CostModel> provisional =
-        MakeModel(config.kind, active, config.seed + 1);
-    TrainConfig pre_cfg = config.train;
-    pre_cfg.epochs = config.pre_reduction_epochs;
-    pre_cfg.eval_every = 0;
-    QCFE_RETURN_IF_ERROR(
-        provisional->Train(train, pre_cfg, &built->pre_train_stats));
-
-    Result<ReductionResult> reduction =
-        ReduceFeatures(*provisional, train, config.reduction);
-    if (!reduction.ok()) return reduction.status();
-    built->reduction = std::move(reduction.value());
-
-    bool uniform = config.kind == EstimatorKind::kMscn;
-    built->masked_featurizer = std::make_unique<MaskedFeaturizer>(
-        active, built->reduction.KeptMap(uniform));
-    active = built->masked_featurizer.get();
-  }
-
-  built->model = MakeModel(config.kind, active, config.seed + 2);
-  QCFE_RETURN_IF_ERROR(
-      built->model->Train(train, config.train, &built->train_stats));
-  return built;
 }
 
 }  // namespace qcfe

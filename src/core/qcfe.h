@@ -2,105 +2,36 @@
 #define QCFE_CORE_QCFE_H_
 
 /// \file qcfe.h
-/// The QCFE pipeline (the paper's contribution, Figure 2a): build a feature
-/// snapshot per environment (from original queries, FSO, or from simplified
-/// templates, FST — Section III), append it to the operator features, run
-/// difference-propagation feature reduction against a provisionally trained
-/// model (Section IV), and train the final estimator on the reduced feature
-/// set. The same builder with snapshot and reduction disabled produces the
-/// plain QPPNet / MSCN baselines, so every Table IV column flows through one
-/// code path.
+/// Snapshot construction for the QCFE pipeline (the paper's Section III):
+/// build a feature snapshot per environment, either from original queries
+/// (FSO) or from simplified templates (FST, Algorithm 1). The Pipeline
+/// facade (core/pipeline.h) drives this during Fit() and when extending a
+/// trained pipeline to new hardware; tests and the transfer experiments use
+/// it directly.
 
-#include <memory>
-#include <string>
+#include <vector>
 
-#include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
-#include "core/snapshot_featurizer.h"
 #include "engine/database.h"
-#include "models/cost_model.h"
-#include "models/mscn.h"
-#include "models/qppnet.h"
 #include "sql/template.h"
-#include "workload/collector.h"
+#include "util/env_config.h"
+#include "util/status.h"
 
 namespace qcfe {
 
-/// Which learned estimator QCFE wraps.
-enum class EstimatorKind {
-  kQppNet,
-  kMscn,
-};
-
-/// Pipeline configuration.
-struct QcfeConfig {
-  EstimatorKind kind = EstimatorKind::kQppNet;
-
-  /// Feature snapshot (Section III). `snapshot_from_templates` selects FST
-  /// (simplified templates) over FSO (original queries); `snapshot_scale` is
-  /// the paper's template fill scale N; kOperatorTable granularity fits
-  /// extra per-(operator, table) coefficients (the paper's fine-grained
-  /// extension).
-  bool use_snapshot = true;
-  bool snapshot_from_templates = true;
-  int snapshot_scale = 2;
-  SnapshotGranularity snapshot_granularity = SnapshotGranularity::kOperator;
-
-  /// Feature reduction (Section IV).
-  bool use_reduction = true;
-  ReductionConfig reduction;
-  int pre_reduction_epochs = 12;  ///< provisional model training budget
-
-  /// Final model training.
-  TrainConfig train;
-
-  uint64_t seed = 2024;
-};
-
-/// A built estimator with its full feature-engineering chain (owning every
-/// piece so lifetimes are safe) plus cost accounting for the experiments.
-struct QcfeModel {
-  std::unique_ptr<BaseFeaturizer> base_featurizer;
-  std::unique_ptr<SnapshotStore> snapshot_store;
-  std::unique_ptr<SnapshotFeaturizer> snapshot_featurizer;
-  std::unique_ptr<MaskedFeaturizer> masked_featurizer;
-  std::unique_ptr<CostModel> model;
-
-  QcfeConfig config;
-  double snapshot_collection_ms = 0.0;  ///< simulated label cost (Table V)
-  size_t snapshot_num_queries = 0;
-  size_t snapshot_num_templates = 0;
-  ReductionResult reduction;
-  TrainStats pre_train_stats;
-  TrainStats train_stats;
-
-  /// Featurizer the final model consumes.
-  const OperatorFeaturizer* active_featurizer() const;
-
-  /// "QCFE(qpp)", "QPPNet", "QCFE(mscn)" or "MSCN" depending on config.
-  std::string name() const;
-
-  Result<double> PredictMs(const PlanNode& plan, int env_id) const {
-    return model->PredictMs(plan, env_id);
-  }
-};
-
-/// Builds QCFE (or baseline) estimators against one database + environment
-/// set + workload template set.
-class QcfeBuilder {
+/// Computes per-environment feature snapshots for one database + workload
+/// template set.
+class SnapshotBuilder {
  public:
-  /// All pointers must outlive the builder and the built models.
-  QcfeBuilder(Database* db, const std::vector<Environment>* envs,
-              const std::vector<QueryTemplate>* templates)
-      : db_(db), envs_(envs), templates_(templates) {}
+  /// All pointers must outlive the builder.
+  SnapshotBuilder(Database* db, const std::vector<QueryTemplate>* templates)
+      : db_(db), templates_(templates) {}
 
-  /// Runs the full pipeline on the training corpus.
-  Result<std::unique_ptr<QcfeModel>> Build(
-      const QcfeConfig& config, const std::vector<PlanSample>& train);
-
-  /// Computes per-environment snapshots into `store` for `envs` (used both
-  /// by Build and by the transfer experiment, which extends an existing
-  /// model's store with snapshots for new-hardware environments).
+  /// Computes per-environment snapshots into `store` for `envs`. FST
+  /// (`from_templates`) parses the workload templates, emits simplified
+  /// templates and fills them `scale` times; FSO instantiates the original
+  /// templates `scale` times. The out-params report the simulated label
+  /// cost and corpus size (Table V compares them).
   Status ComputeSnapshots(const std::vector<Environment>& envs,
                           bool from_templates, int scale, uint64_t seed,
                           SnapshotStore* store, double* collection_ms,
@@ -109,12 +40,7 @@ class QcfeBuilder {
                               SnapshotGranularity::kOperator);
 
  private:
-  std::unique_ptr<CostModel> MakeModel(EstimatorKind kind,
-                                       const OperatorFeaturizer* featurizer,
-                                       uint64_t seed) const;
-
   Database* db_;
-  const std::vector<Environment>* envs_;
   const std::vector<QueryTemplate>* templates_;
 };
 

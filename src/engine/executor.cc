@@ -324,9 +324,7 @@ Result<Relation> Executor::ExecAggregate(PlanNode* node) {
   if (groups.empty() && group_cols.empty() && n_aggs > 0) {
     std::vector<Value> row;
     for (size_t a = 0; a < n_aggs; ++a) {
-      row.push_back(Value(node->aggregates[a].kind == Aggregate::Kind::kCount
-                              ? 0.0
-                              : 0.0));
+      row.emplace_back(0.0);  // COUNT/SUM/... over zero rows are all 0
     }
     out.rows.push_back(std::move(row));
   } else {
@@ -351,7 +349,7 @@ Result<Relation> Executor::ExecAggregate(PlanNode* node) {
             v = g.maxs[a];
             break;
         }
-        row.push_back(Value(v));
+        row.emplace_back(v);
       }
       out.rows.push_back(std::move(row));
     }

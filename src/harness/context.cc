@@ -55,6 +55,11 @@ Result<std::unique_ptr<BenchmarkContext>> BenchmarkContext::Create(
   return ctx;
 }
 
+Result<std::unique_ptr<Pipeline>> BenchmarkContext::FitPipeline(
+    const PipelineConfig& config, const std::vector<PlanSample>& train) const {
+  return Pipeline::Fit(db.get(), &envs, &templates, config, train);
+}
+
 void BenchmarkContext::Split(size_t n, std::vector<PlanSample>* train,
                              std::vector<PlanSample>* test) const {
   n = std::min(n, corpus.queries.size());

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "engine/database.h"
 #include "models/cost_model.h"
 #include "util/env_config.h"
@@ -51,6 +51,11 @@ struct BenchmarkContext {
   /// First `n` corpus entries as PlanSamples, split 80/20.
   void Split(size_t n, std::vector<PlanSample>* train,
              std::vector<PlanSample>* test) const;
+
+  /// Fits a Pipeline against this context's database/environments/templates.
+  Result<std::unique_ptr<Pipeline>> FitPipeline(
+      const PipelineConfig& config,
+      const std::vector<PlanSample>& train) const;
 };
 
 }  // namespace qcfe

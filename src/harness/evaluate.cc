@@ -5,31 +5,41 @@ namespace qcfe {
 EvalResult EvaluateModel(const CostModel& model,
                          const std::vector<PlanSample>& test) {
   EvalResult result;
-  std::vector<double> actual, predicted;
+  std::vector<double> actual;
   actual.reserve(test.size());
-  predicted.reserve(test.size());
+  for (const auto& s : test) actual.push_back(s.label_ms);
+
+  std::vector<double> predicted;
   WallTimer timer;
-  for (const auto& s : test) {
-    Result<double> p = model.PredictMs(*s.plan, s.env_id);
-    actual.push_back(s.label_ms);
-    predicted.push_back(p.ok() ? *p : 0.0);
+  Result<std::vector<double>> batch = model.PredictBatchMs(test);
+  if (batch.ok()) {
+    predicted = std::move(batch.value());
+  } else {
+    // Whole-batch failure (e.g. an untrained model): fall back to the
+    // per-plan loop and score unpredictable samples as 0.
+    predicted.reserve(test.size());
+    for (const auto& s : test) {
+      Result<double> p = model.PredictMs(*s.plan, s.env_id);
+      predicted.push_back(p.ok() ? *p : 0.0);
+    }
   }
   result.inference_seconds = timer.Seconds();
   result.summary = Summarize(actual, predicted);
   return result;
 }
 
+EvalResult EvaluateModel(const Pipeline& pipeline,
+                         const std::vector<PlanSample>& test) {
+  return EvaluateModel(pipeline.model(), test);
+}
+
 std::vector<CellConfig> TableIvModels(const HarnessOptions& options) {
   std::vector<CellConfig> cells;
-  cells.push_back({"PGSQL", true, EstimatorKind::kQppNet, false, 0, 0});
-  cells.push_back({"QCFE(mscn)", false, EstimatorKind::kMscn, true,
-                   options.mscn_epochs, 0});
-  cells.push_back({"QCFE(qpp)", false, EstimatorKind::kQppNet, true,
-                   options.qpp_epochs, 0});
-  cells.push_back({"MSCN", false, EstimatorKind::kMscn, false,
-                   options.mscn_epochs, 0});
-  cells.push_back({"QPPNet", false, EstimatorKind::kQppNet, false,
-                   options.qpp_epochs, 0});
+  cells.push_back({"PGSQL", "pgsql", false, 0, 0});
+  cells.push_back({"QCFE(mscn)", "mscn", true, options.mscn_epochs, 0});
+  cells.push_back({"QCFE(qpp)", "qppnet", true, options.qpp_epochs, 0});
+  cells.push_back({"MSCN", "mscn", false, options.mscn_epochs, 0});
+  cells.push_back({"QPPNet", "qppnet", false, options.qpp_epochs, 0});
   return cells;
 }
 
@@ -38,18 +48,9 @@ Result<CellResult> RunCell(BenchmarkContext* ctx, const CellConfig& cell,
                            const std::vector<PlanSample>& test) {
   CellResult result;
   result.model_name = cell.display_name;
-  if (cell.is_pg) {
-    PgCostModel pg;
-    TrainStats stats;
-    QCFE_RETURN_IF_ERROR(pg.Train(train, TrainConfig{}, &stats));
-    result.eval = EvaluateModel(pg, test);
-    result.train_seconds = stats.train_seconds;
-    return result;
-  }
 
-  QcfeBuilder builder(ctx->db.get(), &ctx->envs, &ctx->templates);
-  QcfeConfig cfg;
-  cfg.kind = cell.kind;
+  PipelineConfig cfg;
+  cfg.estimator = cell.estimator;
   cfg.use_snapshot = cell.qcfe;
   cfg.use_reduction = cell.qcfe;
   cfg.snapshot_from_templates = true;  // FST: the paper's efficient default
@@ -58,15 +59,17 @@ Result<CellResult> RunCell(BenchmarkContext* ctx, const CellConfig& cell,
   cfg.train.epochs = cell.epochs;
   cfg.train.eval_every = cell.eval_every;
   if (cell.eval_every > 0) cfg.train.eval_set = test;
-  cfg.seed = ctx->options.seed * 97 + static_cast<uint64_t>(cell.kind) * 7 +
-             (cell.qcfe ? 3 : 0);
+  // Seed layout matches the pre-registry enum encoding (qppnet 0, mscn 1)
+  // so cells reproduce the same models as earlier revisions.
+  uint64_t kind_offset = cell.estimator == "mscn" ? 7 : 0;
+  cfg.seed = ctx->options.seed * 97 + kind_offset + (cell.qcfe ? 3 : 0);
 
-  Result<std::unique_ptr<QcfeModel>> built = builder.Build(cfg, train);
-  if (!built.ok()) return built.status();
-  result.built = std::move(built.value());
-  result.eval = EvaluateModel(*result.built->model, test);
-  result.train_seconds = result.built->train_stats.train_seconds;
-  result.train_stats = result.built->train_stats;
+  Result<std::unique_ptr<Pipeline>> pipeline = ctx->FitPipeline(cfg, train);
+  if (!pipeline.ok()) return pipeline.status();
+  result.pipeline = std::move(pipeline.value());
+  result.eval = EvaluateModel(*result.pipeline, test);
+  result.train_seconds = result.pipeline->train_stats().train_seconds;
+  result.train_stats = result.pipeline->train_stats();
   return result;
 }
 

@@ -3,14 +3,16 @@
 
 /// \file evaluate.h
 /// Model evaluation + the Table IV "cell" runner shared by several benches:
-/// one (benchmark, model, scale) cell = train the estimator, evaluate
-/// pearson / mean q-error / quantiles, and time training and inference.
+/// one (benchmark, model, scale) cell = fit a Pipeline for the named
+/// estimator, evaluate pearson / mean q-error / quantiles, and time
+/// training and (batched) inference.
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "harness/context.h"
-#include "models/pg_cost_model.h"
 #include "util/stats.h"
 
 namespace qcfe {
@@ -21,16 +23,23 @@ struct EvalResult {
   double inference_seconds = 0.0;
 };
 
-/// Predicts every sample and summarises; times the prediction loop.
+/// Predicts every sample through the batched serving path and summarises;
+/// times the prediction call. Falls back to the per-plan loop (scoring
+/// failed samples as 0) if the batch as a whole fails.
 EvalResult EvaluateModel(const CostModel& model,
                          const std::vector<PlanSample>& test);
 
-/// Which estimator variant a Table IV row uses.
+/// Same, through a pipeline facade.
+EvalResult EvaluateModel(const Pipeline& pipeline,
+                         const std::vector<PlanSample>& test);
+
+/// Which estimator variant a Table IV row uses. `estimator` is an
+/// EstimatorRegistry name; rows for estimators that are not registered fail
+/// at RunCell time with NotFound.
 struct CellConfig {
   std::string display_name;  ///< "PGSQL", "MSCN", "QCFE(qpp)", ...
-  bool is_pg = false;
-  EstimatorKind kind = EstimatorKind::kQppNet;
-  bool qcfe = false;  ///< snapshot + reduction on
+  std::string estimator;     ///< registry name: "pgsql", "mscn", "qppnet"
+  bool qcfe = false;         ///< snapshot + reduction on
   int epochs = 15;
   int eval_every = 0;  ///< forward to TrainConfig for convergence traces
 };
@@ -40,9 +49,9 @@ struct CellResult {
   std::string model_name;
   EvalResult eval;
   double train_seconds = 0.0;
-  /// The built pipeline (null for PGSQL); kept alive so benches can inspect
-  /// reduction results and reuse models.
-  std::unique_ptr<QcfeModel> built;
+  /// The fitted pipeline; kept alive so benches can inspect reduction
+  /// results and reuse models.
+  std::unique_ptr<Pipeline> pipeline;
   TrainStats train_stats;
 };
 

@@ -1,0 +1,44 @@
+#include "models/cost_model.h"
+
+#include <map>
+#include <utility>
+
+namespace qcfe {
+
+BatchRequestDedup::BatchRequestDedup(const std::vector<PlanSample>& batch) {
+  std::map<std::pair<const PlanNode*, int>, size_t> seen;
+  slot.reserve(batch.size());
+  for (const PlanSample& s : batch) {
+    auto [it, inserted] =
+        seen.emplace(std::make_pair(s.plan, s.env_id), unique.size());
+    if (inserted) unique.push_back(s);
+    slot.push_back(it->second);
+  }
+}
+
+std::vector<double> BatchRequestDedup::Expand(
+    const std::vector<double>& unique_results) const {
+  std::vector<double> out;
+  out.reserve(slot.size());
+  for (size_t s : slot) out.push_back(unique_results[s]);
+  return out;
+}
+
+Result<std::vector<double>> CostModel::PredictBatchMs(
+    const std::vector<PlanSample>& batch) const {
+  std::vector<double> out;
+  out.reserve(batch.size());
+  for (const PlanSample& s : batch) {
+    if (s.plan == nullptr) {
+      return Status::InvalidArgument("null plan in prediction batch");
+    }
+    Result<double> p = PredictMs(*s.plan, s.env_id);
+    if (!p.ok()) return p.status();
+    out.push_back(*p);
+  }
+  return out;
+}
+
+double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }
+
+}  // namespace qcfe

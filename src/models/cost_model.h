@@ -63,6 +63,14 @@ class CostModel {
   /// Predicted total latency (ms) for a plan under an environment.
   virtual Result<double> PredictMs(const PlanNode& plan, int env_id) const = 0;
 
+  /// Predicted latency for a whole batch of plans: the serving hot path.
+  /// Results are positionally aligned with `batch` and bit-identical to
+  /// calling PredictMs per sample; implementations override this to amortise
+  /// featurization and run matrix-batched forward passes instead of per-plan
+  /// scalar loops. The default falls back to the per-plan loop.
+  virtual Result<std::vector<double>> PredictBatchMs(
+      const std::vector<PlanSample>& batch) const;
+
   /// The featurizer backing this model (nullptr for analytical models).
   virtual const OperatorFeaturizer* featurizer() const { return nullptr; }
 
@@ -85,6 +93,23 @@ class CostModel {
 /// Subtree latency of a node: the per-operator training signal used by
 /// plan-structured models (sum of actual_ms in the subtree).
 double SubtreeLatencyMs(const PlanNode& node);
+
+/// Request-level deduplication for batched serving. Production estimation
+/// traffic is highly repetitive — templated workloads, knob sweeps and plan
+/// enumeration all resubmit the same (plan, environment) pairs — and a
+/// deterministic model maps identical requests to identical predictions, so
+/// a batch only needs one forward pass per distinct request. `unique` holds
+/// the distinct samples in first-appearance order and `slot[i]` maps batch
+/// position i to its index in `unique`.
+struct BatchRequestDedup {
+  explicit BatchRequestDedup(const std::vector<PlanSample>& batch);
+
+  /// Expands per-unique results back to batch order.
+  std::vector<double> Expand(const std::vector<double>& unique_results) const;
+
+  std::vector<PlanSample> unique;
+  std::vector<size_t> slot;
+};
 
 }  // namespace qcfe
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "models/registry.h"
 #include "util/env_config.h"
 #include "util/stats.h"
 
@@ -214,13 +215,19 @@ Matrix Mscn::Forward(const Packed& packed) {
 
 Matrix Mscn::PredictPacked(const Packed& packed) const {
   size_t h = config_.set_hidden;
-  Matrix hj = join_net_->Predict(packed.joins);
-  Matrix hp = pred_net_->Predict(packed.preds);
-  Matrix ho = op_net_->Predict(packed.ops);
-  Matrix pj = SegmentMean(hj, packed.join_offsets, h);
-  Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
-  Matrix po = SegmentMean(ho, packed.op_offsets, h);
-  return final_net_->Predict(ConcatCols(pj, pp, po));
+  // One scratch serves all four nets sequentially: each module's rows are
+  // pooled into a fresh matrix before the next module reuses the buffers.
+  // This keeps large batched activations out of the allocator (big blocks
+  // would be mmap'd and faulted in on every call).
+  Mlp::Scratch scratch;
+  Matrix pj = SegmentMean(join_net_->Predict(packed.joins, &scratch),
+                          packed.join_offsets, h);
+  Matrix pp = SegmentMean(pred_net_->Predict(packed.preds, &scratch),
+                          packed.pred_offsets, h);
+  Matrix po = SegmentMean(op_net_->Predict(packed.ops, &scratch),
+                          packed.op_offsets, h);
+  Matrix out = final_net_->Predict(ConcatCols(pj, pp, po), &scratch);
+  return out;
 }
 
 void Mscn::Backward(const Packed& packed, const Matrix& grad_out) {
@@ -345,6 +352,38 @@ Result<double> Mscn::PredictMs(const PlanNode& plan, int env_id) const {
       label_scaler_.ClampTransformed(out.At(0, 0)));
 }
 
+Result<std::vector<double>> Mscn::PredictBatchMs(
+    const std::vector<PlanSample>& batch) const {
+  if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
+  if (batch.empty()) return std::vector<double>{};
+  // Deduplicate repeated (plan, environment) requests, then encode each
+  // distinct query once.
+  BatchRequestDedup dedup(batch);
+  const std::vector<PlanSample>& requests = dedup.unique;
+  std::vector<EncodedQuery> encoded;
+  encoded.reserve(requests.size());
+  for (const auto& s : requests) {
+    if (s.plan == nullptr) {
+      return Status::InvalidArgument("null plan in prediction batch");
+    }
+    encoded.push_back(EncodeQuery(*s.plan, s.env_id, /*scale=*/true));
+  }
+  std::vector<const EncodedQuery*> refs;
+  refs.reserve(encoded.size());
+  for (const auto& q : encoded) refs.push_back(&q);
+  // One pack + one forward per set module for all distinct queries;
+  // SegmentMean keeps per-query pooling identical to the single-query path.
+  Packed packed = Pack(refs);
+  Matrix out = PredictPacked(packed);
+  std::vector<double> result;
+  result.reserve(requests.size());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    result.push_back(label_scaler_.InverseTransformOne(
+        label_scaler_.ClampTransformed(out.At(r, 0))));
+  }
+  return dedup.Expand(result);
+}
+
 Result<Mlp> Mscn::OperatorView(OpType /*op*/,
                                const std::vector<PlanSample>& context) const {
   if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
@@ -395,5 +434,18 @@ Result<Mlp> Mscn::OperatorView(OpType /*op*/,
   }
   return view;
 }
+
+namespace {
+const EstimatorRegistration kMscnRegistration{
+    {"mscn", "MSCN", "mscn", /*learned=*/true, /*uniform_feature_width=*/true},
+    [](const EstimatorContext& context) -> Result<std::unique_ptr<CostModel>> {
+      if (context.catalog == nullptr || context.featurizer == nullptr) {
+        return Status::InvalidArgument(
+            "mscn requires a catalog and a featurizer");
+      }
+      return std::unique_ptr<CostModel>(std::make_unique<Mscn>(
+          context.catalog, context.featurizer, MscnConfig{}, context.seed));
+    }};
+}  // namespace
 
 }  // namespace qcfe

@@ -39,6 +39,12 @@ class Mscn : public CostModel {
   Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
                TrainStats* stats) override;
   Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
+  /// Batched inference: every query in the batch is packed into one element
+  /// matrix per set module, so each module runs a single matrix-batched
+  /// forward over all elements of all queries instead of one tiny forward
+  /// per query.
+  Result<std::vector<double>> PredictBatchMs(
+      const std::vector<PlanSample>& batch) const override;
   const OperatorFeaturizer* featurizer() const override { return featurizer_; }
   const LogTargetScaler* label_scaler() const override { return &label_scaler_; }
   Result<Mlp> OperatorView(

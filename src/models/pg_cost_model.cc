@@ -1,8 +1,8 @@
 #include "models/pg_cost_model.h"
 
-namespace qcfe {
+#include "models/registry.h"
 
-double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }
+namespace qcfe {
 
 Status PgCostModel::Train(const std::vector<PlanSample>& /*train*/,
                           const TrainConfig& /*config*/, TrainStats* stats) {
@@ -18,5 +18,15 @@ Result<double> PgCostModel::PredictMs(const PlanNode& plan,
                                       int /*env_id*/) const {
   return plan.est_cost * ms_per_cost_unit_;
 }
+
+namespace {
+const EstimatorRegistration kPgsqlRegistration{
+    {"pgsql", "PGSQL", "pgsql", /*learned=*/false,
+     /*uniform_feature_width=*/false},
+    [](const EstimatorContext& /*context*/)
+        -> Result<std::unique_ptr<CostModel>> {
+      return std::unique_ptr<CostModel>(std::make_unique<PgCostModel>());
+    }};
+}  // namespace
 
 }  // namespace qcfe

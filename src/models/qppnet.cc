@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "models/registry.h"
 #include "util/env_config.h"
 #include "util/stats.h"
 
@@ -61,7 +62,8 @@ void QppNet::FitScalers(const std::vector<PlanSample>& train) {
 }
 
 QppNet::EncodedPlan QppNet::EncodePlan(const PlanNode& plan, int env_id,
-                                       bool scale_features) const {
+                                       bool scale_features,
+                                       bool with_labels) const {
   EncodedPlan encoded;
   std::function<size_t(const PlanNode&, size_t)> walk =
       [&](const PlanNode& n, size_t depth) -> size_t {
@@ -69,14 +71,21 @@ QppNet::EncodedPlan QppNet::EncodePlan(const PlanNode& plan, int env_id,
     encoded.nodes.emplace_back();
     encoded.nodes[index].op = n.op;
     encoded.nodes[index].label_scaled =
-        label_scaler_.fitted() ? label_scaler_.TransformOne(SubtreeLatencyMs(n))
-                               : 0.0;
+        with_labels && label_scaler_.fitted()
+            ? label_scaler_.TransformOne(SubtreeLatencyMs(n))
+            : 0.0;
     std::vector<double> feats = featurizer_->Encode(n, depth, env_id);
     if (scale_features) {
-      size_t oi = static_cast<size_t>(n.op);
-      Matrix row(1, feats.size());
-      row.SetRow(0, feats);
-      feats = feature_scalers_[oi].Transform(row).Row(0);
+      // Inline standardisation: identical arithmetic to
+      // StandardScaler::Transform, without the per-node matrix round-trip.
+      const StandardScaler& sc = feature_scalers_[static_cast<size_t>(n.op)];
+      if (sc.fitted()) {
+        const std::vector<double>& mean = sc.mean();
+        const std::vector<double>& std = sc.stddev();
+        for (size_t i = 0; i < feats.size(); ++i) {
+          feats[i] = (feats[i] - mean[i]) / std[i];
+        }
+      }
     }
     encoded.nodes[index].feats = std::move(feats);
     for (const auto& c : n.children) {
@@ -222,6 +231,104 @@ Result<double> QppNet::PredictMs(const PlanNode& plan, int env_id) const {
       label_scaler_.ClampTransformed(outs[0].At(0, 0)));
 }
 
+Result<std::vector<double>> QppNet::PredictBatchMs(
+    const std::vector<PlanSample>& batch) const {
+  if (!scalers_fitted_) {
+    return Status::FailedPrecondition("QPPNet is untrained");
+  }
+  if (batch.empty()) return std::vector<double>{};
+  const size_t d = config_.data_vector_dim;
+
+  // Deduplicate repeated (plan, environment) requests, then featurize each
+  // distinct plan once through the lean serving encode.
+  BatchRequestDedup dedup(batch);
+  const std::vector<PlanSample>& requests = dedup.unique;
+  std::vector<EncodedPlan> encoded;
+  encoded.reserve(requests.size());
+  for (const auto& s : requests) {
+    if (s.plan == nullptr) {
+      return Status::InvalidArgument("null plan in prediction batch");
+    }
+    encoded.push_back(EncodePlan(*s.plan, s.env_id, /*scale_features=*/true,
+                                 /*with_labels=*/false));
+  }
+
+  // Schedule nodes into waves: wave w holds nodes whose children all sit in
+  // earlier waves. Children have larger pre-order indices, so one reverse
+  // sweep per plan computes every wave number.
+  size_t max_wave = 0;
+  std::vector<std::vector<size_t>> wave(encoded.size());
+  for (size_t p = 0; p < encoded.size(); ++p) {
+    const auto& nodes = encoded[p].nodes;
+    wave[p].assign(nodes.size(), 0);
+    for (size_t ii = nodes.size(); ii > 0; --ii) {
+      size_t i = ii - 1;
+      size_t w = 0;
+      for (size_t c : nodes[i].children) w = std::max(w, wave[p][c] + 1);
+      wave[p][i] = w;
+      max_wave = std::max(max_wave, w);
+    }
+  }
+
+  // Per-plan node outputs, one d-wide row per node.
+  std::vector<Matrix> outputs;
+  outputs.reserve(encoded.size());
+  for (const auto& plan : encoded) outputs.emplace_back(plan.nodes.size(), d);
+
+  // One matrix-batched unit forward per (wave, operator type): every plan in
+  // the batch contributes its wave-w nodes of that type as rows.
+  struct NodeRef {
+    size_t plan;
+    size_t node;
+  };
+  std::array<std::vector<NodeRef>, kNumOpTypes> buckets;
+  Mlp::Scratch scratch;
+  Matrix x;
+  for (size_t w = 0; w <= max_wave; ++w) {
+    for (auto& bucket : buckets) bucket.clear();
+    for (size_t p = 0; p < encoded.size(); ++p) {
+      for (size_t i = 0; i < encoded[p].nodes.size(); ++i) {
+        if (wave[p][i] == w) {
+          buckets[static_cast<size_t>(encoded[p].nodes[i].op)].push_back(
+              {p, i});
+        }
+      }
+    }
+    for (OpType op : AllOpTypes()) {
+      const auto& bucket = buckets[static_cast<size_t>(op)];
+      if (bucket.empty()) continue;
+      size_t feat_dim = featurizer_->dim(op);
+      x.ResetShape(bucket.size(), feat_dim + config_.max_children * d);
+      for (size_t r = 0; r < bucket.size(); ++r) {
+        const EncodedNode& node =
+            encoded[bucket[r].plan].nodes[bucket[r].node];
+        double* row = x.RowPtr(r);
+        for (size_t i = 0; i < node.feats.size(); ++i) row[i] = node.feats[i];
+        const Matrix& plan_outputs = outputs[bucket[r].plan];
+        for (size_t c = 0;
+             c < node.children.size() && c < config_.max_children; ++c) {
+          const double* child = plan_outputs.RowPtr(node.children[c]);
+          for (size_t k = 0; k < d; ++k) row[feat_dim + c * d + k] = child[k];
+        }
+      }
+      const Matrix& y = units_[static_cast<size_t>(op)]->Predict(x, &scratch);
+      for (size_t r = 0; r < bucket.size(); ++r) {
+        double* dst = outputs[bucket[r].plan].RowPtr(bucket[r].node);
+        const double* src = y.RowPtr(r);
+        for (size_t k = 0; k < d; ++k) dst[k] = src[k];
+      }
+    }
+  }
+
+  std::vector<double> result;
+  result.reserve(requests.size());
+  for (const Matrix& plan_outputs : outputs) {
+    result.push_back(label_scaler_.InverseTransformOne(
+        label_scaler_.ClampTransformed(plan_outputs.At(0, 0))));
+  }
+  return dedup.Expand(result);
+}
+
 Result<Mlp> QppNet::OperatorView(
     OpType op, const std::vector<PlanSample>& context) const {
   if (!scalers_fitted_) {
@@ -277,5 +384,18 @@ Result<Mlp> QppNet::OperatorView(
   view.AppendLayer(std::move(select));
   return view;
 }
+
+namespace {
+const EstimatorRegistration kQppNetRegistration{
+    {"qppnet", "QPPNet", "qpp", /*learned=*/true,
+     /*uniform_feature_width=*/false},
+    [](const EstimatorContext& context) -> Result<std::unique_ptr<CostModel>> {
+      if (context.featurizer == nullptr) {
+        return Status::InvalidArgument("qppnet requires a featurizer");
+      }
+      return std::unique_ptr<CostModel>(std::make_unique<QppNet>(
+          context.featurizer, QppNetConfig{}, context.seed));
+    }};
+}  // namespace
 
 }  // namespace qcfe

@@ -38,6 +38,12 @@ class QppNet : public CostModel {
   Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
                TrainStats* stats) override;
   Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
+  /// Wave-batched inference: featurizes every plan once, then schedules
+  /// nodes bottom-up into "waves" whose children are already computed, so
+  /// each (wave, operator type) runs one matrix-batched unit forward over
+  /// the whole batch instead of a 1-row forward per node.
+  Result<std::vector<double>> PredictBatchMs(
+      const std::vector<PlanSample>& batch) const override;
   const OperatorFeaturizer* featurizer() const override { return featurizer_; }
   const LogTargetScaler* label_scaler() const override { return &label_scaler_; }
   Result<Mlp> OperatorView(
@@ -57,8 +63,10 @@ class QppNet : public CostModel {
     std::vector<EncodedNode> nodes;  ///< pre-order; root at 0
   };
 
-  EncodedPlan EncodePlan(const PlanNode& plan, int env_id,
-                         bool scale_features) const;
+  /// `with_labels=false` is the serving path: it skips the per-node
+  /// subtree-latency/label transforms that only training needs.
+  EncodedPlan EncodePlan(const PlanNode& plan, int env_id, bool scale_features,
+                         bool with_labels = true) const;
 
   /// Forward all nodes of one plan; returns per-node outputs (1 x d rows).
   void ForwardPlan(const EncodedPlan& plan,

@@ -26,6 +26,11 @@ Matrix LinearLayer::ForwardConst(const Matrix& input) const {
   return out;
 }
 
+void LinearLayer::ForwardConstInto(const Matrix& input, Matrix* output) const {
+  Matrix::MatMulInto(input, w_, output);
+  output->AddRowBroadcast(b_);
+}
+
 Matrix LinearLayer::Backward(const Matrix& grad_output) {
   // dW += X^T * dY ; db += colsum(dY) ; dX = dY * W^T
   dw_.Add(Matrix::MatMulAT(cached_input_, grad_output));
@@ -47,6 +52,15 @@ Matrix ReluLayer::ForwardConst(const Matrix& input) const {
   Matrix out = input;
   for (double& x : out.data()) x = x > 0.0 ? x : 0.0;
   return out;
+}
+
+void ReluLayer::ForwardConstInto(const Matrix& input, Matrix* output) const {
+  output->ResetShape(input.rows(), input.cols());
+  const double* src = input.data().data();
+  double* dst = output->data().data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    dst[i] = src[i] > 0.0 ? src[i] : 0.0;
+  }
 }
 
 Matrix ReluLayer::Backward(const Matrix& grad_output) {

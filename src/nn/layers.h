@@ -41,6 +41,14 @@ class Layer {
   /// other Forward calls); used for inference and diff-prop replays.
   virtual Matrix ForwardConst(const Matrix& input) const = 0;
 
+  /// Allocation-free variant of ForwardConst for the batched serving path:
+  /// writes the result into `output` (reshaped as needed, reusing its
+  /// buffer). Numerically identical to ForwardConst. `output` must not alias
+  /// `input`.
+  virtual void ForwardConstInto(const Matrix& input, Matrix* output) const {
+    *output = ForwardConst(input);
+  }
+
   /// Given dL/d(output), accumulates parameter gradients (if any) and returns
   /// dL/d(input). Must be called after Forward() on the same batch.
   virtual Matrix Backward(const Matrix& grad_output) = 0;
@@ -62,6 +70,7 @@ class LinearLayer : public Layer {
   LayerKind kind() const override { return LayerKind::kLinear; }
   Matrix Forward(const Matrix& input) override;
   Matrix ForwardConst(const Matrix& input) const override;
+  void ForwardConstInto(const Matrix& input, Matrix* output) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Matrix*> Params() override { return {&w_, &b_}; }
   std::vector<Matrix*> Grads() override { return {&dw_, &db_}; }
@@ -89,6 +98,7 @@ class ReluLayer : public Layer {
   LayerKind kind() const override { return LayerKind::kRelu; }
   Matrix Forward(const Matrix& input) override;
   Matrix ForwardConst(const Matrix& input) const override;
+  void ForwardConstInto(const Matrix& input, Matrix* output) const override;
   Matrix Backward(const Matrix& grad_output) override;
 
  private:

@@ -45,21 +45,41 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
   return out;
 }
 
+void Matrix::ResetShape(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < a.rows(); ++i) {
+  assert(out != &a && out != &b);
+  out->ResetShape(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t kk = a.cols();
+  const size_t n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // b, and the zero-skip makes the cost proportional to the non-zeros of
+  // each input row — plan feature vectors are ~90% zeros, so this beats
+  // dense register-tiled kernels on real workloads. Each output element
+  // accumulates its k-terms in ascending k order, so results are identical
+  // at any batch size.
+  for (size_t i = 0; i < m; ++i) {
     const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
+    double* __restrict orow = out->RowPtr(i);
+    for (size_t k = 0; k < kk; ++k) {
       double av = arow[k];
       if (av == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+      const double* __restrict brow = b.RowPtr(k);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
-  return out;
 }
 
 Matrix Matrix::MatMulBT(const Matrix& a, const Matrix& b) {

@@ -62,8 +62,17 @@ class Matrix {
   /// Returns a new matrix restricted to the given columns (in order).
   Matrix SelectCols(const std::vector<size_t>& indices) const;
 
+  /// Reshapes to rows x cols and zeroes every entry (contents are not
+  /// preserved). Keeps the existing allocation when the new size fits.
+  void ResetShape(size_t rows, size_t cols);
+
   /// Matrix product: (m x k) * (k x n) -> (m x n).
   static Matrix MatMul(const Matrix& a, const Matrix& b);
+
+  /// out = a * b without allocating when `out` already has capacity; the
+  /// arithmetic is element-for-element identical to MatMul. `out` must not
+  /// alias `a` or `b`.
+  static void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
   /// a * b^T without materialising the transpose: (m x k) * (n x k) -> (m x n).
   static Matrix MatMulBT(const Matrix& a, const Matrix& b);

@@ -47,6 +47,21 @@ Matrix Mlp::Predict(const Matrix& input) const {
   return x;
 }
 
+const Matrix& Mlp::Predict(const Matrix& input, Scratch* scratch) const {
+  if (layers_.empty()) {
+    scratch->ping = input;
+    return scratch->ping;
+  }
+  const Matrix* src = &input;
+  Matrix* dst = &scratch->ping;
+  for (const auto& layer : layers_) {
+    layer->ForwardConstInto(*src, dst);
+    src = dst;
+    dst = (dst == &scratch->ping) ? &scratch->pong : &scratch->ping;
+  }
+  return *src;
+}
+
 Matrix Mlp::ForwardCollect(const Matrix& input,
                            std::vector<Matrix>* activations) const {
   activations->clear();

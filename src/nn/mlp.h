@@ -43,6 +43,20 @@ class Mlp {
   /// Inference-only forward (no caches touched).
   Matrix Predict(const Matrix& input) const;
 
+  /// Reusable ping-pong buffers for allocation-free batched inference. One
+  /// scratch may be shared across any number of Predict calls (and across
+  /// different Mlps), as long as the previous result has been consumed.
+  struct Scratch {
+    Matrix ping, pong;
+  };
+
+  /// Matrix-batched inference forward for the serving hot path: rows are
+  /// samples, layer outputs are written through the caller-owned scratch so
+  /// steady-state prediction does not allocate. The returned reference
+  /// points into `scratch` and is invalidated by the next call. Numerically
+  /// identical to Predict() row for row.
+  const Matrix& Predict(const Matrix& input, Scratch* scratch) const;
+
   /// Forward pass that records the input to every layer plus the final
   /// output: activations[0] = input, activations[i] = input of layer i,
   /// activations[num_layers] = output. Used by difference propagation.

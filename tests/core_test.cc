@@ -9,9 +9,11 @@
 
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
+#include "core/pipeline.h"
 #include "core/qcfe.h"
 #include "core/snapshot_featurizer.h"
 #include "engine/cost_simulator.h"
+#include "models/qppnet.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workload/benchmark.h"
@@ -353,26 +355,28 @@ TEST(QcfeTest, FullPipelineBuildsAndPredicts) {
     test.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
 
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.snapshot_from_templates = true;
   cfg.snapshot_scale = 1;
   cfg.pre_reduction_epochs = 12;
   cfg.train.epochs = 40;
-  auto built = builder.Build(cfg, train);
+  auto built = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
-  QcfeModel& m = **built;
+  Pipeline& m = **built;
 
   EXPECT_EQ(m.name(), "QCFE(qpp)");
-  EXPECT_EQ(m.snapshot_store->size(), envs.size());
-  EXPECT_GT(m.snapshot_collection_ms, 0.0);
-  EXPECT_GT(m.snapshot_num_queries, 0u);
-  EXPECT_GT(m.reduction.ReductionRatio(), 0.0);
+  EXPECT_EQ(m.snapshot_store()->size(), envs.size());
+  EXPECT_GT(m.snapshot_collection_ms(), 0.0);
+  EXPECT_GT(m.snapshot_num_queries(), 0u);
+  EXPECT_GT(m.reduction().ReductionRatio(), 0.0);
   // Index scans are the workhorse operator of sysbench: its featurizer
   // width must have shrunk relative to the snapshot-augmented width.
-  size_t snap_dim = m.snapshot_featurizer->dim(OpType::kIndexScan);
+  size_t snap_dim = m.snapshot_featurizer()->dim(OpType::kIndexScan);
   EXPECT_LT(m.active_featurizer()->dim(OpType::kIndexScan), snap_dim);
+  // Explain() reports the whole fitted chain.
+  EXPECT_NE(m.Explain().find("QCFE(qpp)"), std::string::npos);
+  EXPECT_NE(m.Explain().find("snapshot"), std::string::npos);
 
   std::vector<double> actual, predicted;
   for (const auto& s : test) {
@@ -398,18 +402,19 @@ TEST(QcfeTest, BaselineConfigYieldsPlainModelNames) {
   for (const auto& q : corpus->queries) {
     train.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kMscn;
+  PipelineConfig cfg;
+  cfg.estimator = "mscn";
   cfg.use_snapshot = false;
   cfg.use_reduction = false;
   cfg.train.epochs = 10;
-  auto built = builder.Build(cfg, train);
+  auto built = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   EXPECT_EQ((*built)->name(), "MSCN");
-  EXPECT_EQ((*built)->snapshot_store, nullptr);
-  EXPECT_EQ((*built)->masked_featurizer, nullptr);
-  EXPECT_EQ((*built)->active_featurizer(), (*built)->base_featurizer.get());
+  EXPECT_EQ((*built)->snapshot_store(), nullptr);
+  EXPECT_EQ((*built)->snapshot_featurizer(), nullptr);
+  // With snapshot and reduction off, the model consumes the base encoding.
+  EXPECT_NE((*built)->active_featurizer(), nullptr);
+  EXPECT_EQ((*built)->active_featurizer(), (*built)->model().featurizer());
 }
 
 TEST(QcfeTest, FstCollectionIsCheaperThanFso) {
@@ -417,7 +422,7 @@ TEST(QcfeTest, FstCollectionIsCheaperThanFso) {
   auto db = (*bench)->BuildDatabase(0.05, 83);
   auto envs = EnvironmentSampler::Sample(2, HardwareProfile::H1(), 89);
   auto templates = (*bench)->Templates();
-  QcfeBuilder builder(db.get(), &envs, &templates);
+  SnapshotBuilder builder(db.get(), &templates);
 
   SnapshotStore fso_store, fst_store;
   double fso_ms = 0.0, fst_ms = 0.0;
@@ -447,7 +452,7 @@ TEST(QcfeTest, SnapshotStoreExtensionForNewHardware) {
   auto db = (*bench)->BuildDatabase(0.03, 97);
   auto envs = EnvironmentSampler::Sample(2, HardwareProfile::H1(), 101);
   auto templates = (*bench)->Templates();
-  QcfeBuilder builder(db.get(), &envs, &templates);
+  SnapshotBuilder builder(db.get(), &templates);
 
   SnapshotStore store;
   double ms = 0.0;

@@ -9,8 +9,10 @@
 
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
+#include "core/pipeline.h"
 #include "core/qcfe.h"
 #include "core/snapshot_featurizer.h"
+#include "models/qppnet.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workload/benchmark.h"
@@ -167,7 +169,7 @@ TEST(FineGrainedSnapshotTest, FeaturizerUsesPerTableCoefficients) {
   auto db = (*bench)->BuildDatabase(0.04, 43);
   auto envs = EnvironmentSampler::Sample(2, HardwareProfile::H1(), 47);
   auto templates = (*bench)->Templates();
-  QcfeBuilder builder(db.get(), &envs, &templates);
+  SnapshotBuilder builder(db.get(), &templates);
 
   SnapshotStore store;
   ASSERT_TRUE(builder
@@ -219,13 +221,12 @@ TEST(FineGrainedSnapshotTest, QcfePipelineAcceptsGranularity) {
   for (const auto& q : corpus->queries) {
     train.push_back({q.plan.get(), q.env_id, q.total_ms});
   }
-  QcfeBuilder builder(db.get(), &envs, &templates);
-  QcfeConfig cfg;
-  cfg.kind = EstimatorKind::kQppNet;
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
   cfg.snapshot_granularity = SnapshotGranularity::kOperatorTable;
   cfg.use_reduction = false;
   cfg.train.epochs = 6;
-  auto built = builder.Build(cfg, train);
+  auto built = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   auto p = (*built)->PredictMs(*train[0].plan, train[0].env_id);
   EXPECT_TRUE(p.ok());

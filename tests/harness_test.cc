@@ -53,11 +53,17 @@ TEST(HarnessTest, TableIvModelListMatchesPaperRows) {
   auto cells = TableIvModels(opt);
   ASSERT_EQ(cells.size(), 5u);
   EXPECT_EQ(cells[0].display_name, "PGSQL");
-  EXPECT_TRUE(cells[0].is_pg);
+  EXPECT_EQ(cells[0].estimator, "pgsql");
+  EXPECT_FALSE(cells[0].qcfe);
   EXPECT_EQ(cells[1].display_name, "QCFE(mscn)");
+  EXPECT_EQ(cells[1].estimator, "mscn");
+  EXPECT_TRUE(cells[1].qcfe);
   EXPECT_EQ(cells[2].display_name, "QCFE(qpp)");
+  EXPECT_EQ(cells[2].estimator, "qppnet");
   EXPECT_EQ(cells[3].display_name, "MSCN");
+  EXPECT_FALSE(cells[3].qcfe);
   EXPECT_EQ(cells[4].display_name, "QPPNet");
+  EXPECT_EQ(cells[4].estimator, "qppnet");
 }
 
 TEST(HarnessTest, RunCellPgAndLearned) {
@@ -68,17 +74,18 @@ TEST(HarnessTest, RunCellPgAndLearned) {
   std::vector<PlanSample> train, test;
   (*ctx)->Split(200, &train, &test);
 
-  CellConfig pg{"PGSQL", true, EstimatorKind::kQppNet, false, 0, 0};
+  CellConfig pg{"PGSQL", "pgsql", false, 0, 0};
   auto pg_res = RunCell(ctx->get(), pg, train, test);
   ASSERT_TRUE(pg_res.ok());
-  EXPECT_EQ(pg_res->built, nullptr);
+  ASSERT_NE(pg_res->pipeline, nullptr);
+  EXPECT_EQ(pg_res->pipeline->name(), "PGSQL");
   EXPECT_GT(pg_res->eval.summary.mean_qerror, 1.0);
 
-  CellConfig qcfe{"QCFE(qpp)", false, EstimatorKind::kQppNet, true, 10, 0};
+  CellConfig qcfe{"QCFE(qpp)", "qppnet", true, 10, 0};
   auto qcfe_res = RunCell(ctx->get(), qcfe, train, test);
   ASSERT_TRUE(qcfe_res.ok()) << qcfe_res.status().ToString();
-  ASSERT_NE(qcfe_res->built, nullptr);
-  EXPECT_EQ(qcfe_res->built->name(), "QCFE(qpp)");
+  ASSERT_NE(qcfe_res->pipeline, nullptr);
+  EXPECT_EQ(qcfe_res->pipeline->name(), "QCFE(qpp)");
   EXPECT_GT(qcfe_res->train_seconds, 0.0);
   EXPECT_GT(qcfe_res->eval.inference_seconds, 0.0);
   // The learned model beats the uncalibrated analytical baseline.
@@ -93,8 +100,9 @@ TEST(HarnessTest, EvaluateModelCountsAllSamples) {
   ASSERT_TRUE(ctx.ok());
   std::vector<PlanSample> train, test;
   (*ctx)->Split(120, &train, &test);
-  PgCostModel pg;
-  EvalResult eval = EvaluateModel(pg, test);
+  auto pg = EstimatorRegistry::Global().Create("pgsql", {});
+  ASSERT_TRUE(pg.ok());
+  EvalResult eval = EvaluateModel(**pg, test);
   EXPECT_EQ(eval.summary.count, test.size());
 }
 

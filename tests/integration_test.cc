@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/qcfe.h"
+#include "core/pipeline.h"
 #include "harness/evaluate.h"
 #include "sql/data_abstract.h"
 #include "util/rng.h"
@@ -79,12 +79,11 @@ TEST_P(QcfePipelineSweep, QcfeBeatsAnalyticalBaselineEverywhere) {
   std::vector<PlanSample> train, test;
   (*ctx)->Split(300, &train, &test);
 
-  CellConfig pg{"PGSQL", true, EstimatorKind::kQppNet, false, 0, 0};
+  CellConfig pg{"PGSQL", "pgsql", false, 0, 0};
   auto pg_res = RunCell(ctx->get(), pg, train, test);
   ASSERT_TRUE(pg_res.ok());
 
-  CellConfig qcfe{"QCFE(qpp)", false, EstimatorKind::kQppNet, true,
-                  opt.qpp_epochs, 0};
+  CellConfig qcfe{"QCFE(qpp)", "qppnet", true, opt.qpp_epochs, 0};
   auto qcfe_res = RunCell(ctx->get(), qcfe, train, test);
   ASSERT_TRUE(qcfe_res.ok()) << qcfe_res.status().ToString();
 
@@ -96,9 +95,9 @@ TEST_P(QcfePipelineSweep, QcfeBeatsAnalyticalBaselineEverywhere) {
   // corpus is benchmark-dependent (job-light is the noisiest, cf. Table IV).
   EXPECT_GT(qcfe_res->eval.summary.pearson, 0.25) << GetParam();
   // The pipeline actually engaged both components.
-  ASSERT_NE(qcfe_res->built, nullptr);
-  EXPECT_GT(qcfe_res->built->snapshot_store->size(), 0u);
-  EXPECT_GT(qcfe_res->built->reduction.ReductionRatio(), 0.0);
+  ASSERT_NE(qcfe_res->pipeline, nullptr);
+  EXPECT_GT(qcfe_res->pipeline->snapshot_store()->size(), 0u);
+  EXPECT_GT(qcfe_res->pipeline->reduction().ReductionRatio(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, QcfePipelineSweep,
@@ -138,14 +137,21 @@ TEST(FailureInjectionTest, GracefulErrorsAcrossTheApi) {
 
   // Models refuse empty training sets and predict-before-train.
   BaseFeaturizer featurizer(db->catalog());
-  QppNet qpp(&featurizer, QppNetConfig{}, 1);
-  EXPECT_FALSE(qpp.Train({}, TrainConfig{}, nullptr).ok());
-  Mscn mscn(db->catalog(), &featurizer, MscnConfig{}, 1);
-  EXPECT_FALSE(mscn.Train({}, TrainConfig{}, nullptr).ok());
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  auto qpp = registry.Create("qppnet", {db->catalog(), &featurizer, 1});
+  ASSERT_TRUE(qpp.ok());
+  EXPECT_FALSE((*qpp)->Train({}, TrainConfig{}, nullptr).ok());
+  auto mscn = registry.Create("mscn", {db->catalog(), &featurizer, 1});
+  ASSERT_TRUE(mscn.ok());
+  EXPECT_FALSE((*mscn)->Train({}, TrainConfig{}, nullptr).ok());
+
+  // Unknown estimator names fail loudly, in the registry and the pipeline.
+  EXPECT_FALSE(registry.Create("no_such_model", {}).ok());
 
   // Reduction requires a trained model with a featurizer.
-  PgCostModel pg;
-  EXPECT_FALSE(ReduceFeatures(pg, {}, ReductionConfig{}).ok());
+  auto pg = registry.Create("pgsql", {});
+  ASSERT_TRUE(pg.ok());
+  EXPECT_FALSE(ReduceFeatures(**pg, {}, ReductionConfig{}).ok());
 }
 
 TEST(DeterminismTest, EndToEndPipelineIsReproducible) {
@@ -160,11 +166,10 @@ TEST(DeterminismTest, EndToEndPipelineIsReproducible) {
     for (const auto& q : corpus->queries) {
       train.push_back({q.plan.get(), q.env_id, q.total_ms});
     }
-    QcfeBuilder builder(db.get(), &envs, &templates);
-    QcfeConfig cfg;
+    PipelineConfig cfg;
     cfg.train.epochs = 5;
     cfg.seed = seed + 3;
-    auto built = builder.Build(cfg, train);
+    auto built = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
     return *(*built)->PredictMs(*train[0].plan, train[0].env_id);
   };
   EXPECT_DOUBLE_EQ(run_once(77), run_once(77));

@@ -1,0 +1,276 @@
+/// Tests for the serving API: the EstimatorRegistry (round-trip, traits,
+/// error paths), the Pipeline facade (fit / predict / explain / transfer),
+/// and the batched inference path — whose results must be bit-identical to
+/// the per-plan scalar path at every level (Mlp, estimator, facade).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "harness/context.h"
+#include "models/registry.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace qcfe {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+    opt.corpus_size = 240;
+    opt.num_envs = 3;
+    auto ctx = BenchmarkContext::Create(opt);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = ctx.value().release();
+    ctx_->Split(240, &train_, &test_);
+  }
+
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+
+  static BenchmarkContext* ctx_;
+  static std::vector<PlanSample> train_, test_;
+};
+
+BenchmarkContext* PipelineTest::ctx_ = nullptr;
+std::vector<PlanSample> PipelineTest::train_;
+std::vector<PlanSample> PipelineTest::test_;
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(PipelineTest, RegistryContainsBuiltinEstimators) {
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  for (const char* name : {"qppnet", "mscn", "pgsql"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  std::vector<std::string> names = registry.Names();
+  EXPECT_GE(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(PipelineTest, RegistryRoundTrip) {
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  BaseFeaturizer featurizer(ctx_->db->catalog());
+  EstimatorContext context{ctx_->db->catalog(), &featurizer, 1};
+  for (const char* name : {"qppnet", "mscn", "pgsql"}) {
+    auto model = registry.Create(name, context);
+    ASSERT_TRUE(model.ok()) << name << ": " << model.status().ToString();
+    auto info = registry.Info(name);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ((*model)->name(), info->display_name) << name;
+  }
+  // Traits drive pipeline behaviour: MSCN needs uniform masks, PGSQL is
+  // analytical.
+  EXPECT_FALSE(registry.Info("qppnet")->uniform_feature_width);
+  EXPECT_TRUE(registry.Info("mscn")->uniform_feature_width);
+  EXPECT_TRUE(registry.Info("qppnet")->learned);
+  EXPECT_FALSE(registry.Info("pgsql")->learned);
+}
+
+TEST_F(PipelineTest, RegistryUnknownNameFails) {
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  auto model = registry.Create("no_such_estimator", {});
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+  // The error names the registered estimators so typos are debuggable.
+  EXPECT_NE(model.status().message().find("qppnet"), std::string::npos);
+  EXPECT_FALSE(registry.Info("no_such_estimator").ok());
+
+  PipelineConfig cfg;
+  cfg.estimator = "no_such_estimator";
+  EXPECT_FALSE(ctx_->FitPipeline(cfg, train_).ok());
+}
+
+TEST_F(PipelineTest, RegistryRejectsBadRegistrations) {
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  auto factory =
+      [](const EstimatorContext&) -> Result<std::unique_ptr<CostModel>> {
+    return Status::Internal("unused");
+  };
+  EXPECT_FALSE(registry.Register({"", "X", "x", true, false}, factory).ok());
+  EXPECT_FALSE(
+      registry.Register({"qppnet", "Dup", "dup", true, false}, factory)
+          .ok());  // first registration wins
+  EXPECT_FALSE(
+      registry.Register({"null_factory", "N", "n", true, false}, nullptr)
+          .ok());
+}
+
+TEST_F(PipelineTest, RegistryFactoriesValidateContext) {
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  // Learned estimators need a featurizer (and MSCN a catalog); pgsql doesn't.
+  EXPECT_FALSE(registry.Create("qppnet", {}).ok());
+  EXPECT_FALSE(
+      registry.Create("mscn", {ctx_->db->catalog(), nullptr, 1}).ok());
+  EXPECT_TRUE(registry.Create("pgsql", {}).ok());
+}
+
+// ------------------------------------------------------------ batch parity
+
+TEST_F(PipelineTest, QppNetBatchMatchesScalarBitForBit) {
+  BaseFeaturizer featurizer(ctx_->db->catalog());
+  auto model = EstimatorRegistry::Global().Create(
+      "qppnet", {ctx_->db->catalog(), &featurizer, 11});
+  ASSERT_TRUE(model.ok());
+  TrainConfig tc;
+  tc.epochs = 6;
+  ASSERT_TRUE((*model)->Train(train_, tc, nullptr).ok());
+
+  auto batch = (*model)->PredictBatchMs(test_);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), test_.size());
+  for (size_t i = 0; i < test_.size(); ++i) {
+    auto scalar = (*model)->PredictMs(*test_[i].plan, test_[i].env_id);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ((*batch)[i], *scalar) << "sample " << i;  // bit-identical
+  }
+}
+
+TEST_F(PipelineTest, MscnBatchMatchesScalarBitForBit) {
+  BaseFeaturizer featurizer(ctx_->db->catalog());
+  auto model = EstimatorRegistry::Global().Create(
+      "mscn", {ctx_->db->catalog(), &featurizer, 13});
+  ASSERT_TRUE(model.ok());
+  TrainConfig tc;
+  tc.epochs = 6;
+  ASSERT_TRUE((*model)->Train(train_, tc, nullptr).ok());
+
+  auto batch = (*model)->PredictBatchMs(test_);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), test_.size());
+  for (size_t i = 0; i < test_.size(); ++i) {
+    auto scalar = (*model)->PredictMs(*test_[i].plan, test_[i].env_id);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ((*batch)[i], *scalar) << "sample " << i;  // bit-identical
+  }
+}
+
+TEST_F(PipelineTest, BatchEdgeCases) {
+  BaseFeaturizer featurizer(ctx_->db->catalog());
+  auto model = EstimatorRegistry::Global().Create(
+      "qppnet", {ctx_->db->catalog(), &featurizer, 17});
+  ASSERT_TRUE(model.ok());
+  // Untrained models refuse batches like they refuse single plans.
+  EXPECT_FALSE((*model)->PredictBatchMs(test_).ok());
+  TrainConfig tc;
+  tc.epochs = 2;
+  ASSERT_TRUE((*model)->Train(train_, tc, nullptr).ok());
+  // Empty batches are fine.
+  auto empty = (*model)->PredictBatchMs({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  // Null plans are rejected, not dereferenced.
+  std::vector<PlanSample> bad = {{nullptr, 0, 0.0}};
+  EXPECT_FALSE((*model)->PredictBatchMs(bad).ok());
+}
+
+TEST_F(PipelineTest, MlpScratchPredictMatchesAllocatingPredict) {
+  Rng rng(3);
+  Mlp mlp({6, 16, 16, 1}, Activation::kRelu, &rng);
+  Matrix x(32, 6);
+  x.RandomizeGaussian(&rng, 1.0);
+  Matrix expected = mlp.Predict(x);
+  Mlp::Scratch scratch;
+  const Matrix& got = mlp.Predict(x, &scratch);
+  ASSERT_EQ(got.rows(), expected.rows());
+  ASSERT_EQ(got.cols(), expected.cols());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got.data()[i], expected.data()[i]);
+  }
+  // Scratch is reusable across calls.
+  const Matrix& again = mlp.Predict(x, &scratch);
+  EXPECT_EQ(again.At(0, 0), expected.At(0, 0));
+}
+
+// ------------------------------------------------------------------ facade
+
+TEST_F(PipelineTest, FitPredictExplainEndToEnd) {
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.snapshot_scale = 1;
+  cfg.pre_reduction_epochs = 6;
+  cfg.train.epochs = 10;
+  cfg.seed = 29;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ((*pipeline)->name(), "QCFE(qpp)");
+
+  // Scalar and batched serving agree bit for bit through the facade.
+  auto batch = (*pipeline)->PredictBatch(test_);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), test_.size());
+  for (size_t i = 0; i < test_.size(); ++i) {
+    auto scalar = (*pipeline)->PredictMs(*test_[i].plan, test_[i].env_id);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ((*batch)[i], *scalar);
+  }
+
+  std::string explain = (*pipeline)->Explain();
+  EXPECT_NE(explain.find("QCFE(qpp)"), std::string::npos);
+  EXPECT_NE(explain.find("snapshot"), std::string::npos);
+  EXPECT_NE(explain.find("reduction"), std::string::npos);
+}
+
+TEST_F(PipelineTest, AnalyticalEstimatorSkipsQcfeStages) {
+  PipelineConfig cfg;
+  cfg.estimator = "pgsql";
+  cfg.use_snapshot = true;   // ignored: nothing to snapshot
+  cfg.use_reduction = true;  // ignored: no operator view
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ((*pipeline)->name(), "PGSQL");
+  EXPECT_EQ((*pipeline)->snapshot_store(), nullptr);
+  auto p = (*pipeline)->PredictMs(*test_[0].plan, test_[0].env_id);
+  EXPECT_TRUE(p.ok());
+}
+
+TEST_F(PipelineTest, ExtendSnapshotsAndRetrain) {
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.snapshot_scale = 1;
+  cfg.use_reduction = false;
+  cfg.train.epochs = 4;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  size_t before = (*pipeline)->snapshot_store()->size();
+
+  std::vector<Environment> h2 =
+      EnvironmentSampler::Sample(2, HardwareProfile::H2(), 31);
+  for (auto& e : h2) e.id += 100;
+  double collect_ms = 0.0;
+  ASSERT_TRUE((*pipeline)
+                  ->ExtendSnapshots(h2, /*from_templates=*/true, 1, 37,
+                                    &collect_ms)
+                  .ok());
+  EXPECT_EQ((*pipeline)->snapshot_store()->size(), before + 2);
+  EXPECT_GT(collect_ms, 0.0);
+
+  TrainConfig retrain;
+  retrain.epochs = 2;
+  TrainStats stats;
+  ASSERT_TRUE((*pipeline)->Retrain(train_, retrain, &stats).ok());
+  EXPECT_EQ(stats.loss_curve.size(), 2u);
+}
+
+TEST_F(PipelineTest, PipelineWithoutSnapshotRefusesExtension) {
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.use_snapshot = false;
+  cfg.use_reduction = false;
+  cfg.train.epochs = 2;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok());
+  std::vector<Environment> h2 =
+      EnvironmentSampler::Sample(1, HardwareProfile::H2(), 41);
+  EXPECT_FALSE((*pipeline)->ExtendSnapshots(h2, true, 1, 43).ok());
+}
+
+}  // namespace
+}  // namespace qcfe
