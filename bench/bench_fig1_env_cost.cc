@@ -16,9 +16,11 @@
 namespace qcfe {
 namespace {
 
-void RunBenchmark(const std::string& name, size_t num_queries) {
+void RunBenchmark(const std::string& name, size_t num_queries,
+                  int num_threads) {
   HarnessOptions opt = OptionsFor(name, GetRunScale());
   opt.num_envs = 5;  // Figure 1 uses five configurations
+  opt.num_threads = num_threads;
   Result<std::unique_ptr<BenchmarkWorkload>> bench = MakeBenchmark(name);
   auto db = (*bench)->BuildDatabase(opt.scale_factor, opt.seed);
   auto envs = EnvironmentSampler::Sample(5, HardwareProfile::H1(),
@@ -38,16 +40,28 @@ void RunBenchmark(const std::string& name, size_t num_queries) {
     specs.push_back(std::move(spec.value()));
   }
 
+  // Price the whole (environment, query) grid through the parallel
+  // collection path; with --threads=1 this is the plain serial sweep.
+  // Deliberately fail-fast: a spec that cannot execute would skew the
+  // per-environment means, and workload_test guarantees every template
+  // instantiation runs, so an error here is a bug worth surfacing.
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(opt.num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(opt.num_threads);
+  }
+  QueryCollector collector(db.get(), &envs);
+  auto sets = collector.RunSpecsGrid(specs, envs, opt.seed + 99, pool.get());
+  if (!sets.ok()) {
+    std::cerr << sets.status().ToString() << "\n";
+    return;
+  }
+
   TablePrinter tp({"environment", "knobs", "avg cost (ms)"});
   std::vector<double> means;
-  for (const auto& env : envs) {
-    Rng noise(opt.seed + 99);
+  for (size_t e = 0; e < envs.size(); ++e) {
+    const Environment& env = envs[e];
     std::vector<double> costs;
-    for (const auto& spec : specs) {
-      auto run = db->Run(spec, env, &noise);
-      if (!run.ok()) continue;
-      costs.push_back(run->total_ms);
-    }
+    for (const auto& q : (*sets)[e].queries) costs.push_back(q.total_ms);
     means.push_back(Mean(costs));
     std::string knobs = env.knobs.ToString();
     tp.AddRow({"env" + std::to_string(env.id), knobs.substr(0, 64),
@@ -68,9 +82,10 @@ void RunBenchmark(const std::string& name, size_t num_queries) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
   size_t n = qcfe::ScaledCount(1000, 4, 200);
-  qcfe::RunBenchmark("tpch", n);
-  qcfe::RunBenchmark("sysbench", n);
+  qcfe::RunBenchmark("tpch", n, threads);
+  qcfe::RunBenchmark("sysbench", n, threads);
   return 0;
 }

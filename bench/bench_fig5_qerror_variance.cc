@@ -12,8 +12,9 @@
 namespace qcfe {
 namespace {
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   // The box plot needs the scale sweep but not the PGSQL row.
   std::vector<size_t> scales = GetRunScale() == RunScale::kFull
                                    ? opt.scales
@@ -54,10 +55,11 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
   int rc = 0;
   for (const auto& bench : qcfe::AllBenchmarkNames()) {
-    rc |= qcfe::RunBenchmark(bench);
+    rc |= qcfe::RunBenchmark(bench, threads);
   }
   return rc;
 }

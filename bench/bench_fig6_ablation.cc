@@ -20,8 +20,9 @@ struct Variant {
   ReductionAlgorithm algo = ReductionAlgorithm::kDiffProp;
 };
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   size_t scale = GetRunScale() == RunScale::kFull ? 4000 : 400;
   auto ctx = BenchmarkContext::Create(opt);
   if (!ctx.ok()) {
@@ -81,10 +82,11 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
   int rc = 0;
   for (const auto& bench : qcfe::AllBenchmarkNames()) {
-    rc |= qcfe::RunBenchmark(bench);
+    rc |= qcfe::RunBenchmark(bench, threads);
   }
   return rc;
 }

@@ -13,8 +13,9 @@
 namespace qcfe {
 namespace {
 
-int Run() {
+int Run(int num_threads) {
   HarnessOptions opt = OptionsFor("tpch", GetRunScale());
+  opt.num_threads = num_threads;
   size_t scale = GetRunScale() == RunScale::kFull ? 4000 : 400;
   auto ctx = BenchmarkContext::Create(opt);
   if (!ctx.ok()) {
@@ -91,4 +92,6 @@ int Run() {
 }  // namespace
 }  // namespace qcfe
 
-int main() { return qcfe::Run(); }
+int main(int argc, char** argv) {
+  return qcfe::Run(qcfe::ThreadsFromArgs(argc, argv));
+}

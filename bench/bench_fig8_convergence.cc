@@ -13,8 +13,9 @@
 namespace qcfe {
 namespace {
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   size_t basis_scale = GetRunScale() == RunScale::kFull ? 10000 : 800;
   size_t h2_size = GetRunScale() == RunScale::kFull ? 2500 : 320;
   int epochs = std::max(12, opt.qpp_epochs);
@@ -134,10 +135,11 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
-  int rc = qcfe::RunBenchmark("tpch");
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
+  int rc = qcfe::RunBenchmark("tpch", threads);
   if (qcfe::GetRunScale() == qcfe::RunScale::kFull) {
-    rc |= qcfe::RunBenchmark("joblight");
+    rc |= qcfe::RunBenchmark("joblight", threads);
   }
   return rc;
 }

@@ -2,10 +2,20 @@
 /// B+-tree operations, query planning/execution, model inference, snapshot
 /// fitting and difference-propagation reduction. These back the inference
 /// time columns of Table IV and the runtime column of Table VI.
+///
+/// The *Threads benchmarks sweep the thread-pool parallelism layer
+/// (Pipeline::Fit wall-time and batched serving throughput at 1/2/4/8
+/// workers); their best observed timings are additionally written to
+/// BENCH_parallel.json (machine-readable) when the run includes them, e.g.
+///   bench_micro --benchmark_filter=Threads
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
@@ -14,6 +24,7 @@
 #include "models/registry.h"
 #include "nn/matrix.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 namespace {
@@ -235,6 +246,132 @@ void BM_MscnPredictBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_MscnPredictBatch)->Arg(1)->Arg(32)->Arg(256);
 
+// ----------------------------------------------------- thread-pool sweeps
+
+/// Collects the best observed timings of the *Threads benchmarks; the
+/// custom main() below dumps them as BENCH_parallel.json after the run.
+struct ParallelBenchRecorder {
+  static ParallelBenchRecorder& Get() {
+    static ParallelBenchRecorder recorder;
+    return recorder;
+  }
+
+  void RecordFit(int threads, double seconds) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = fit_seconds.emplace(threads, seconds);
+    if (!inserted && seconds < it->second) it->second = seconds;
+  }
+
+  void RecordServe(const std::string& model, int threads, size_t batch,
+                   double plans_per_sec) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, threads);
+    auto [it, inserted] = serve.emplace(key, plans_per_sec);
+    if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
+    serve_batch = batch;
+  }
+
+  bool empty() {
+    std::lock_guard<std::mutex> lock(mu);
+    return fit_seconds.empty() && serve.empty();
+  }
+
+  /// Minimal hand-rolled JSON: {"fit": [...], "predict_batch": [...]}.
+  void WriteJson(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::ofstream os(path);
+    os << "{\n  \"fit\": [";
+    double serial = fit_seconds.count(1) ? fit_seconds.at(1) : 0.0;
+    bool first = true;
+    for (const auto& [threads, seconds] : fit_seconds) {
+      os << (first ? "" : ",") << "\n    {\"threads\": " << threads
+         << ", \"seconds\": " << seconds << ", \"speedup\": "
+         << (seconds > 0.0 && serial > 0.0 ? serial / seconds : 0.0) << "}";
+      first = false;
+    }
+    os << "\n  ],\n  \"predict_batch\": [";
+    first = true;
+    for (const auto& [key, pps] : serve) {
+      os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
+         << "\", \"threads\": " << key.second
+         << ", \"batch\": " << serve_batch
+         << ", \"plans_per_sec\": " << pps << "}";
+      first = false;
+    }
+    os << "\n  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
+  std::mutex mu;
+  std::map<int, double> fit_seconds;
+  std::map<std::pair<std::string, int>, double> serve;
+  size_t serve_batch = 0;
+};
+
+/// Full QCFE pipeline fit (snapshot + reduction + training) at a given
+/// worker count. All thread counts produce bit-identical pipelines, so the
+/// sweep isolates pure wall-clock scaling.
+void BM_PipelineFitThreads(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  int threads = static_cast<int>(state.range(0));
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.train.epochs = 6;
+  cfg.pre_reduction_epochs = 4;
+  cfg.parallelism.num_threads = threads;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto pipeline = f.ctx->FitPipeline(cfg, f.train);
+    double seconds = timer.Seconds();
+    benchmark::DoNotOptimize(pipeline.ok());
+    ParallelBenchRecorder::Get().RecordFit(threads, seconds);
+  }
+}
+BENCHMARK(BM_PipelineFitThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+template <const char* kModel>
+void BM_PredictBatchThreads(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const CostModel* model =
+      std::string(kModel) == "qppnet" ? f.qpp.get() : f.mscn.get();
+  std::vector<PlanSample> batch = f.BatchOf(256);
+  for (auto _ : state) {
+    WallTimer timer;
+    auto p = model->PredictBatchMs(batch, pool.get());
+    double seconds = timer.Seconds();
+    benchmark::DoNotOptimize(p.ok());
+    if (seconds > 0.0) {
+      ParallelBenchRecorder::Get().RecordServe(
+          kModel, threads, batch.size(),
+          static_cast<double>(batch.size()) / seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+constexpr char kQppName[] = "qppnet";
+constexpr char kMscnName[] = "mscn";
+BENCHMARK_TEMPLATE(BM_PredictBatchThreads, kQppName)
+    ->Name("BM_QppNetPredictBatchThreads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK_TEMPLATE(BM_PredictBatchThreads, kMscnName)
+    ->Name("BM_MscnPredictBatchThreads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 void BM_SnapshotFit(benchmark::State& state) {
   Rng rng(7);
   std::vector<OperatorObservation> obs;
@@ -268,4 +405,14 @@ BENCHMARK(BM_DiffPropReduction)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace qcfe
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN plus a post-run dump of the thread-sweep results: any run
+/// that included the *Threads benchmarks leaves BENCH_parallel.json behind.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  auto& recorder = qcfe::ParallelBenchRecorder::Get();
+  if (!recorder.empty()) recorder.WriteJson("BENCH_parallel.json");
+  return 0;
+}

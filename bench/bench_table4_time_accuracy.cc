@@ -33,8 +33,9 @@ void PrintPaperReference(const std::string& bench) {
   }
 }
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   auto ctx = BenchmarkContext::Create(opt);
   if (!ctx.ok()) {
     std::cerr << ctx.status().ToString() << "\n";
@@ -71,10 +72,11 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
   int rc = 0;
   for (const auto& bench : qcfe::AllBenchmarkNames()) {
-    rc |= qcfe::RunBenchmark(bench);
+    rc |= qcfe::RunBenchmark(bench, threads);
   }
   return rc;
 }

@@ -13,8 +13,9 @@
 namespace qcfe {
 namespace {
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   size_t scale = GetRunScale() == RunScale::kFull ? 4000 : 600;
   auto ctx = BenchmarkContext::Create(opt);
   if (!ctx.ok()) {
@@ -79,8 +80,9 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
-  int rc = qcfe::RunBenchmark("tpch");
-  rc |= qcfe::RunBenchmark("joblight");
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
+  int rc = qcfe::RunBenchmark("tpch", threads);
+  rc |= qcfe::RunBenchmark("joblight", threads);
   return rc;
 }

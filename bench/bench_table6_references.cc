@@ -12,8 +12,9 @@
 namespace qcfe {
 namespace {
 
-int Run() {
+int Run(int num_threads) {
   HarnessOptions opt = OptionsFor("tpch", GetRunScale());
+  opt.num_threads = num_threads;
   size_t scale = GetRunScale() == RunScale::kFull ? 2000 : 600;
   auto ctx = BenchmarkContext::Create(opt);
   if (!ctx.ok()) {
@@ -94,4 +95,6 @@ int Run() {
 }  // namespace
 }  // namespace qcfe
 
-int main() { return qcfe::Run(); }
+int main(int argc, char** argv) {
+  return qcfe::Run(qcfe::ThreadsFromArgs(argc, argv));
+}

@@ -13,8 +13,9 @@
 namespace qcfe {
 namespace {
 
-int RunBenchmark(const std::string& bench_name) {
+int RunBenchmark(const std::string& bench_name, int num_threads) {
   HarnessOptions opt = OptionsFor(bench_name, GetRunScale());
+  opt.num_threads = num_threads;
   size_t basis_scale = GetRunScale() == RunScale::kFull ? 10000 : 1000;
   size_t h2_train_size = GetRunScale() == RunScale::kFull ? 2000 : 400;
   size_t h2_test_size = GetRunScale() == RunScale::kFull ? 500 : 100;
@@ -128,8 +129,9 @@ int RunBenchmark(const std::string& bench_name) {
 }  // namespace
 }  // namespace qcfe
 
-int main() {
-  int rc = qcfe::RunBenchmark("tpch");
-  rc |= qcfe::RunBenchmark("joblight");
+int main(int argc, char** argv) {
+  int threads = qcfe::ThreadsFromArgs(argc, argv);
+  int rc = qcfe::RunBenchmark("tpch", threads);
+  rc |= qcfe::RunBenchmark("joblight", threads);
   return rc;
 }

@@ -62,22 +62,39 @@ struct OpDataset {
   std::vector<double> y_ms;  // subtree latencies (ms)
 };
 
-/// Gathers D per operator type from the plan samples.
+/// Gathers D per operator type from the plan samples. Encoding runs across
+/// the pool (one task per plan, concatenated in sample order) and each
+/// operator type subsamples from its own Split stream, so the gathered
+/// datasets are identical at any thread count.
 std::array<OpDataset, kNumOpTypes> GatherOperatorData(
     const OperatorFeaturizer& featurizer,
     const std::vector<PlanSample>& samples, size_t max_rows_per_op,
-    Rng* rng) {
+    const Rng& rng, ThreadPool* pool) {
+  struct SampleRows {
+    std::array<std::vector<std::vector<double>>, kNumOpTypes> rows;
+    std::array<std::vector<double>, kNumOpTypes> labels;
+  };
+  std::vector<SampleRows> per_sample =
+      ParallelMap<SampleRows>(pool, samples.size(), [&](size_t si) {
+        const PlanSample& s = samples[si];
+        SampleRows out;
+        std::function<void(const PlanNode&, size_t)> walk =
+            [&](const PlanNode& n, size_t depth) {
+              size_t oi = static_cast<size_t>(n.op);
+              out.rows[oi].push_back(featurizer.Encode(n, depth, s.env_id));
+              out.labels[oi].push_back(SubtreeLatencyMs(n));
+              for (const auto& c : n.children) walk(*c, depth + 1);
+            };
+        walk(*s.plan, 0);
+        return out;
+      });
   std::array<std::vector<std::vector<double>>, kNumOpTypes> rows;
   std::array<std::vector<double>, kNumOpTypes> labels;
-  for (const auto& s : samples) {
-    std::function<void(const PlanNode&, size_t)> walk = [&](const PlanNode& n,
-                                                            size_t depth) {
-      size_t oi = static_cast<size_t>(n.op);
-      rows[oi].push_back(featurizer.Encode(n, depth, s.env_id));
-      labels[oi].push_back(SubtreeLatencyMs(n));
-      for (const auto& c : n.children) walk(*c, depth + 1);
-    };
-    walk(*s.plan, 0);
+  for (auto& sample : per_sample) {
+    for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
+      for (auto& r : sample.rows[oi]) rows[oi].push_back(std::move(r));
+      for (double l : sample.labels[oi]) labels[oi].push_back(l);
+    }
   }
   std::array<OpDataset, kNumOpTypes> out;
   for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
@@ -85,7 +102,8 @@ std::array<OpDataset, kNumOpTypes> GatherOperatorData(
     if (n == 0) continue;
     std::vector<size_t> pick;
     if (n > max_rows_per_op) {
-      pick = rng->SampleIndices(n, max_rows_per_op);
+      Rng op_rng = rng.Split(oi);
+      pick = op_rng.SampleIndices(n, max_rows_per_op);
     } else {
       pick.resize(n);
       for (size_t i = 0; i < n; ++i) pick[i] = i;
@@ -105,7 +123,8 @@ std::array<OpDataset, kNumOpTypes> GatherOperatorData(
 /// dim does not differ. Division by |D||R| (not by the count of non-zero
 /// pairs) means never-varying dims score exactly 0.
 std::vector<double> DiffPropScores(Mlp* view, const OpDataset& data,
-                                   size_t num_references, Rng* rng) {
+                                   size_t num_references, Rng* rng,
+                                   ThreadPool* pool) {
   size_t dim = data.x.cols();
   size_t n = data.x.rows();
   std::vector<double> scores(dim, 0.0);
@@ -114,18 +133,29 @@ std::vector<double> DiffPropScores(Mlp* view, const OpDataset& data,
 
   Matrix y_all = view->Predict(data.x);  // n x 1
   double total_pairs = static_cast<double>(n) * static_cast<double>(n_refs);
-  for (size_t j : ref_idx) {
-    const double* xj = data.x.RowPtr(j);
-    double yj = y_all.At(j, 0);
-    for (size_t i = 0; i < n; ++i) {
-      const double* xi = data.x.RowPtr(i);
-      double dy = y_all.At(i, 0) - yj;
-      for (size_t k = 0; k < dim; ++k) {
-        double dx = xi[k] - xj[k];
-        if (std::fabs(dx) < 1e-12) continue;
-        scores[k] += std::fabs(dy / dx);
-      }
-    }
+  // One partial score vector per reference, summed in reference order: a
+  // fixed-shape reduction whose result is independent of how references are
+  // assigned to workers. Never-varying dims stay exactly zero (all partials
+  // zero), preserving the paper's "score > 0" keep rule.
+  std::vector<std::vector<double>> partial =
+      ParallelMap<std::vector<double>>(pool, n_refs, [&](size_t jj) {
+        size_t j = ref_idx[jj];
+        std::vector<double> p(dim, 0.0);
+        const double* xj = data.x.RowPtr(j);
+        double yj = y_all.At(j, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const double* xi = data.x.RowPtr(i);
+          double dy = y_all.At(i, 0) - yj;
+          for (size_t k = 0; k < dim; ++k) {
+            double dx = xi[k] - xj[k];
+            if (std::fabs(dx) < 1e-12) continue;
+            p[k] += std::fabs(dy / dx);
+          }
+        }
+        return p;
+      });
+  for (const auto& p : partial) {
+    for (size_t k = 0; k < dim; ++k) scores[k] += p[k];
   }
   for (double& s : scores) s /= total_pairs;
   return scores;
@@ -144,14 +174,15 @@ std::vector<double> GradientScores(Mlp* view, const OpDataset& data) {
   return scores;
 }
 
-/// Mean q-error of the view on (x, y_ms) with columns in `masked` replaced
-/// by their column means.
+/// Mean q-error of the view on (x, y_ms) with columns in `masked` — plus
+/// the optional `extra` candidate column — replaced by their column means.
+/// `masked` is read-only, so concurrent candidate evaluations can share it.
 double MaskedQError(Mlp* view, const LogTargetScaler& scaler,
                     const OpDataset& data, const std::vector<double>& col_mean,
-                    const std::vector<bool>& masked) {
+                    const std::vector<bool>& masked, ptrdiff_t extra = -1) {
   Matrix x = data.x;
   for (size_t c = 0; c < x.cols(); ++c) {
-    if (!masked[c]) continue;
+    if (!masked[c] && static_cast<ptrdiff_t>(c) != extra) continue;
     for (size_t r = 0; r < x.rows(); ++r) x.At(r, c) = col_mean[c];
   }
   Matrix y = view->Predict(x);
@@ -163,10 +194,14 @@ double MaskedQError(Mlp* view, const LogTargetScaler& scaler,
   return Mean(qe);
 }
 
-/// Paper Algorithm 2: greedy mean-mask dropping.
+/// Paper Algorithm 2: greedy mean-mask dropping. Each round's candidate
+/// evaluations are independent (masked is shared read-only; the candidate
+/// column is passed separately), so they fan out across the pool; the
+/// argmin scans candidate order, reproducing the serial first-minimum
+/// tie-break exactly.
 std::vector<size_t> GreedyKept(Mlp* view, const LogTargetScaler& scaler,
                                const OpDataset& full, size_t max_rows,
-                               Rng* rng) {
+                               Rng* rng, ThreadPool* pool) {
   OpDataset data;
   if (full.x.rows() > max_rows) {
     std::vector<size_t> pick = rng->SampleIndices(full.x.rows(), max_rows);
@@ -187,15 +222,17 @@ std::vector<size_t> GreedyKept(Mlp* view, const LogTargetScaler& scaler,
   std::vector<bool> masked(dim, false);
   double current = MaskedQError(view, scaler, data, col_mean, masked);
   while (true) {
+    std::vector<double> qs = ParallelMap<double>(pool, dim, [&](size_t f) {
+      if (masked[f]) return HUGE_VAL;
+      return MaskedQError(view, scaler, data, col_mean, masked,
+                          static_cast<ptrdiff_t>(f));
+    });
     ptrdiff_t best = -1;
     double best_q = current;
     for (size_t f = 0; f < dim; ++f) {
       if (masked[f]) continue;
-      masked[f] = true;
-      double q = MaskedQError(view, scaler, data, col_mean, masked);
-      masked[f] = false;
-      if (q < best_q) {
-        best_q = q;
+      if (qs[f] < best_q) {
+        best_q = qs[f];
         best = static_cast<ptrdiff_t>(f);
       }
     }
@@ -214,7 +251,8 @@ std::vector<size_t> GreedyKept(Mlp* view, const LogTargetScaler& scaler,
 
 Result<ReductionResult> ReduceFeatures(const CostModel& model,
                                        const std::vector<PlanSample>& samples,
-                                       const ReductionConfig& config) {
+                                       const ReductionConfig& config,
+                                       ThreadPool* pool) {
   const OperatorFeaturizer* featurizer = model.featurizer();
   const LogTargetScaler* scaler = model.label_scaler();
   if (featurizer == nullptr || scaler == nullptr) {
@@ -226,7 +264,7 @@ Result<ReductionResult> ReduceFeatures(const CostModel& model,
   WallTimer timer;
   Rng rng(config.seed);
   auto data = GatherOperatorData(*featurizer, samples,
-                                 config.max_rows_per_op, &rng);
+                                 config.max_rows_per_op, rng, pool);
 
   // Context for operator views: a modest subsample of plans.
   std::vector<PlanSample> context(
@@ -248,14 +286,18 @@ Result<ReductionResult> ReduceFeatures(const CostModel& model,
     Result<Mlp> view = model.OperatorView(op, context);
     if (!view.ok()) return view.status();
 
+    // Per-operator Split stream (offset past the GatherOperatorData
+    // streams): each type's sampling is independent of which other types
+    // exist or run, the precondition for parallelizing across types later.
+    Rng op_rng = rng.Split(kNumOpTypes + oi);
     if (config.algorithm == ReductionAlgorithm::kGreedy) {
       r.kept = GreedyKept(&view.value(), *scaler, data[oi],
-                          config.greedy_max_rows, &rng);
+                          config.greedy_max_rows, &op_rng, pool);
     } else {
       bool is_gd = config.algorithm == ReductionAlgorithm::kGradient;
       r.scores = is_gd ? GradientScores(&view.value(), data[oi])
                        : DiffPropScores(&view.value(), data[oi],
-                                        config.num_references, &rng);
+                                        config.num_references, &op_rng, pool);
       double threshold = config.eps_abs;
       if (is_gd) {
         // Gradient scores are never exactly zero (dead dims still flow
@@ -292,7 +334,8 @@ Result<RecallResult> RecallFeatures(const OperatorFeaturizer& full_featurizer,
   }
   Rng rng(31);
   auto data = GatherOperatorData(full_featurizer, new_samples,
-                                 /*max_rows_per_op=*/2000, &rng);
+                                 /*max_rows_per_op=*/2000, rng,
+                                 /*pool=*/nullptr);
   RecallResult result;
   for (const auto& [op, prev] : previous.per_op) {
     size_t oi = static_cast<size_t>(op);

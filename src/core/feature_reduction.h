@@ -24,6 +24,7 @@
 #include "featurize/featurizer.h"
 #include "models/cost_model.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 
@@ -88,9 +89,17 @@ struct ReductionResult {
 /// `samples` supplies the labeled operator set D (every plan node becomes an
 /// observation, encoded with the model's featurizer); the model supplies
 /// per-operator views. Operator types with no observations are left intact.
+///
+/// With a `pool`, the expensive inner loops — operator-row gathering, the
+/// greedy candidate sweep and the difference-propagation reference sweep —
+/// run across workers. Every parallel loop reduces its partial results in a
+/// fixed index order and each operator type draws from its own Rng::Split
+/// stream, so scores, kept sets and runtimes-excluded outputs are
+/// bit-identical at any thread count.
 Result<ReductionResult> ReduceFeatures(const CostModel& model,
                                        const std::vector<PlanSample>& samples,
-                                       const ReductionConfig& config);
+                                       const ReductionConfig& config,
+                                       ThreadPool* pool = nullptr);
 
 /// Dynamic-workload recall (the paper's Section IV discussion and future
 /// work): a feature that was useless under the old workload may have

@@ -28,6 +28,14 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
   pipeline->config_.use_snapshot = config.use_snapshot && info->learned;
   pipeline->config_.use_reduction = config.use_reduction && info->learned;
 
+  // One worker pool for the whole pipeline lifetime: collection, reduction,
+  // training eval, then batched serving all share it.
+  int requested = config.parallelism.num_threads.value_or(1);
+  if (ResolveNumThreads(requested) > 1) {
+    pipeline->pool_ = std::make_unique<ThreadPool>(requested);
+  }
+  ThreadPool* pool = pipeline->pool_.get();
+
   pipeline->base_featurizer_ = std::make_unique<BaseFeaturizer>(db->catalog());
   const OperatorFeaturizer* active = pipeline->base_featurizer_.get();
 
@@ -38,7 +46,8 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
         *envs, config.snapshot_from_templates, config.snapshot_scale,
         config.seed, pipeline->snapshot_store_.get(),
         &pipeline->snapshot_collection_ms_, &pipeline->snapshot_num_queries_,
-        &pipeline->snapshot_num_templates_, config.snapshot_granularity));
+        &pipeline->snapshot_num_templates_, config.snapshot_granularity,
+        pool));
     pipeline->snapshot_featurizer_ = std::make_unique<SnapshotFeaturizer>(
         active, pipeline->snapshot_store_.get(),
         config.snapshot_granularity == SnapshotGranularity::kOperatorTable);
@@ -50,6 +59,7 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
     Result<std::unique_ptr<CostModel>> provisional = registry.Create(
         config.estimator, {db->catalog(), active, config.seed + 1});
     if (!provisional.ok()) return provisional.status();
+    (*provisional)->set_thread_pool(pool);
     TrainConfig pre_cfg = config.train;
     pre_cfg.epochs = config.pre_reduction_epochs;
     pre_cfg.eval_every = 0;
@@ -57,7 +67,7 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
         (*provisional)->Train(train, pre_cfg, &pipeline->pre_train_stats_));
 
     Result<ReductionResult> reduction =
-        ReduceFeatures(**provisional, train, config.reduction);
+        ReduceFeatures(**provisional, train, config.reduction, pool);
     if (!reduction.ok()) return reduction.status();
     pipeline->reduction_ = std::move(reduction.value());
 
@@ -70,6 +80,7 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
       config.estimator, {db->catalog(), active, config.seed + 2});
   if (!model.ok()) return model.status();
   pipeline->model_ = std::move(model.value());
+  pipeline->model_->set_thread_pool(pool);
   QCFE_RETURN_IF_ERROR(
       pipeline->model_->Train(train, config.train, &pipeline->train_stats_));
   return pipeline;
@@ -130,6 +141,9 @@ std::string Pipeline::Explain() const {
     os << ", final loss " << FormatDouble(train_stats_.loss_curve.back(), 5);
   }
   os << "\n";
+  os << "  threads: "
+     << (pool_ == nullptr ? size_t{1} : pool_->num_workers())
+     << " (deterministic: parallel and serial fits are bit-identical)\n";
   return os.str();
 }
 
@@ -145,7 +159,7 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
   size_t extra_queries = 0;
   QCFE_RETURN_IF_ERROR(snapshots.ComputeSnapshots(
       envs, from_templates, scale, seed, snapshot_store_.get(), &extra_ms,
-      &extra_queries, nullptr, config_.snapshot_granularity));
+      &extra_queries, nullptr, config_.snapshot_granularity, pool_.get()));
   // Keep the pipeline's cost accounting (Explain, Table V style stats)
   // covering the extended store, not just the original Fit.
   snapshot_collection_ms_ += extra_ms;

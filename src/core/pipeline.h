@@ -30,6 +30,7 @@
 #include "models/cost_model.h"
 #include "models/registry.h"
 #include "sql/template.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 
@@ -57,6 +58,13 @@ struct PipelineConfig {
 
   /// Final model training.
   TrainConfig train;
+
+  /// Worker threads for snapshot collection, feature reduction, per-epoch
+  /// eval and batched serving (unset/1 = serial; see util/thread_pool.h).
+  /// Every parallel path partitions work statically and reduces in index
+  /// order, so the fitted pipeline and its predictions are bit-identical
+  /// for any setting — threads buy wall-clock, never different models.
+  Parallelism parallelism;
 
   uint64_t seed = 2024;
 };
@@ -120,6 +128,8 @@ class Pipeline {
   double snapshot_collection_ms() const { return snapshot_collection_ms_; }
   size_t snapshot_num_queries() const { return snapshot_num_queries_; }
   size_t snapshot_num_templates() const { return snapshot_num_templates_; }
+  /// The pipeline's worker pool (null when fitted with num_threads = 1).
+  ThreadPool* thread_pool() const { return pool_.get(); }
 
  private:
   Pipeline() = default;
@@ -130,6 +140,9 @@ class Pipeline {
   PipelineConfig config_;
   EstimatorInfo info_;
 
+  /// Declared before the model so destruction (reverse order) tears the
+  /// model down while its non-owning pool pointer is still valid.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<BaseFeaturizer> base_featurizer_;
   std::unique_ptr<SnapshotStore> snapshot_store_;
   std::unique_ptr<SnapshotFeaturizer> snapshot_featurizer_;

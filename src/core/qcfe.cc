@@ -13,7 +13,8 @@ Status SnapshotBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
                                          double* collection_ms,
                                          size_t* num_queries,
                                          size_t* num_templates,
-                                         SnapshotGranularity granularity) {
+                                         SnapshotGranularity granularity,
+                                         ThreadPool* pool) {
   DataAbstract abstract(db_->catalog());
   Rng rng(seed);
   std::vector<QuerySpec> specs;
@@ -41,16 +42,33 @@ Status SnapshotBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
   }
   if (num_queries != nullptr) *num_queries = specs.size() * envs.size();
 
+  // Execute the whole (environment, query) grid, then fit one snapshot per
+  // environment — both across the pool, reduced in environment order.
   QueryCollector collector(db_, &envs);
-  for (const auto& env : envs) {
-    Result<LabeledQuerySet> set = collector.RunSpecsUnderEnv(
-        specs, env, seed ^ (0x9E37ULL * (static_cast<uint64_t>(env.id) + 1)));
-    if (!set.ok()) return set.status();
-    if (collection_ms != nullptr) *collection_ms += set->collection_ms;
-    Result<FeatureSnapshot> snapshot = FeatureSnapshot::Fit(
-        FeatureSnapshot::ObservationsFrom(*set), granularity);
-    if (!snapshot.ok()) return snapshot.status();
-    store->Put(env.id, std::move(snapshot.value()));
+  Result<std::vector<LabeledQuerySet>> sets =
+      collector.RunSpecsGrid(specs, envs, seed, pool);
+  if (!sets.ok()) return sets.status();
+
+  struct FittedSnapshot {
+    Status status;
+    FeatureSnapshot snapshot;
+  };
+  std::vector<FittedSnapshot> fitted =
+      ParallelMap<FittedSnapshot>(pool, envs.size(), [&](size_t e) {
+        FittedSnapshot out;
+        Result<FeatureSnapshot> snapshot = FeatureSnapshot::Fit(
+            FeatureSnapshot::ObservationsFrom((*sets)[e]), granularity);
+        if (snapshot.ok()) {
+          out.snapshot = std::move(snapshot.value());
+        } else {
+          out.status = snapshot.status();
+        }
+        return out;
+      });
+  for (size_t e = 0; e < envs.size(); ++e) {
+    if (!fitted[e].status.ok()) return fitted[e].status;
+    if (collection_ms != nullptr) *collection_ms += (*sets)[e].collection_ms;
+    store->Put(envs[e].id, std::move(fitted[e].snapshot));
   }
   return Status::OK();
 }

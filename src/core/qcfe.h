@@ -16,6 +16,7 @@
 #include "sql/template.h"
 #include "util/env_config.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 
@@ -32,12 +33,17 @@ class SnapshotBuilder {
   /// templates and fills them `scale` times; FSO instantiates the original
   /// templates `scale` times. The out-params report the simulated label
   /// cost and corpus size (Table V compares them).
+  ///
+  /// With a `pool`, the (environment, query) execution grid and the
+  /// per-environment least-squares fits run across workers; results are
+  /// reduced in environment order and bit-identical to the serial path.
   Status ComputeSnapshots(const std::vector<Environment>& envs,
                           bool from_templates, int scale, uint64_t seed,
                           SnapshotStore* store, double* collection_ms,
                           size_t* num_queries, size_t* num_templates,
                           SnapshotGranularity granularity =
-                              SnapshotGranularity::kOperator);
+                              SnapshotGranularity::kOperator,
+                          ThreadPool* pool = nullptr);
 
  private:
   Database* db_;

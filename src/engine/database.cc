@@ -27,13 +27,20 @@ Result<QueryRunResult> Database::Run(const QuerySpec& query,
 
   QueryRunResult result;
   std::string key = CacheKey(*plan, env.knobs);
-  auto cached = exec_cache_.find(key);
   size_t result_rows = 0;
-  if (cached != exec_cache_.end()) {
+  std::shared_ptr<const std::vector<NodeExecRecord>> cached;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = exec_cache_.find(key);
+    // Copying the shared_ptr under the lock keeps the records alive through
+    // the replay even if another thread clears the cache meanwhile.
+    if (it != exec_cache_.end()) cached = it->second;
+  }
+  if (cached != nullptr) {
     // Replay counts into the plan (pre-order alignment).
     size_t i = 0;
     plan->Visit([&](PlanNode* node) {
-      const NodeExecRecord& rec = cached->second[i++];
+      const NodeExecRecord& rec = (*cached)[i++];
       node->actual_rows = rec.actual_rows;
       node->input_card = rec.input_card;
       node->input_card2 = rec.input_card2;
@@ -41,16 +48,20 @@ Result<QueryRunResult> Database::Run(const QuerySpec& query,
     });
     result_rows = static_cast<size_t>(plan->actual_rows);
   } else {
+    // Execute outside the lock. Two threads racing on the same miss both
+    // execute and compute identical records (execution is deterministic);
+    // the first insert wins and the duplicate is discarded.
     Executor executor(&catalog_, env.knobs);
     Result<Relation> rel = executor.Execute(plan.get());
     if (!rel.ok()) return rel.status();
     result_rows = rel.value().NumRows();
-    std::vector<NodeExecRecord> records;
+    auto records = std::make_shared<std::vector<NodeExecRecord>>();
     plan->Visit([&](PlanNode* node) {
-      records.push_back(NodeExecRecord{node->actual_rows, node->input_card,
-                                       node->input_card2, node->work});
+      records->push_back(NodeExecRecord{node->actual_rows, node->input_card,
+                                        node->input_card2, node->work});
     });
-    exec_cache_[key] = std::move(records);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    exec_cache_.emplace(key, std::move(records));
   }
 
   if (query.limit.has_value()) {

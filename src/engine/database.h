@@ -10,6 +10,7 @@
 /// environment.
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,13 @@ class Database {
 
   /// Plans, executes (with caching) and prices a query under an environment.
   /// `noise_rng` drives the latency noise; pass nullptr for expectations.
+  ///
+  /// Thread-safe: concurrent Run() calls may share one Database. The
+  /// execution cache is mutex-guarded; execution itself runs outside the
+  /// lock (two threads that race on the same miss both execute and produce
+  /// identical records, so results never depend on interleaving). Each call
+  /// builds its own Executor/CostSimulator, so the only requirement on
+  /// callers is that `noise_rng` is not shared across threads.
   Result<QueryRunResult> Run(const QuerySpec& query, const Environment& env,
                              Rng* noise_rng);
 
@@ -61,8 +69,14 @@ class Database {
                                     const Environment& env, Rng* noise_rng,
                                     QueryRunResult* run);
 
-  size_t execution_cache_size() const { return exec_cache_.size(); }
-  void ClearExecutionCache() { exec_cache_.clear(); }
+  size_t execution_cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return exec_cache_.size();
+  }
+  void ClearExecutionCache() {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    exec_cache_.clear();
+  }
 
  private:
   /// Execution artifacts of one plan node, cached in pre-order.
@@ -78,7 +92,14 @@ class Database {
 
   std::string name_;
   Catalog catalog_;
-  std::unordered_map<std::string, std::vector<NodeExecRecord>> exec_cache_;
+  /// Guards the cache map structure only. Entries are shared_ptrs to
+  /// immutable record vectors: readers copy the pointer under the lock and
+  /// replay outside it, so a concurrent ClearExecutionCache() merely drops
+  /// the map's reference while in-flight replays keep theirs alive.
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<NodeExecRecord>>>
+      exec_cache_;
 };
 
 }  // namespace qcfe

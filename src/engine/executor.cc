@@ -1,5 +1,8 @@
 #include "engine/executor.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
@@ -22,6 +25,16 @@ std::string GroupKey(const std::vector<Value>& row,
 }
 
 }  // namespace
+
+Executor::Executor(const Catalog* catalog, const Knobs& knobs)
+    : catalog_(catalog), knobs_(knobs) {
+  if (catalog_ == nullptr) {
+    // A null catalog is a lifetime bug in the caller; fail loudly instead of
+    // dereferencing it on some later execution path.
+    std::fprintf(stderr, "Executor constructed with a null catalog\n");
+    std::abort();
+  }
+}
 
 Status Executor::ScanSchema(const Table& table,
                             const std::vector<std::string>& proj,
@@ -49,7 +62,7 @@ Status Executor::ScanSchema(const Table& table,
   return Status::OK();
 }
 
-Result<Relation> Executor::Execute(PlanNode* node) {
+Result<Relation> Executor::Execute(PlanNode* node) const {
   switch (node->op) {
     case OpType::kSeqScan:
       return ExecSeqScan(node);
@@ -71,7 +84,7 @@ Result<Relation> Executor::Execute(PlanNode* node) {
   return Status::Internal("unknown operator");
 }
 
-Result<Relation> Executor::ExecSeqScan(PlanNode* node) {
+Result<Relation> Executor::ExecSeqScan(PlanNode* node) const {
   const Table* table = catalog_->GetTable(node->table);
   if (table == nullptr) return Status::NotFound("table " + node->table);
 
@@ -113,7 +126,7 @@ Result<Relation> Executor::ExecSeqScan(PlanNode* node) {
   return out;
 }
 
-Result<Relation> Executor::ExecIndexScan(PlanNode* node) {
+Result<Relation> Executor::ExecIndexScan(PlanNode* node) const {
   const Table* table = catalog_->GetTable(node->table);
   if (table == nullptr) return Status::NotFound("table " + node->table);
   const TableIndex* index = table->FindIndex(node->index_column);
@@ -211,7 +224,7 @@ Result<Relation> Executor::ExecIndexScan(PlanNode* node) {
   return out;
 }
 
-Result<Relation> Executor::ExecSort(PlanNode* node) {
+Result<Relation> Executor::ExecSort(PlanNode* node) const {
   Result<Relation> child = Execute(node->child(0));
   if (!child.ok()) return child.status();
   Relation rel = std::move(child.value());
@@ -250,7 +263,7 @@ Result<Relation> Executor::ExecSort(PlanNode* node) {
   return rel;
 }
 
-Result<Relation> Executor::ExecAggregate(PlanNode* node) {
+Result<Relation> Executor::ExecAggregate(PlanNode* node) const {
   Result<Relation> child = Execute(node->child(0));
   if (!child.ok()) return child.status();
   Relation in = std::move(child.value());
@@ -364,7 +377,7 @@ Result<Relation> Executor::ExecAggregate(PlanNode* node) {
   return out;
 }
 
-Result<Relation> Executor::ExecMaterialize(PlanNode* node) {
+Result<Relation> Executor::ExecMaterialize(PlanNode* node) const {
   Result<Relation> child = Execute(node->child(0));
   if (!child.ok()) return child.status();
   Relation rel = std::move(child.value());
@@ -382,7 +395,7 @@ Result<Relation> Executor::ExecMaterialize(PlanNode* node) {
 }
 
 Result<Relation> Executor::EquiJoin(PlanNode* node, const Relation& left,
-                                    const Relation& right) {
+                                    const Relation& right) const {
   if (!node->join.has_value()) {
     return Status::InvalidArgument("join node without condition");
   }
@@ -415,7 +428,7 @@ Result<Relation> Executor::EquiJoin(PlanNode* node, const Relation& left,
   return out;
 }
 
-Result<Relation> Executor::ExecHashJoin(PlanNode* node) {
+Result<Relation> Executor::ExecHashJoin(PlanNode* node) const {
   Result<Relation> l = Execute(node->child(0));
   if (!l.ok()) return l.status();
   Result<Relation> r = Execute(node->child(1));
@@ -440,7 +453,7 @@ Result<Relation> Executor::ExecHashJoin(PlanNode* node) {
   return joined;
 }
 
-Result<Relation> Executor::ExecMergeJoin(PlanNode* node) {
+Result<Relation> Executor::ExecMergeJoin(PlanNode* node) const {
   Result<Relation> l = Execute(node->child(0));
   if (!l.ok()) return l.status();
   Result<Relation> r = Execute(node->child(1));
@@ -461,7 +474,7 @@ Result<Relation> Executor::ExecMergeJoin(PlanNode* node) {
   return joined;
 }
 
-Result<Relation> Executor::ExecNestedLoop(PlanNode* node) {
+Result<Relation> Executor::ExecNestedLoop(PlanNode* node) const {
   Result<Relation> l = Execute(node->child(0));
   if (!l.ok()) return l.status();
   Result<Relation> r = Execute(node->child(1));

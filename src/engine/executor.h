@@ -34,28 +34,36 @@ struct Relation {
 
 /// Executes plans against a catalog under a knob configuration (work_mem
 /// controls spill behaviour, which feeds back into work counts).
+///
+/// Thread-safety: an Executor holds no mutable state — `catalog_` is read
+/// through const paths only and `knobs_` is an immutable by-value copy — so
+/// one instance may execute distinct plans from several threads, and the
+/// parallel collection layer cheaply builds one Executor per worker/call.
+/// The catalog must outlive the executor and must not be mutated (no
+/// AddTable/AnalyzeAll) while executions are in flight.
 class Executor {
  public:
-  Executor(const Catalog* catalog, const Knobs& knobs)
-      : catalog_(catalog), knobs_(knobs) {}
+  /// `catalog` must be non-null (checked: construction aborts on nullptr,
+  /// since a null catalog is a caller lifetime bug, not a runtime error).
+  Executor(const Catalog* catalog, const Knobs& knobs);
 
   /// Executes the subtree rooted at `node`, filling actual_rows, input_card
   /// and work on every node. Returns the materialized output.
-  Result<Relation> Execute(PlanNode* node);
+  Result<Relation> Execute(PlanNode* node) const;
 
  private:
-  Result<Relation> ExecSeqScan(PlanNode* node);
-  Result<Relation> ExecIndexScan(PlanNode* node);
-  Result<Relation> ExecSort(PlanNode* node);
-  Result<Relation> ExecAggregate(PlanNode* node);
-  Result<Relation> ExecMaterialize(PlanNode* node);
-  Result<Relation> ExecHashJoin(PlanNode* node);
-  Result<Relation> ExecMergeJoin(PlanNode* node);
-  Result<Relation> ExecNestedLoop(PlanNode* node);
+  Result<Relation> ExecSeqScan(PlanNode* node) const;
+  Result<Relation> ExecIndexScan(PlanNode* node) const;
+  Result<Relation> ExecSort(PlanNode* node) const;
+  Result<Relation> ExecAggregate(PlanNode* node) const;
+  Result<Relation> ExecMaterialize(PlanNode* node) const;
+  Result<Relation> ExecHashJoin(PlanNode* node) const;
+  Result<Relation> ExecMergeJoin(PlanNode* node) const;
+  Result<Relation> ExecNestedLoop(PlanNode* node) const;
 
   /// Shared by hash/merge/NL joins: locates key columns, joins, concatenates.
   Result<Relation> EquiJoin(PlanNode* node, const Relation& left,
-                            const Relation& right);
+                            const Relation& right) const;
 
   /// Builds the (qualified) output schema of a scan of `table` restricted to
   /// `projection` (empty = all columns); fills `col_indices` with the indices

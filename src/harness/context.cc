@@ -47,9 +47,13 @@ Result<std::unique_ptr<BenchmarkContext>> BenchmarkContext::Create(
                                          options.seed * 31 + 5);
   ctx->templates = ctx->workload->Templates();
 
+  if (ResolveNumThreads(options.num_threads) > 1) {
+    ctx->pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
   QueryCollector collector(ctx->db.get(), &ctx->envs);
   Result<LabeledQuerySet> corpus = collector.Collect(
-      ctx->templates, options.corpus_size, options.seed * 13 + 3);
+      ctx->templates, options.corpus_size, options.seed * 13 + 3,
+      ctx->pool.get());
   if (!corpus.ok()) return corpus.status();
   ctx->corpus = std::move(corpus.value());
   return ctx;
@@ -57,7 +61,13 @@ Result<std::unique_ptr<BenchmarkContext>> BenchmarkContext::Create(
 
 Result<std::unique_ptr<Pipeline>> BenchmarkContext::FitPipeline(
     const PipelineConfig& config, const std::vector<PlanSample>& train) const {
-  return Pipeline::Fit(db.get(), &envs, &templates, config, train);
+  // Thread the context's --threads setting into the pipeline unless the
+  // caller configured parallelism explicitly (an explicit 1 stays serial).
+  PipelineConfig cfg = config;
+  if (!cfg.parallelism.num_threads.has_value()) {
+    cfg.parallelism.num_threads = options.num_threads;
+  }
+  return Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
 }
 
 void BenchmarkContext::Split(size_t n, std::vector<PlanSample>* train,

@@ -30,6 +30,10 @@ struct HarnessOptions {
   int qpp_epochs = 15;       ///< QPPNet training epochs (paper: 100-800)
   int mscn_epochs = 30;      ///< MSCN training epochs
   uint64_t seed = 7;
+  /// Worker threads for corpus collection and every pipeline fitted from
+  /// this context (1 = serial, 0 = hardware concurrency). Results are
+  /// bit-identical across settings; see util/thread_pool.h.
+  int num_threads = 1;
 };
 
 /// Paper-faithful (full) or reduced (quick) options for a benchmark.
@@ -43,6 +47,8 @@ struct BenchmarkContext {
   std::vector<Environment> envs;
   std::vector<QueryTemplate> templates;
   LabeledQuerySet corpus;
+  /// Shared worker pool (null when options.num_threads resolves to 1).
+  std::unique_ptr<ThreadPool> pool;
 
   /// Builds everything (database, ANALYZE, environments, corpus).
   static Result<std::unique_ptr<BenchmarkContext>> Create(

@@ -2,8 +2,11 @@
 
 namespace qcfe {
 
-EvalResult EvaluateModel(const CostModel& model,
-                         const std::vector<PlanSample>& test) {
+namespace {
+
+EvalResult EvaluateWithPool(const CostModel& model,
+                            const std::vector<PlanSample>& test,
+                            ThreadPool* pool) {
   EvalResult result;
   std::vector<double> actual;
   actual.reserve(test.size());
@@ -11,7 +14,7 @@ EvalResult EvaluateModel(const CostModel& model,
 
   std::vector<double> predicted;
   WallTimer timer;
-  Result<std::vector<double>> batch = model.PredictBatchMs(test);
+  Result<std::vector<double>> batch = model.PredictBatchMs(test, pool);
   if (batch.ok()) {
     predicted = std::move(batch.value());
   } else {
@@ -28,9 +31,27 @@ EvalResult EvaluateModel(const CostModel& model,
   return result;
 }
 
+}  // namespace
+
+EvalResult EvaluateModel(const CostModel& model,
+                         const std::vector<PlanSample>& test) {
+  return EvaluateWithPool(model, test, model.thread_pool());
+}
+
+EvalResult EvaluateModel(const CostModel& model,
+                         const std::vector<PlanSample>& test,
+                         const Parallelism& parallelism) {
+  int requested = parallelism.num_threads.value_or(1);
+  if (ResolveNumThreads(requested) <= 1) {
+    return EvaluateWithPool(model, test, nullptr);
+  }
+  ThreadPool pool(requested);
+  return EvaluateWithPool(model, test, &pool);
+}
+
 EvalResult EvaluateModel(const Pipeline& pipeline,
                          const std::vector<PlanSample>& test) {
-  return EvaluateModel(pipeline.model(), test);
+  return EvaluateWithPool(pipeline.model(), test, pipeline.thread_pool());
 }
 
 std::vector<CellConfig> TableIvModels(const HarnessOptions& options) {

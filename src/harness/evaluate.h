@@ -25,11 +25,19 @@ struct EvalResult {
 
 /// Predicts every sample through the batched serving path and summarises;
 /// times the prediction call. Falls back to the per-plan loop (scoring
-/// failed samples as 0) if the batch as a whole fails.
+/// failed samples as 0) if the batch as a whole fails. Uses the model's
+/// attached thread pool, if any.
 EvalResult EvaluateModel(const CostModel& model,
                          const std::vector<PlanSample>& test);
 
-/// Same, through a pipeline facade.
+/// Same, serving across a dedicated pool sized by `parallelism` (created
+/// for the call; metrics are bit-identical to the serial overload, only
+/// inference_seconds changes).
+EvalResult EvaluateModel(const CostModel& model,
+                         const std::vector<PlanSample>& test,
+                         const Parallelism& parallelism);
+
+/// Same, through a pipeline facade (serves across the pipeline's pool).
 EvalResult EvaluateModel(const Pipeline& pipeline,
                          const std::vector<PlanSample>& test);
 

@@ -3,6 +3,8 @@
 #include <map>
 #include <utility>
 
+#include "util/stats.h"
+
 namespace qcfe {
 
 BatchRequestDedup::BatchRequestDedup(const std::vector<PlanSample>& batch) {
@@ -25,20 +27,63 @@ std::vector<double> BatchRequestDedup::Expand(
 }
 
 Result<std::vector<double>> CostModel::PredictBatchMs(
-    const std::vector<PlanSample>& batch) const {
-  std::vector<double> out;
-  out.reserve(batch.size());
+    const std::vector<PlanSample>& batch, ThreadPool* pool) const {
   for (const PlanSample& s : batch) {
     if (s.plan == nullptr) {
       return Status::InvalidArgument("null plan in prediction batch");
     }
-    Result<double> p = PredictMs(*s.plan, s.env_id);
-    if (!p.ok()) return p.status();
-    out.push_back(*p);
   }
-  return out;
+  // Fallback batched path: dedup, then the per-plan loop across the pool.
+  // Each unique request is one task writing its own slot, so results match
+  // the serial loop exactly.
+  BatchRequestDedup dedup(batch);
+  struct OnePrediction {
+    Status status;
+    double ms = 0.0;
+  };
+  std::vector<OnePrediction> predicted = ParallelMap<OnePrediction>(
+      pool, dedup.unique.size(), [&](size_t i) {
+        OnePrediction out;
+        Result<double> p =
+            PredictMs(*dedup.unique[i].plan, dedup.unique[i].env_id);
+        if (p.ok()) {
+          out.ms = *p;
+        } else {
+          out.status = p.status();
+        }
+        return out;
+      });
+  std::vector<double> unique_results;
+  unique_results.reserve(predicted.size());
+  for (const OnePrediction& p : predicted) {
+    if (!p.status.ok()) return p.status;
+    unique_results.push_back(p.ms);
+  }
+  return dedup.Expand(unique_results);
 }
 
 double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }
+
+double EvalMeanQError(const CostModel& model,
+                      const std::vector<PlanSample>& eval_set,
+                      ThreadPool* pool) {
+  std::vector<double> actual, predicted;
+  Result<std::vector<double>> batch = model.PredictBatchMs(eval_set, pool);
+  if (batch.ok()) {
+    actual.reserve(eval_set.size());
+    for (const auto& s : eval_set) actual.push_back(s.label_ms);
+    predicted = std::move(batch.value());
+  } else {
+    // Whole-batch failure: fall back to the per-plan loop, skipping
+    // individually failing samples (historical eval semantics).
+    for (const auto& s : eval_set) {
+      Result<double> p = model.PredictMs(*s.plan, s.env_id);
+      if (!p.ok()) continue;
+      actual.push_back(s.label_ms);
+      predicted.push_back(*p);
+    }
+  }
+  return Mean(QErrors(actual, predicted));
+}
 
 }  // namespace qcfe

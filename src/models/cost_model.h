@@ -16,6 +16,7 @@
 #include "nn/mlp.h"
 #include "nn/scaler.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 
@@ -65,11 +66,28 @@ class CostModel {
 
   /// Predicted latency for a whole batch of plans: the serving hot path.
   /// Results are positionally aligned with `batch` and bit-identical to
-  /// calling PredictMs per sample; implementations override this to amortise
-  /// featurization and run matrix-batched forward passes instead of per-plan
-  /// scalar loops. The default falls back to the per-plan loop.
+  /// calling PredictMs per sample; implementations override the two-arg
+  /// form to amortise featurization and run matrix-batched forward passes
+  /// instead of per-plan scalar loops. This overload serves with the pool
+  /// configured via set_thread_pool (none by default).
+  Result<std::vector<double>> PredictBatchMs(
+      const std::vector<PlanSample>& batch) const {
+    return PredictBatchMs(batch, pool_);
+  }
+
+  /// Batched prediction across an explicit pool: deduped requests are
+  /// sharded into contiguous blocks, one per worker, each with its own
+  /// scratch buffers. Per-request arithmetic is row-independent, so results
+  /// are bit-identical for every thread count (and to PredictMs). The
+  /// default implementation runs the per-plan loop across the pool.
   virtual Result<std::vector<double>> PredictBatchMs(
-      const std::vector<PlanSample>& batch) const;
+      const std::vector<PlanSample>& batch, ThreadPool* pool) const;
+
+  /// Attaches a serving/training pool (not owned; must outlive the model —
+  /// the Pipeline owns both and guarantees this). Null detaches. The pool
+  /// is used by PredictBatchMs(batch) and by per-epoch eval during Train.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// The featurizer backing this model (nullptr for analytical models).
   virtual const OperatorFeaturizer* featurizer() const { return nullptr; }
@@ -88,11 +106,23 @@ class CostModel {
     (void)context;
     return Status::FailedPrecondition("model has no operator view");
   }
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Subtree latency of a node: the per-operator training signal used by
 /// plan-structured models (sum of actual_ms in the subtree).
 double SubtreeLatencyMs(const PlanNode& node);
+
+/// Mean q-error of the model on `eval_set` through the batched, pool-sharded
+/// serving path (bit-identical to the per-plan loop). Drives the per-epoch
+/// convergence traces (TrainConfig::eval_every) without serializing a full
+/// eval sweep per epoch. Samples whose prediction fails are skipped, like
+/// the historical per-plan loop.
+double EvalMeanQError(const CostModel& model,
+                      const std::vector<PlanSample>& eval_set,
+                      ThreadPool* pool);
 
 /// Request-level deduplication for batched serving. Production estimation
 /// traffic is highly repetitive — templated workloads, knob sweeps and plan

@@ -327,15 +327,8 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
                                   static_cast<double>(encoded.size()));
       if (config.eval_every > 0 && !config.eval_set.empty() &&
           (epoch + 1) % config.eval_every == 0) {
-        std::vector<double> actual, predicted;
-        for (const auto& s : config.eval_set) {
-          Result<double> p = PredictMs(*s.plan, s.env_id);
-          if (!p.ok()) continue;
-          actual.push_back(s.label_ms);
-          predicted.push_back(*p);
-        }
-        stats->eval_curve.emplace_back(epoch + 1,
-                                       Mean(QErrors(actual, predicted)));
+        stats->eval_curve.emplace_back(
+            epoch + 1, EvalMeanQError(*this, config.eval_set, thread_pool()));
       }
     }
   }
@@ -352,35 +345,47 @@ Result<double> Mscn::PredictMs(const PlanNode& plan, int env_id) const {
       label_scaler_.ClampTransformed(out.At(0, 0)));
 }
 
-Result<std::vector<double>> Mscn::PredictBatchMs(
-    const std::vector<PlanSample>& batch) const {
-  if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
-  if (batch.empty()) return std::vector<double>{};
-  // Deduplicate repeated (plan, environment) requests, then encode each
-  // distinct query once.
-  BatchRequestDedup dedup(batch);
-  const std::vector<PlanSample>& requests = dedup.unique;
+void Mscn::PredictShard(const std::vector<PlanSample>& requests, size_t begin,
+                        size_t end, std::vector<double>* out) const {
   std::vector<EncodedQuery> encoded;
-  encoded.reserve(requests.size());
-  for (const auto& s : requests) {
-    if (s.plan == nullptr) {
-      return Status::InvalidArgument("null plan in prediction batch");
-    }
-    encoded.push_back(EncodeQuery(*s.plan, s.env_id, /*scale=*/true));
+  encoded.reserve(end - begin);
+  for (size_t s = begin; s < end; ++s) {
+    encoded.push_back(
+        EncodeQuery(*requests[s].plan, requests[s].env_id, /*scale=*/true));
   }
   std::vector<const EncodedQuery*> refs;
   refs.reserve(encoded.size());
   for (const auto& q : encoded) refs.push_back(&q);
-  // One pack + one forward per set module for all distinct queries;
-  // SegmentMean keeps per-query pooling identical to the single-query path.
+  // One pack + one forward per set module for the shard's queries;
+  // SegmentMean keeps per-query pooling identical to the single-query path,
+  // so shard composition never changes a prediction.
   Packed packed = Pack(refs);
-  Matrix out = PredictPacked(packed);
-  std::vector<double> result;
-  result.reserve(requests.size());
-  for (size_t r = 0; r < out.rows(); ++r) {
-    result.push_back(label_scaler_.InverseTransformOne(
-        label_scaler_.ClampTransformed(out.At(r, 0))));
+  Matrix y = PredictPacked(packed);
+  for (size_t r = 0; r < y.rows(); ++r) {
+    (*out)[begin + r] = label_scaler_.InverseTransformOne(
+        label_scaler_.ClampTransformed(y.At(r, 0)));
   }
+}
+
+Result<std::vector<double>> Mscn::PredictBatchMs(
+    const std::vector<PlanSample>& batch, ThreadPool* pool) const {
+  if (!scalers_fitted_) return Status::FailedPrecondition("MSCN is untrained");
+  if (batch.empty()) return std::vector<double>{};
+  // Deduplicate repeated (plan, environment) requests, then shard the
+  // distinct requests into one contiguous block per worker.
+  BatchRequestDedup dedup(batch);
+  const std::vector<PlanSample>& requests = dedup.unique;
+  for (const auto& s : requests) {
+    if (s.plan == nullptr) {
+      return Status::InvalidArgument("null plan in prediction batch");
+    }
+  }
+  std::vector<double> result(requests.size());
+  std::vector<std::pair<size_t, size_t>> shards = PartitionBlocks(
+      requests.size(), pool == nullptr ? 1 : pool->num_workers());
+  ParallelFor(pool, shards.size(), [&](size_t b) {
+    PredictShard(requests, shards[b].first, shards[b].second, &result);
+  });
   return dedup.Expand(result);
 }
 

@@ -204,15 +204,8 @@ Status QppNet::Train(const std::vector<PlanSample>& train,
                           : 0.0);
       if (config.eval_every > 0 && !config.eval_set.empty() &&
           (epoch + 1) % config.eval_every == 0) {
-        std::vector<double> actual, predicted;
-        for (const auto& s : config.eval_set) {
-          Result<double> p = PredictMs(*s.plan, s.env_id);
-          if (!p.ok()) continue;
-          actual.push_back(s.label_ms);
-          predicted.push_back(*p);
-        }
-        stats->eval_curve.emplace_back(epoch + 1,
-                                       Mean(QErrors(actual, predicted)));
+        stats->eval_curve.emplace_back(
+            epoch + 1, EvalMeanQError(*this, config.eval_set, thread_pool()));
       }
     }
   }
@@ -231,25 +224,19 @@ Result<double> QppNet::PredictMs(const PlanNode& plan, int env_id) const {
       label_scaler_.ClampTransformed(outs[0].At(0, 0)));
 }
 
-Result<std::vector<double>> QppNet::PredictBatchMs(
-    const std::vector<PlanSample>& batch) const {
-  if (!scalers_fitted_) {
-    return Status::FailedPrecondition("QPPNet is untrained");
-  }
-  if (batch.empty()) return std::vector<double>{};
+void QppNet::PredictShard(const std::vector<PlanSample>& requests,
+                          size_t begin, size_t end,
+                          std::vector<double>* out) const {
   const size_t d = config_.data_vector_dim;
+  const size_t count = end - begin;
 
-  // Deduplicate repeated (plan, environment) requests, then featurize each
-  // distinct plan once through the lean serving encode.
-  BatchRequestDedup dedup(batch);
-  const std::vector<PlanSample>& requests = dedup.unique;
+  // Featurize each distinct plan of this shard once through the lean
+  // serving encode.
   std::vector<EncodedPlan> encoded;
-  encoded.reserve(requests.size());
-  for (const auto& s : requests) {
-    if (s.plan == nullptr) {
-      return Status::InvalidArgument("null plan in prediction batch");
-    }
-    encoded.push_back(EncodePlan(*s.plan, s.env_id, /*scale_features=*/true,
+  encoded.reserve(count);
+  for (size_t s = begin; s < end; ++s) {
+    encoded.push_back(EncodePlan(*requests[s].plan, requests[s].env_id,
+                                 /*scale_features=*/true,
                                  /*with_labels=*/false));
   }
 
@@ -276,7 +263,9 @@ Result<std::vector<double>> QppNet::PredictBatchMs(
   for (const auto& plan : encoded) outputs.emplace_back(plan.nodes.size(), d);
 
   // One matrix-batched unit forward per (wave, operator type): every plan in
-  // the batch contributes its wave-w nodes of that type as rows.
+  // the shard contributes its wave-w nodes of that type as rows. Unit
+  // forwards compute each row independently, so which plans share a shard
+  // (and hence a matrix) never changes any output row.
   struct NodeRef {
     size_t plan;
     size_t node;
@@ -320,12 +309,35 @@ Result<std::vector<double>> QppNet::PredictBatchMs(
     }
   }
 
-  std::vector<double> result;
-  result.reserve(requests.size());
-  for (const Matrix& plan_outputs : outputs) {
-    result.push_back(label_scaler_.InverseTransformOne(
-        label_scaler_.ClampTransformed(plan_outputs.At(0, 0))));
+  for (size_t p = 0; p < encoded.size(); ++p) {
+    (*out)[begin + p] = label_scaler_.InverseTransformOne(
+        label_scaler_.ClampTransformed(outputs[p].At(0, 0)));
   }
+}
+
+Result<std::vector<double>> QppNet::PredictBatchMs(
+    const std::vector<PlanSample>& batch, ThreadPool* pool) const {
+  if (!scalers_fitted_) {
+    return Status::FailedPrecondition("QPPNet is untrained");
+  }
+  if (batch.empty()) return std::vector<double>{};
+
+  // Deduplicate repeated (plan, environment) requests, then shard the
+  // distinct requests into one contiguous block per worker; every shard
+  // runs its own wave-batched sweep with its own scratch buffers.
+  BatchRequestDedup dedup(batch);
+  const std::vector<PlanSample>& requests = dedup.unique;
+  for (const auto& s : requests) {
+    if (s.plan == nullptr) {
+      return Status::InvalidArgument("null plan in prediction batch");
+    }
+  }
+  std::vector<double> result(requests.size());
+  std::vector<std::pair<size_t, size_t>> shards = PartitionBlocks(
+      requests.size(), pool == nullptr ? 1 : pool->num_workers());
+  ParallelFor(pool, shards.size(), [&](size_t b) {
+    PredictShard(requests, shards[b].first, shards[b].second, &result);
+  });
   return dedup.Expand(result);
 }
 

@@ -41,9 +41,13 @@ class QppNet : public CostModel {
   /// Wave-batched inference: featurizes every plan once, then schedules
   /// nodes bottom-up into "waves" whose children are already computed, so
   /// each (wave, operator type) runs one matrix-batched unit forward over
-  /// the whole batch instead of a 1-row forward per node.
+  /// the whole batch instead of a 1-row forward per node. With a pool, the
+  /// deduped requests are sharded into contiguous blocks, one wave-batched
+  /// sweep per worker with per-shard scratch buffers; unit forwards are
+  /// row-independent, so shard boundaries never change a prediction.
+  using CostModel::PredictBatchMs;
   Result<std::vector<double>> PredictBatchMs(
-      const std::vector<PlanSample>& batch) const override;
+      const std::vector<PlanSample>& batch, ThreadPool* pool) const override;
   const OperatorFeaturizer* featurizer() const override { return featurizer_; }
   const LogTargetScaler* label_scaler() const override { return &label_scaler_; }
   Result<Mlp> OperatorView(
@@ -67,6 +71,12 @@ class QppNet : public CostModel {
   /// subtree-latency/label transforms that only training needs.
   EncodedPlan EncodePlan(const PlanNode& plan, int env_id, bool scale_features,
                          bool with_labels = true) const;
+
+  /// Wave-batched serving sweep over requests [begin, end), writing
+  /// predictions into the matching slots of `out` (one shard of
+  /// PredictBatchMs; the serial path is the single shard [0, n)).
+  void PredictShard(const std::vector<PlanSample>& requests, size_t begin,
+                    size_t end, std::vector<double>* out) const;
 
   /// Forward all nodes of one plan; returns per-node outputs (1 x d rows).
   void ForwardPlan(const EncodedPlan& plan,

@@ -27,6 +27,13 @@ size_t ScaledCount(size_t paper_count, size_t divisor, size_t min_quick);
 /// Human-readable name of the active scale ("quick" or "full").
 std::string RunScaleName();
 
+/// Worker-thread count for bench binaries: parses a `--threads=N` (or
+/// `--threads N`) command-line argument, falling back to the QCFE_THREADS
+/// environment variable, then to 1 (serial). 0 means one worker per
+/// hardware thread. All parallel paths are bit-identical across thread
+/// counts, so this flag only changes wall-clock.
+int ThreadsFromArgs(int argc, char** argv);
+
 /// Simple monotonic wall timer returning elapsed seconds.
 class WallTimer {
  public:

@@ -93,4 +93,14 @@ Rng Rng::Fork(uint64_t stream) {
   return Rng(salted);
 }
 
+Rng Rng::Split(uint64_t stream) const {
+  // Full SplitMix64 finalizer over (state, stream) so that adjacent stream
+  // ids land in well-separated states; a distinct additive constant keeps
+  // Split(i) decorrelated from Fork(i) at the same parent state.
+  uint64_t z = state_ + 0xBF58476D1CE4E5B9ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace qcfe

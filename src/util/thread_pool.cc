@@ -1,0 +1,144 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace qcfe {
+
+size_t ResolveNumThreads(int requested) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
+                                                       size_t max_blocks) {
+  std::vector<std::pair<size_t, size_t>> blocks;
+  if (n == 0 || max_blocks == 0) return blocks;
+  size_t k = std::min(max_blocks, n);
+  size_t base = n / k;
+  size_t rem = n % k;
+  size_t begin = 0;
+  for (size_t b = 0; b < k; ++b) {
+    size_t end = begin + base + (b < rem ? 1 : 0);
+    blocks.emplace_back(begin, end);
+    begin = end;
+  }
+  return blocks;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool shutting_down = false;
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return shutting_down || !queue.empty(); });
+        if (queue.empty()) return;  // shutting down and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : impl_(new Impl()) {
+  size_t n = ResolveNumThreads(num_threads);
+  impl_->workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+size_t ThreadPool::num_workers() const { return impl_->workers.size(); }
+
+bool ThreadPool::InWorkerThread() const {
+  std::thread::id self = std::this_thread::get_id();
+  for (const auto& worker : impl_->workers) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Serial fallbacks: no pool, a one-worker pool, a trivial range, or a
+  // nested call from inside a worker (whose block must not block on the
+  // queue it is itself draining).
+  if (pool == nullptr || pool->num_workers() <= 1 || n == 1 ||
+      pool->InWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::pair<size_t, size_t>> blocks =
+      PartitionBlocks(n, pool->num_workers());
+  size_t num_blocks = blocks.size();
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  } join;
+  join.remaining = num_blocks;
+  join.errors.assign(num_blocks, nullptr);
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    size_t begin = blocks[b].first;
+    size_t end = blocks[b].second;
+    pool->Submit([&join, &fn, b, begin, end] {
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join.mu);
+        join.errors[b] = std::current_exception();
+      }
+      // Notify while holding the lock: once we release it the waiting
+      // thread may return and destroy `join`, so no member may be touched
+      // after the unlock.
+      std::lock_guard<std::mutex> lock(join.mu);
+      if (--join.remaining == 0) join.cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.cv.wait(lock, [&] { return join.remaining == 0; });
+  // Rethrow the first failing block — what a serial loop would have hit
+  // first, independent of completion order.
+  for (const std::exception_ptr& err : join.errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace qcfe

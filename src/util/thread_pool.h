@@ -1,0 +1,101 @@
+#ifndef QCFE_UTIL_THREAD_POOL_H_
+#define QCFE_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// The shared concurrency layer. One ThreadPool is created per Pipeline (or
+/// per bench/test) and threaded through collection, snapshot fitting,
+/// feature reduction and batched serving. The design rules every parallel
+/// call site in this project follows:
+///
+///  * Determinism first. Work is partitioned into fixed contiguous blocks
+///    (no work stealing), every task writes only its own output slot, and
+///    callers reduce results in index order. Combined with per-task RNG
+///    streams (Rng::Split), any code built on ParallelFor/ParallelMap
+///    produces bit-identical results for every thread count, including the
+///    inline serial path (null pool / one worker).
+///  * Exceptions propagate. A task that throws does not crash a worker: the
+///    exception is captured and rethrown on the calling thread — the one
+///    from the lowest block index when several blocks throw, matching what
+///    a serial loop would have surfaced first.
+///  * Nesting degrades gracefully. A ParallelFor issued from inside a pool
+///    worker runs inline (serially) instead of deadlocking on the pool's
+///    own queue, so helpers can parallelize unconditionally.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace qcfe {
+
+/// User-facing parallelism knob, threaded from the harness --threads flag
+/// down through PipelineConfig to every parallel call site.
+struct Parallelism {
+  /// Unset (default) = inherit the surrounding default: serial, unless a
+  /// harness context threads its --threads setting through. Explicit 1 =
+  /// serial even when the context is parallel. 0 or negative = one worker
+  /// per hardware thread. Above 1 = that many workers.
+  std::optional<int> num_threads;
+};
+
+/// Resolves a Parallelism request to a concrete worker count (>= 1).
+size_t ResolveNumThreads(int requested);
+
+/// Splits [0, n) into at most `max_blocks` contiguous [begin, end) blocks,
+/// the first n % k blocks one longer. This fixed partition is what
+/// ParallelFor schedules and what sharded serving paths use directly when
+/// they need one explicit state object (scratch buffers) per block.
+std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
+                                                       size_t max_blocks);
+
+/// Fixed-size worker pool with a plain FIFO queue (deliberately
+/// work-stealing-free: block-partitioned loops don't benefit, and static
+/// scheduling keeps runs reproducible and easy to reason about under TSan).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 or negative means one per hardware
+  /// thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const;
+
+  /// True when the calling thread is one of this pool's workers (used by
+  /// ParallelFor to run nested loops inline instead of deadlocking).
+  bool InWorkerThread() const;
+
+  /// Enqueues a task. Tasks must not throw (ParallelFor wraps its blocks
+  /// with exception capture; use it rather than Submit for user code).
+  void Submit(std::function<void()> task);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs fn(i) for every i in [0, n). With a usable pool, [0, n) is split
+/// into at most num_workers contiguous blocks, one task per block; indices
+/// inside a block run in ascending order, exactly like the serial loop.
+/// Runs inline (plain serial loop) when `pool` is null, has one worker, the
+/// range is empty or a single index, or the caller is itself a pool worker.
+/// The first exception (lowest block) is rethrown on the calling thread.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// ParallelFor producing a value per index, in index order. T must be
+/// default-constructible; each task writes only its own slot.
+template <typename T>
+std::vector<T> ParallelMap(ThreadPool* pool, size_t n,
+                           const std::function<T(size_t)>& fn) {
+  std::vector<T> out(n);
+  ParallelFor(pool, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_THREAD_POOL_H_

@@ -7,6 +7,12 @@
 /// actuals and latencies) plus the total ground-truth latency. This is the
 /// training/test corpus for every estimator and the operator observation
 /// source for feature snapshots.
+///
+/// Collection is embarrassingly parallel by construction: every query i
+/// derives its own RNG streams with Rng::Split(i) (instantiation and latency
+/// noise), so queries are independent tasks and every entry point below is
+/// bit-identical at any thread count — a ThreadPool only changes wall-clock,
+/// never labels.
 
 #include <memory>
 #include <vector>
@@ -15,6 +21,7 @@
 #include "engine/knobs.h"
 #include "sql/template.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 
@@ -42,16 +49,30 @@ class QueryCollector {
       : db_(db), envs_(envs) {}
 
   /// Generates `count` labeled queries: templates round-robin, environments
-  /// round-robin, placeholders sampled from the data abstract.
+  /// round-robin, placeholders sampled from the data abstract. Queries are
+  /// executed across `pool` when given (null = serial, same results).
   Result<LabeledQuerySet> Collect(const std::vector<QueryTemplate>& templates,
-                                  size_t count, uint64_t seed);
+                                  size_t count, uint64_t seed,
+                                  ThreadPool* pool = nullptr);
 
   /// Runs every spec once under one specific environment (snapshot
   /// collection path: FSO uses original-template instantiations, FST the
   /// simplified queries).
   Result<LabeledQuerySet> RunSpecsUnderEnv(const std::vector<QuerySpec>& specs,
                                            const Environment& env,
-                                           uint64_t seed);
+                                           uint64_t seed,
+                                           ThreadPool* pool = nullptr);
+
+  /// The snapshot-collection grid: every spec under every environment, one
+  /// LabeledQuerySet per environment (aligned with `envs`). Environment e
+  /// uses the derived seed `seed ^ (0x9E37 * (env.id + 1))`, making each
+  /// slice bit-identical to RunSpecsUnderEnv with that seed; flattening the
+  /// (environment, spec) grid into one task list keeps all workers busy even
+  /// when environments are fewer than threads.
+  Result<std::vector<LabeledQuerySet>> RunSpecsGrid(
+      const std::vector<QuerySpec>& specs,
+      const std::vector<Environment>& envs, uint64_t seed,
+      ThreadPool* pool = nullptr);
 
  private:
   Database* db_;

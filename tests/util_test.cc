@@ -1,12 +1,15 @@
 /// Unit tests for src/util: Status/Result, RNG determinism and distribution
-/// sanity, metric definitions (q-error, Pearson, quantiles), string helpers
-/// and table rendering.
+/// sanity, the thread pool (coverage, exception propagation, nesting),
+/// metric definitions (q-error, Pearson, quantiles), string helpers and
+/// table rendering.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/env_config.h"
 #include "util/rng.h"
@@ -14,6 +17,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace qcfe {
 namespace {
@@ -159,6 +163,136 @@ TEST(RngTest, ForkStreamsAreIndependent) {
   EXPECT_NE(c1.Next(), c2.Next());
 }
 
+TEST(RngTest, SplitDoesNotAdvanceParent) {
+  Rng a(41), b(41);
+  (void)a.Split(0);
+  (void)a.Split(7);
+  // a's own stream is untouched by splitting.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SplitIsDeterministicAndOrderIndependent) {
+  Rng a(43), b(43);
+  Rng a5 = a.Split(5);
+  (void)b.Split(9);  // splitting other streams first changes nothing
+  Rng b5 = b.Split(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a5.Next(), b5.Next());
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(47);
+  Rng s1 = parent.Split(1);
+  Rng s2 = parent.Split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (s1.Next() == s2.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(ThreadPoolTest, ResolveNumThreads) {
+  EXPECT_EQ(ResolveNumThreads(3), 3u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_GE(ResolveNumThreads(0), 1u);   // hardware concurrency
+  EXPECT_GE(ResolveNumThreads(-1), 1u);
+}
+
+TEST(ThreadPoolTest, PartitionBlocksCoversRangeContiguously) {
+  auto blocks = PartitionBlocks(10, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  size_t at = 0;
+  for (const auto& [begin, end] : blocks) {
+    EXPECT_EQ(begin, at);
+    EXPECT_GT(end, begin);
+    at = end;
+  }
+  EXPECT_EQ(at, 10u);
+  EXPECT_TRUE(PartitionBlocks(0, 4).empty());
+  EXPECT_EQ(PartitionBlocks(3, 8).size(), 3u);  // never more blocks than items
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItems) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Zero items with a null pool is equally a no-op.
+  ParallelFor(nullptr, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsIndexOrder) {
+  ThreadPool pool(3);
+  std::vector<int> out = ParallelMap<int>(
+      &pool, 100, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 64,
+                  [&](size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool survives a throwing loop and stays usable.
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 16, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPoolTest, FirstBlockExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    ParallelFor(&pool, 4, [&](size_t i) {
+      throw std::runtime_error("block " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    // Blocks map 1:1 onto indices here, so the lowest index must surface.
+    EXPECT_STREQ(e.what(), "block 0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  ParallelFor(&pool, 8, [&](size_t outer) {
+    EXPECT_TRUE(pool.InWorkerThread());
+    // Nested loop on the same pool: must run inline, not deadlock.
+    ParallelFor(&pool, 8, [&](size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedExceptionStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(&pool, 4,
+                           [&](size_t) {
+                             ParallelFor(&pool, 4, [&](size_t j) {
+                               if (j == 3) throw std::logic_error("inner");
+                             });
+                           }),
+               std::logic_error);
+}
+
 TEST(StatsTest, QErrorPerfectPredictionIsOne) {
   EXPECT_DOUBLE_EQ(QError(10.0, 10.0), 1.0);
 }
@@ -289,6 +423,33 @@ TEST(EnvConfigTest, DefaultsToQuickScale) {
   EXPECT_EQ(RunScaleName(), "quick");
   EXPECT_EQ(ScaledCount(10000, 10, 500), 1000u);
   EXPECT_EQ(ScaledCount(1000, 10, 500), 500u);
+}
+
+TEST(EnvConfigTest, ThreadsFromArgsParsesBothForms) {
+  // Shield the no-flag fallback from a QCFE_THREADS in the developer's
+  // shell.
+  const char* saved = std::getenv("QCFE_THREADS");
+  std::string saved_value = saved == nullptr ? "" : saved;
+  unsetenv("QCFE_THREADS");
+
+  const char* eq[] = {"bench", "--threads=4"};
+  EXPECT_EQ(ThreadsFromArgs(2, const_cast<char**>(eq)), 4);
+  const char* sep[] = {"bench", "--threads", "8"};
+  EXPECT_EQ(ThreadsFromArgs(3, const_cast<char**>(sep)), 8);
+  const char* none[] = {"bench"};
+  EXPECT_EQ(ThreadsFromArgs(1, const_cast<char**>(none)), 1);
+  // Malformed values fall back to serial, not to all hardware threads.
+  const char* bad[] = {"bench", "--threads=abc"};
+  EXPECT_EQ(ThreadsFromArgs(2, const_cast<char**>(bad)), 1);
+
+  setenv("QCFE_THREADS", "6", 1);
+  EXPECT_EQ(ThreadsFromArgs(1, const_cast<char**>(none)), 6);
+
+  if (saved == nullptr) {
+    unsetenv("QCFE_THREADS");
+  } else {
+    setenv("QCFE_THREADS", saved_value.c_str(), 1);
+  }
 }
 
 TEST(EnvConfigTest, WallTimerAdvances) {
