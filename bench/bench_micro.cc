@@ -271,12 +271,20 @@ struct ParallelBenchRecorder {
     serve_batch = batch;
   }
 
-  bool empty() {
+  void RecordTrain(const std::string& model, int threads, double seconds) {
     std::lock_guard<std::mutex> lock(mu);
-    return fit_seconds.empty() && serve.empty();
+    auto key = std::make_pair(model, threads);
+    auto [it, inserted] = train_seconds.emplace(key, seconds);
+    if (!inserted && seconds < it->second) it->second = seconds;
   }
 
-  /// Minimal hand-rolled JSON: {"fit": [...], "predict_batch": [...]}.
+  bool empty() {
+    std::lock_guard<std::mutex> lock(mu);
+    return fit_seconds.empty() && serve.empty() && train_seconds.empty();
+  }
+
+  /// Minimal hand-rolled JSON:
+  /// {"fit": [...], "train": [...], "predict_batch": [...]}.
   void WriteJson(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu);
     std::ofstream os(path);
@@ -287,6 +295,20 @@ struct ParallelBenchRecorder {
       os << (first ? "" : ",") << "\n    {\"threads\": " << threads
          << ", \"seconds\": " << seconds << ", \"speedup\": "
          << (seconds > 0.0 && serial > 0.0 ? serial / seconds : 0.0) << "}";
+      first = false;
+    }
+    os << "\n  ],\n  \"train\": [";
+    first = true;
+    for (const auto& [key, seconds] : train_seconds) {
+      double serial_train = train_seconds.count({key.first, 1})
+                                ? train_seconds.at({key.first, 1})
+                                : 0.0;
+      os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
+         << "\", \"threads\": " << key.second << ", \"seconds\": " << seconds
+         << ", \"speedup\": "
+         << (seconds > 0.0 && serial_train > 0.0 ? serial_train / seconds
+                                                 : 0.0)
+         << "}";
       first = false;
     }
     os << "\n  ],\n  \"predict_batch\": [";
@@ -304,6 +326,7 @@ struct ParallelBenchRecorder {
 
   std::mutex mu;
   std::map<int, double> fit_seconds;
+  std::map<std::pair<std::string, int>, double> train_seconds;
   std::map<std::pair<std::string, int>, double> serve;
   size_t serve_batch = 0;
 };
@@ -334,6 +357,33 @@ BENCHMARK(BM_PipelineFitThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Chunk-parallel gradient training at a given worker count: a fresh
+/// estimator per iteration, trained for a fixed epoch budget through the
+/// attached pool. All thread counts produce bit-identical models (fixed
+/// chunk partition + chunk-order sink reduction), so the sweep isolates
+/// pure wall-clock scaling of Train itself.
+template <const char* kModel>
+void BM_TrainThreads(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = EstimatorRegistry::Global()
+                     .Create(kModel, {f.ctx->db->catalog(),
+                                      f.featurizer.get(), 3})
+                     .value();
+    model->set_thread_pool(pool.get());
+    state.ResumeTiming();
+    WallTimer timer;
+    benchmark::DoNotOptimize(model->Train(f.train, cfg, nullptr).ok());
+    ParallelBenchRecorder::Get().RecordTrain(kModel, threads, timer.Seconds());
+  }
+}
+
 template <const char* kModel>
 void BM_PredictBatchThreads(benchmark::State& state) {
   MicroFixture& f = MicroFixture::Get();
@@ -359,6 +409,20 @@ void BM_PredictBatchThreads(benchmark::State& state) {
 }
 constexpr char kQppName[] = "qppnet";
 constexpr char kMscnName[] = "mscn";
+BENCHMARK_TEMPLATE(BM_TrainThreads, kQppName)
+    ->Name("BM_QppNetTrainThreads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_TrainThreads, kMscnName)
+    ->Name("BM_MscnTrainThreads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_PredictBatchThreads, kQppName)
     ->Name("BM_QppNetPredictBatchThreads")
     ->Arg(1)

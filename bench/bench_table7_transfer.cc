@@ -103,7 +103,8 @@ int RunBenchmark(const std::string& bench_name, int num_threads) {
     Status st = (*basis)->ExtendSnapshots(h2_envs, fst, cfg.snapshot_scale,
                                           cfg.seed + (fst ? 5 : 4),
                                           &collect_ms);
-    if (!st.ok()) {
+    // kAlreadyExists = cached envs were deliberately refit; proceed.
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
       std::cerr << st.ToString() << "\n";
       return 1;
     }

@@ -122,7 +122,7 @@ std::array<OpDataset, kNumOpTypes> GatherOperatorData(
 /// over (x_i in D, x_j in R) of |ΔM / Δx_k|, with zero contribution when the
 /// dim does not differ. Division by |D||R| (not by the count of non-zero
 /// pairs) means never-varying dims score exactly 0.
-std::vector<double> DiffPropScores(Mlp* view, const OpDataset& data,
+std::vector<double> DiffPropScores(const Mlp& view, const OpDataset& data,
                                    size_t num_references, Rng* rng,
                                    ThreadPool* pool) {
   size_t dim = data.x.cols();
@@ -131,7 +131,7 @@ std::vector<double> DiffPropScores(Mlp* view, const OpDataset& data,
   size_t n_refs = std::min(num_references, n);
   std::vector<size_t> ref_idx = rng->SampleIndices(n, n_refs);
 
-  Matrix y_all = view->Predict(data.x);  // n x 1
+  Matrix y_all = view.Predict(data.x);  // n x 1
   double total_pairs = static_cast<double>(n) * static_cast<double>(n_refs);
   // One partial score vector per reference, summed in reference order: a
   // fixed-shape reduction whose result is independent of how references are
@@ -161,16 +161,38 @@ std::vector<double> DiffPropScores(Mlp* view, const OpDataset& data,
   return scores;
 }
 
-/// Gradient importance: E |dM/dx_k| via the view's input gradients.
-std::vector<double> GradientScores(Mlp* view, const OpDataset& data) {
-  Matrix grads = view->InputGradient(data.x);
-  std::vector<double> scores(data.x.cols(), 0.0);
-  for (size_t r = 0; r < grads.rows(); ++r) {
-    for (size_t c = 0; c < grads.cols(); ++c) {
-      scores[c] += std::fabs(grads.At(r, c));
-    }
+/// Gradient importance: E |dM/dx_k| via the view's tape-based input
+/// gradients. Rows fan out across the pool in fixed-width chunks (the
+/// partition depends only on the row count, never on the worker count) and
+/// the per-chunk partial sums combine in chunk order, so scores are
+/// bit-identical at any thread count. InputGradient runs on a private tape
+/// with a null gradient sink, so the view's parameter grads stay untouched.
+std::vector<double> GradientScores(const Mlp& view, const OpDataset& data,
+                                   ThreadPool* pool) {
+  constexpr size_t kRowChunk = 64;
+  size_t n = data.x.rows();
+  size_t dim = data.x.cols();
+  size_t num_chunks = (n + kRowChunk - 1) / kRowChunk;
+  std::vector<std::vector<double>> partial =
+      ParallelMap<std::vector<double>>(pool, num_chunks, [&](size_t c) {
+        size_t cs = c * kRowChunk;
+        size_t ce = std::min(cs + kRowChunk, n);
+        Matrix rows(ce - cs, dim);
+        for (size_t r = cs; r < ce; ++r) {
+          for (size_t k = 0; k < dim; ++k) rows.At(r - cs, k) = data.x.At(r, k);
+        }
+        Matrix grads = view.InputGradient(rows);
+        std::vector<double> p(dim, 0.0);
+        for (size_t r = 0; r < grads.rows(); ++r) {
+          for (size_t k = 0; k < dim; ++k) p[k] += std::fabs(grads.At(r, k));
+        }
+        return p;
+      });
+  std::vector<double> scores(dim, 0.0);
+  for (const auto& p : partial) {
+    for (size_t k = 0; k < dim; ++k) scores[k] += p[k];
   }
-  for (double& s : scores) s /= static_cast<double>(grads.rows());
+  for (double& s : scores) s /= static_cast<double>(n);
   return scores;
 }
 
@@ -295,8 +317,8 @@ Result<ReductionResult> ReduceFeatures(const CostModel& model,
                           config.greedy_max_rows, &op_rng, pool);
     } else {
       bool is_gd = config.algorithm == ReductionAlgorithm::kGradient;
-      r.scores = is_gd ? GradientScores(&view.value(), data[oi])
-                       : DiffPropScores(&view.value(), data[oi],
+      r.scores = is_gd ? GradientScores(view.value(), data[oi], pool)
+                       : DiffPropScores(view.value(), data[oi],
                                         config.num_references, &op_rng, pool);
       double threshold = config.eps_abs;
       if (is_gd) {

@@ -106,6 +106,9 @@ class SnapshotStore {
     auto it = snapshots_.find(env_id);
     return it == snapshots_.end() ? nullptr : &it->second;
   }
+  bool Contains(int env_id) const {
+    return snapshots_.find(env_id) != snapshots_.end();
+  }
   size_t size() const { return snapshots_.size(); }
 
  private:

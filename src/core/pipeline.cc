@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "util/string_util.h"
@@ -154,6 +156,24 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
     return Status::FailedPrecondition(
         "pipeline was fitted without a snapshot store");
   }
+  // Detect snapshot-cache collisions before computing anything: an env id
+  // that is already cached (or repeated within this request) used to be
+  // silently overwritten by whichever collection ran last. The refit below
+  // replaces each colliding entry with a snapshot that depends only on this
+  // call's (envs, scale, seed) — never on what was cached — and the
+  // returned status names the colliding ids. The stale entries are left in
+  // place until the collection succeeds, so a failed re-collection cannot
+  // punch holes in a store that was serving predictions.
+  std::vector<int> collided;
+  std::set<int> requested;
+  for (const Environment& env : envs) {
+    bool duplicate_in_request = !requested.insert(env.id).second;
+    if ((snapshot_store_->Contains(env.id) || duplicate_in_request) &&
+        std::find(collided.begin(), collided.end(), env.id) ==
+            collided.end()) {
+      collided.push_back(env.id);
+    }
+  }
   SnapshotBuilder snapshots(db_, templates_);
   double extra_ms = 0.0;
   size_t extra_queries = 0;
@@ -165,6 +185,13 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
   snapshot_collection_ms_ += extra_ms;
   snapshot_num_queries_ += extra_queries;
   if (collection_ms != nullptr) *collection_ms += extra_ms;
+  if (!collided.empty()) {
+    std::ostringstream os;
+    os << "snapshot cache collision: environment id(s)";
+    for (int id : collided) os << " " << id;
+    os << " invalidated and refit";
+    return Status::AlreadyExists(os.str());
+  }
   return Status::OK();
 }
 

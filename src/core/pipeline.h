@@ -102,6 +102,15 @@ class Pipeline {
   /// Computes snapshots for additional environments (new hardware) into the
   /// existing store: the transfer-learning entry point. Follow with
   /// Retrain() on labels from the new environments.
+  ///
+  /// Re-collecting an env id that is already cached is a snapshot-cache
+  /// collision: the stale snapshot is invalidated by the refit (the new fit
+  /// depends only on this call's arguments, never on cache history; a
+  /// failed collection leaves the old snapshot intact) and the call returns
+  /// kAlreadyExists naming the colliding id(s). The store is still
+  /// extended/refit in that case — callers that re-collect deliberately
+  /// should treat kAlreadyExists as success, as the in-repo transfer
+  /// drivers do.
   Status ExtendSnapshots(const std::vector<Environment>& envs,
                          bool from_templates, int scale, uint64_t seed,
                          double* collection_ms = nullptr);

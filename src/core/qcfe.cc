@@ -65,8 +65,13 @@ Status SnapshotBuilder::ComputeSnapshots(const std::vector<Environment>& envs,
         }
         return out;
       });
+  // Validate every fit before committing any: a failure must leave the
+  // store exactly as it was (ExtendSnapshots relies on this so a failed
+  // re-collection never replaces a snapshot that is serving predictions).
   for (size_t e = 0; e < envs.size(); ++e) {
     if (!fitted[e].status.ok()) return fitted[e].status;
+  }
+  for (size_t e = 0; e < envs.size(); ++e) {
     if (collection_ms != nullptr) *collection_ms += (*sets)[e].collection_ms;
     store->Put(envs[e].id, std::move(fitted[e].snapshot));
   }

@@ -35,6 +35,14 @@ struct TrainConfig {
   size_t batch_size = 32;
   double learning_rate = 1e-3;
   uint64_t seed = 1;
+  /// Samples per data-parallel gradient chunk. Each optimizer batch is cut
+  /// into fixed chunks of this width; chunks backprop concurrently into
+  /// private GradSinks across the model's thread pool and merge in chunk
+  /// index order. The partition depends only on batch_size and chunk_size —
+  /// never on the worker count — so the fitted model is bit-identical at
+  /// any thread count; chunk_size only trades scheduling granularity
+  /// against per-chunk accumulator overhead.
+  size_t chunk_size = 4;
   /// If > 0, evaluate mean q-error on `eval_set` every `eval_every` epochs
   /// (drives the paper's Figure 8 convergence curves).
   int eval_every = 0;

@@ -1,5 +1,6 @@
 #include "models/mscn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -202,15 +203,15 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b, const Matrix& c) {
 
 }  // namespace
 
-Matrix Mscn::Forward(const Packed& packed) {
+Matrix Mscn::ForwardPacked(const Packed& packed, NetTapes* tapes) const {
   size_t h = config_.set_hidden;
-  Matrix hj = join_net_->Forward(packed.joins);
-  Matrix hp = pred_net_->Forward(packed.preds);
-  Matrix ho = op_net_->Forward(packed.ops);
+  Matrix hj = join_net_->Forward(packed.joins, &tapes->join);
+  Matrix hp = pred_net_->Forward(packed.preds, &tapes->pred);
+  Matrix ho = op_net_->Forward(packed.ops, &tapes->op);
   Matrix pj = SegmentMean(hj, packed.join_offsets, h);
   Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
   Matrix po = SegmentMean(ho, packed.op_offsets, h);
-  return final_net_->Forward(ConcatCols(pj, pp, po));
+  return final_net_->Forward(ConcatCols(pj, pp, po), &tapes->final_net);
 }
 
 Matrix Mscn::PredictPacked(const Packed& packed) const {
@@ -230,9 +231,11 @@ Matrix Mscn::PredictPacked(const Packed& packed) const {
   return out;
 }
 
-void Mscn::Backward(const Packed& packed, const Matrix& grad_out) {
+void Mscn::BackwardPacked(const Packed& packed, const Matrix& grad_out,
+                          const NetTapes& tapes, NetSinks* sinks) const {
   size_t h = config_.set_hidden;
-  Matrix grad_concat = final_net_->Backward(grad_out);
+  Matrix grad_concat =
+      final_net_->Backward(grad_out, tapes.final_net, &sinks->final_net);
   // Split the concat gradient back into the three pooled segments.
   size_t nq = grad_concat.rows();
   Matrix gj(nq, h), gp(nq, h), go(nq, h);
@@ -244,11 +247,48 @@ void Mscn::Backward(const Packed& packed, const Matrix& grad_out) {
     }
   }
   join_net_->Backward(
-      SegmentExpand(gj, packed.join_offsets, packed.joins.rows(), h));
+      SegmentExpand(gj, packed.join_offsets, packed.joins.rows(), h),
+      tapes.join, &sinks->join);
   pred_net_->Backward(
-      SegmentExpand(gp, packed.pred_offsets, packed.preds.rows(), h));
+      SegmentExpand(gp, packed.pred_offsets, packed.preds.rows(), h),
+      tapes.pred, &sinks->pred);
   op_net_->Backward(
-      SegmentExpand(go, packed.op_offsets, packed.ops.rows(), h));
+      SegmentExpand(go, packed.op_offsets, packed.ops.rows(), h), tapes.op,
+      &sinks->op);
+}
+
+void Mscn::NetSinks::InitFor(Mscn* model) {
+  join.InitLike(model->join_net_->Grads());
+  pred.InitLike(model->pred_net_->Grads());
+  op.InitLike(model->op_net_->Grads());
+  final_net.InitLike(model->final_net_->Grads());
+}
+
+void Mscn::NetSinks::AddTo(Mscn* model) const {
+  join.AddTo(model->join_net_->Grads());
+  pred.AddTo(model->pred_net_->Grads());
+  op.AddTo(model->op_net_->Grads());
+  final_net.AddTo(model->final_net_->Grads());
+}
+
+double Mscn::TrainChunk(const std::vector<EncodedQuery>& encoded,
+                        const std::vector<size_t>& order, size_t start,
+                        size_t end, double inv_batch, NetTapes* tapes,
+                        NetSinks* sinks) const {
+  std::vector<const EncodedQuery*> chunk;
+  chunk.reserve(end - start);
+  for (size_t i = start; i < end; ++i) chunk.push_back(&encoded[order[i]]);
+  Packed packed = Pack(chunk);
+  Matrix out = ForwardPacked(packed, tapes);
+  Matrix grad(out.rows(), 1);
+  double loss = 0.0;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double err = out.At(r, 0) - packed.labels[r];
+    loss += err * err;
+    grad.At(r, 0) = 2.0 * err * inv_batch;
+  }
+  BackwardPacked(packed, grad, *tapes, sinks);
+  return loss;
 }
 
 void Mscn::FitScalers(const std::vector<EncodedQuery>& queries,
@@ -280,46 +320,67 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
     return Status::FailedPrecondition("featurizer width changed under MSCN");
   }
   WallTimer timer;
-  // First encode raw (for scaler fitting), then scale.
-  std::vector<EncodedQuery> raw;
+  ThreadPool* pool = thread_pool();
+  // First encode raw (for scaler fitting), then scale (per-query tasks,
+  // gathered in sample order).
+  std::vector<EncodedQuery> raw =
+      ParallelMap<EncodedQuery>(pool, train.size(), [&](size_t i) {
+        return EncodeQuery(*train[i].plan, train[i].env_id, /*scale=*/false);
+      });
   std::vector<double> labels_ms;
-  raw.reserve(train.size());
-  for (const auto& s : train) {
-    raw.push_back(EncodeQuery(*s.plan, s.env_id, /*scale=*/false));
-    labels_ms.push_back(s.label_ms);
-  }
+  labels_ms.reserve(train.size());
+  for (const auto& s : train) labels_ms.push_back(s.label_ms);
   FitScalers(raw, labels_ms);
-  std::vector<EncodedQuery> encoded;
-  encoded.reserve(train.size());
-  for (size_t i = 0; i < train.size(); ++i) {
-    encoded.push_back(
-        EncodeQuery(*train[i].plan, train[i].env_id, /*scale=*/true));
-    encoded.back().label_scaled = label_scaler_.TransformOne(labels_ms[i]);
-  }
+  std::vector<EncodedQuery> encoded =
+      ParallelMap<EncodedQuery>(pool, train.size(), [&](size_t i) {
+        EncodedQuery q =
+            EncodeQuery(*train[i].plan, train[i].env_id, /*scale=*/true);
+        q.label_scaled = label_scaler_.TransformOne(labels_ms[i]);
+        return q;
+      });
 
   static_cast<AdamOptimizer*>(optimizer_.get())->set_lr(config.learning_rate);
-  Rng shuffle_rng(config.seed);
+  Rng train_rng(config.seed);
   std::vector<size_t> order(encoded.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t chunk_size = std::max<size_t>(1, config.chunk_size);
+  // Per-chunk gradient state, reused across batches. The chunk partition
+  // depends only on batch_size and chunk_size — never on the worker count —
+  // and chunk sinks merge in chunk index order below, which keeps the
+  // fitted model bit-identical at any thread count. Module forwards are
+  // row-wise and pooling is per-query, so chunk boundaries never change a
+  // query's forward value either.
+  std::vector<NetTapes> tapes;
+  std::vector<NetSinks> sinks;
+  std::vector<double> chunk_losses;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    shuffle_rng.Shuffle(&order);
+    // Per-epoch order from an epoch-keyed Split stream: epoch e's shuffle
+    // depends only on (seed, e), not on thread count or prior epochs.
+    Rng epoch_rng = train_rng.Split(static_cast<uint64_t>(epoch));
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    epoch_rng.Shuffle(&order);
+
     double epoch_loss = 0.0;
     for (size_t start = 0; start < order.size(); start += config.batch_size) {
       size_t end = std::min(start + config.batch_size, order.size());
-      std::vector<const EncodedQuery*> batch;
-      for (size_t i = start; i < end; ++i) batch.push_back(&encoded[order[i]]);
-      Packed packed = Pack(batch);
       optimizer_->ZeroGrad();
-      Matrix out = Forward(packed);
-      Matrix grad(out.rows(), 1);
-      double inv = 1.0 / static_cast<double>(out.rows());
-      for (size_t r = 0; r < out.rows(); ++r) {
-        double err = out.At(r, 0) - packed.labels[r];
-        epoch_loss += err * err;
-        grad.At(r, 0) = 2.0 * err * inv;
+      double inv = 1.0 / static_cast<double>(end - start);
+      size_t num_chunks = (end - start + chunk_size - 1) / chunk_size;
+      if (tapes.size() < num_chunks) tapes.resize(num_chunks);
+      if (sinks.size() < num_chunks) sinks.resize(num_chunks);
+      chunk_losses.assign(num_chunks, 0.0);
+      ParallelFor(pool, num_chunks, [&](size_t c) {
+        sinks[c].InitFor(this);
+        size_t cs = start + c * chunk_size;
+        size_t ce = std::min(cs + chunk_size, end);
+        chunk_losses[c] =
+            TrainChunk(encoded, order, cs, ce, inv, &tapes[c], &sinks[c]);
+      });
+      // Fixed-order reduction: chunk index major, module order minor.
+      for (size_t c = 0; c < num_chunks; ++c) {
+        epoch_loss += chunk_losses[c];
+        sinks[c].AddTo(this);
       }
-      Backward(packed, grad);
       optimizer_->Step();
     }
     if (stats != nullptr) {
@@ -328,12 +389,63 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
       if (config.eval_every > 0 && !config.eval_set.empty() &&
           (epoch + 1) % config.eval_every == 0) {
         stats->eval_curve.emplace_back(
-            epoch + 1, EvalMeanQError(*this, config.eval_set, thread_pool()));
+            epoch + 1, EvalMeanQError(*this, config.eval_set, pool));
       }
     }
   }
   if (stats != nullptr) stats->train_seconds = timer.Seconds();
   return Status::OK();
+}
+
+std::vector<Matrix*> Mscn::Params() {
+  std::vector<Matrix*> out;
+  for (Mlp* net : {join_net_.get(), pred_net_.get(), op_net_.get(),
+                   final_net_.get()}) {
+    for (Matrix* p : net->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> Mscn::Grads() {
+  std::vector<Matrix*> out;
+  for (Mlp* net : {join_net_.get(), pred_net_.get(), op_net_.get(),
+                   final_net_.get()}) {
+    for (Matrix* g : net->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+Result<double> Mscn::TrainingLoss(const std::vector<PlanSample>& samples,
+                                  bool accumulate_gradients) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample set");
+  if (!scalers_fitted_) {
+    std::vector<EncodedQuery> raw;
+    std::vector<double> labels_ms;
+    raw.reserve(samples.size());
+    for (const auto& s : samples) {
+      raw.push_back(EncodeQuery(*s.plan, s.env_id, /*scale=*/false));
+      labels_ms.push_back(s.label_ms);
+    }
+    FitScalers(raw, labels_ms);
+  }
+  std::vector<EncodedQuery> encoded;
+  std::vector<size_t> order;
+  encoded.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    encoded.push_back(
+        EncodeQuery(*samples[i].plan, samples[i].env_id, /*scale=*/true));
+    encoded.back().label_scaled =
+        label_scaler_.TransformOne(samples[i].label_ms);
+    order.push_back(i);
+  }
+  double inv = 1.0 / static_cast<double>(samples.size());
+  NetTapes tapes;
+  NetSinks sinks;
+  sinks.InitFor(this);
+  double loss =
+      TrainChunk(encoded, order, 0, encoded.size(), inv, &tapes, &sinks);
+  if (accumulate_gradients) sinks.AddTo(this);
+  return loss * inv;
 }
 
 Result<double> Mscn::PredictMs(const PlanNode& plan, int env_id) const {

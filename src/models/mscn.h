@@ -36,6 +36,12 @@ class Mscn : public CostModel {
        MscnConfig config, uint64_t seed);
 
   std::string name() const override { return "MSCN"; }
+  /// Chunk-parallel training: each epoch's query order (drawn from an
+  /// epoch-keyed Rng::Split stream) is cut into fixed-width chunks
+  /// (TrainConfig::chunk_size) independent of the worker count; each chunk
+  /// packs its queries and backprops into private GradSinks concurrently
+  /// via the attached thread pool, and sinks merge into the optimizer-bound
+  /// gradients in chunk order — bit-identical models at any thread count.
   Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
                TrainStats* stats) override;
   Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
@@ -57,6 +63,20 @@ class Mscn : public CostModel {
   size_t join_dim() const { return join_dim_; }
   size_t pred_dim() const { return pred_dim_; }
   size_t op_dim() const { return op_dim_; }
+
+  /// Flat trainable-parameter / optimizer-bound gradient lists across the
+  /// four modules (join, predicate, operator, final), for autodiff
+  /// verification and external optimizers (same layout in both lists).
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+
+  /// Mean squared loss of the scaled-cost regression over `samples`,
+  /// treated as one batch. With `accumulate_gradients`, the matching
+  /// parameter gradients are added into Grads() (not applied). Fits the
+  /// scalers on `samples` if the model is untrained. Exposed so
+  /// finite-difference checks can verify the composite set-module backprop.
+  Result<double> TrainingLoss(const std::vector<PlanSample>& samples,
+                              bool accumulate_gradients);
 
  private:
   /// Pre-encoded query: the three element sets (each at least one row; empty
@@ -87,11 +107,36 @@ class Mscn : public CostModel {
   };
   Packed Pack(const std::vector<const EncodedQuery*>& batch) const;
 
-  /// Forward returns per-query predictions (nq x 1); pools cached for
-  /// Backward.
-  Matrix Forward(const Packed& packed);
+  /// One forward pass's activation record across the four modules; what
+  /// BackwardPacked consumes instead of per-layer caches.
+  struct NetTapes {
+    Mlp::Tape join, pred, op, final_net;
+  };
+
+  /// One training chunk's private gradient state across the four modules.
+  struct NetSinks {
+    GradSink join, pred, op, final_net;
+
+    /// (Re)shapes and zeroes every sink for this model's modules.
+    void InitFor(Mscn* model);
+    /// Merges into the optimizer-bound gradients in fixed module order.
+    void AddTo(Mscn* model) const;
+  };
+
+  /// Forward returns per-query predictions (nq x 1), recording module
+  /// activations on `tapes` for a subsequent BackwardPacked. Const and
+  /// state-free: concurrent chunks share only the read-only modules.
+  Matrix ForwardPacked(const Packed& packed, NetTapes* tapes) const;
   Matrix PredictPacked(const Packed& packed) const;
-  void Backward(const Packed& packed, const Matrix& grad_out);
+  void BackwardPacked(const Packed& packed, const Matrix& grad_out,
+                      const NetTapes& tapes, NetSinks* sinks) const;
+
+  /// Pack + forward + backward for queries [start, end) of `order`,
+  /// accumulating into `sinks` (seeded with 2 * err * inv_batch per query).
+  /// Returns the chunk's summed squared error.
+  double TrainChunk(const std::vector<EncodedQuery>& encoded,
+                    const std::vector<size_t>& order, size_t start, size_t end,
+                    double inv_batch, NetTapes* tapes, NetSinks* sinks) const;
 
   void FitScalers(const std::vector<EncodedQuery>& queries,
                   const std::vector<double>& labels_ms);

@@ -1,5 +1,6 @@
 #include "models/qppnet.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "models/registry.h"
@@ -128,24 +129,37 @@ void QppNet::ForwardPlan(const EncodedPlan& plan,
   }
 }
 
-double QppNet::BackwardPlan(const EncodedPlan& plan,
-                            const std::vector<Matrix>& node_outputs,
-                            double inv_node_count) {
+double QppNet::TrainPlan(const EncodedPlan& plan, double inv_node_count,
+                         ChunkAccum* accum) const {
   size_t d = config_.data_vector_dim;
-  std::vector<Matrix> grads(plan.nodes.size(), Matrix(1, d));
+  size_t n = plan.nodes.size();
+  // Bottom-up forward recording one tape per node (children always have
+  // larger pre-order indices, so reverse order computes leaves first).
+  std::vector<Matrix> outputs(n);
+  std::vector<Mlp::Tape> tapes(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    Matrix x = UnitInput(plan, i, outputs);
+    outputs[i] =
+        units_[static_cast<size_t>(plan.nodes[i].op)]->Forward(x, &tapes[i]);
+  }
+
+  std::vector<Matrix> grads(n, Matrix(1, d));
   double loss = 0.0;
   // Pre-order: parents first, so parent-propagated gradients are complete
   // before a node's own backward pass runs.
-  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const EncodedNode& node = plan.nodes[i];
-    double err = node_outputs[i].At(0, 0) - node.label_scaled;
+    double err = outputs[i].At(0, 0) - node.label_scaled;
     loss += err * err;
     grads[i].At(0, 0) += 2.0 * err * inv_node_count;
 
-    Mlp* unit = units_[static_cast<size_t>(node.op)].get();
-    Matrix x = UnitInput(plan, i, node_outputs);
-    unit->Forward(x);  // restore caches for this node
-    Matrix gx = unit->Backward(grads[i]);
+    size_t oi = static_cast<size_t>(node.op);
+    if (!accum->touched[oi]) {
+      accum->sinks[oi].InitLike(units_[oi]->Grads());
+      accum->touched[oi] = true;
+    }
+    Matrix gx = units_[oi]->Backward(grads[i], tapes[i], &accum->sinks[oi]);
     size_t feat_dim = node.feats.size();
     for (size_t c = 0; c < node.children.size() && c < config_.max_children;
          ++c) {
@@ -163,22 +177,32 @@ Status QppNet::Train(const std::vector<PlanSample>& train,
   WallTimer timer;
   FitScalers(train);
   static_cast<AdamOptimizer*>(optimizer_.get())->set_lr(config.learning_rate);
+  ThreadPool* pool = thread_pool();
 
-  // Pre-encode all plans once.
-  std::vector<EncodedPlan> encoded;
-  encoded.reserve(train.size());
-  size_t total_nodes = 0;
-  for (const auto& s : train) {
-    encoded.push_back(EncodePlan(*s.plan, s.env_id, /*scale_features=*/true));
-    total_nodes += encoded.back().nodes.size();
-  }
+  // Pre-encode all plans once (per-plan tasks; gathered in sample order).
+  std::vector<EncodedPlan> encoded =
+      ParallelMap<EncodedPlan>(pool, train.size(), [&](size_t i) {
+        return EncodePlan(*train[i].plan, train[i].env_id,
+                          /*scale_features=*/true);
+      });
 
-  Rng shuffle_rng(config.seed);
+  Rng train_rng(config.seed);
   std::vector<size_t> order(encoded.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t chunk_size = std::max<size_t>(1, config.chunk_size);
+  // Per-chunk gradient state, reused across batches. The chunk partition
+  // depends only on batch_size and chunk_size — never on the worker count —
+  // and chunk results merge in chunk index order below, which keeps the
+  // fitted model bit-identical at any thread count.
+  std::vector<ChunkAccum> accums;
+  std::vector<double> chunk_losses;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    shuffle_rng.Shuffle(&order);
+    // Per-epoch order from an epoch-keyed Split stream: epoch e's shuffle
+    // depends only on (seed, e), not on thread count or prior epochs.
+    Rng epoch_rng = train_rng.Split(static_cast<uint64_t>(epoch));
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    epoch_rng.Shuffle(&order);
+
     double epoch_loss = 0.0;
     size_t epoch_nodes = 0;
     for (size_t start = 0; start < order.size(); start += config.batch_size) {
@@ -190,10 +214,28 @@ Status QppNet::Train(const std::vector<PlanSample>& train,
       }
       double inv = batch_nodes > 0 ? 1.0 / static_cast<double>(batch_nodes)
                                    : 1.0;
-      std::vector<Matrix> outs;
-      for (size_t i = start; i < end; ++i) {
-        ForwardPlan(encoded[order[i]], &outs);
-        epoch_loss += BackwardPlan(encoded[order[i]], outs, inv);
+      size_t num_chunks = (end - start + chunk_size - 1) / chunk_size;
+      if (accums.size() < num_chunks) accums.resize(num_chunks);
+      chunk_losses.assign(num_chunks, 0.0);
+      ParallelFor(pool, num_chunks, [&](size_t c) {
+        ChunkAccum& accum = accums[c];
+        accum.BeginBatch();
+        size_t cs = start + c * chunk_size;
+        size_t ce = std::min(cs + chunk_size, end);
+        double loss = 0.0;
+        for (size_t i = cs; i < ce; ++i) {
+          loss += TrainPlan(encoded[order[i]], inv, &accum);
+        }
+        chunk_losses[c] = loss;
+      });
+      // Fixed-order reduction: chunk index major, operator index minor.
+      for (size_t c = 0; c < num_chunks; ++c) {
+        epoch_loss += chunk_losses[c];
+        for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
+          if (accums[c].touched[oi]) {
+            accums[c].sinks[oi].AddTo(units_[oi]->Grads());
+          }
+        }
       }
       epoch_nodes += batch_nodes;
       optimizer_->Step();
@@ -205,12 +247,53 @@ Status QppNet::Train(const std::vector<PlanSample>& train,
       if (config.eval_every > 0 && !config.eval_set.empty() &&
           (epoch + 1) % config.eval_every == 0) {
         stats->eval_curve.emplace_back(
-            epoch + 1, EvalMeanQError(*this, config.eval_set, thread_pool()));
+            epoch + 1, EvalMeanQError(*this, config.eval_set, pool));
       }
     }
   }
   if (stats != nullptr) stats->train_seconds = timer.Seconds();
   return Status::OK();
+}
+
+std::vector<Matrix*> QppNet::Params() {
+  std::vector<Matrix*> out;
+  for (auto& unit : units_) {
+    for (Matrix* p : unit->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> QppNet::Grads() {
+  std::vector<Matrix*> out;
+  for (auto& unit : units_) {
+    for (Matrix* g : unit->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+Result<double> QppNet::TrainingLoss(const std::vector<PlanSample>& samples,
+                                    bool accumulate_gradients) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample set");
+  FitScalers(samples);
+  std::vector<EncodedPlan> encoded;
+  encoded.reserve(samples.size());
+  size_t total_nodes = 0;
+  for (const auto& s : samples) {
+    encoded.push_back(EncodePlan(*s.plan, s.env_id, /*scale_features=*/true));
+    total_nodes += encoded.back().nodes.size();
+  }
+  if (total_nodes == 0) return Status::InvalidArgument("no plan nodes");
+  double inv = 1.0 / static_cast<double>(total_nodes);
+  ChunkAccum accum;
+  accum.BeginBatch();
+  double loss = 0.0;
+  for (const auto& plan : encoded) loss += TrainPlan(plan, inv, &accum);
+  if (accumulate_gradients) {
+    for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
+      if (accum.touched[oi]) accum.sinks[oi].AddTo(units_[oi]->Grads());
+    }
+  }
+  return loss * inv;
 }
 
 Result<double> QppNet::PredictMs(const PlanNode& plan, int env_id) const {

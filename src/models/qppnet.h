@@ -35,6 +35,13 @@ class QppNet : public CostModel {
          uint64_t seed);
 
   std::string name() const override { return "QPPNet"; }
+  /// Chunk-parallel training: each epoch's sample order (drawn from an
+  /// epoch-keyed Rng::Split stream) is cut into fixed-width chunks
+  /// (TrainConfig::chunk_size) independent of the worker count; chunks of
+  /// one optimizer batch backprop concurrently into private GradSinks via
+  /// the attached thread pool, and sinks merge into the optimizer-bound
+  /// gradients in chunk order — so the trained model is bit-identical at
+  /// any thread count.
   Status Train(const std::vector<PlanSample>& train, const TrainConfig& config,
                TrainStats* stats) override;
   Result<double> PredictMs(const PlanNode& plan, int env_id) const override;
@@ -54,6 +61,21 @@ class QppNet : public CostModel {
       OpType op, const std::vector<PlanSample>& context) const override;
 
   const Mlp& unit(OpType op) const { return *units_[static_cast<size_t>(op)]; }
+
+  /// Flat trainable-parameter / optimizer-bound gradient lists across all
+  /// neural units, in operator order (autodiff verification and external
+  /// optimizers; same layout in both lists).
+  std::vector<Matrix*> Params();
+  std::vector<Matrix*> Grads();
+
+  /// Mean per-node squared loss of the scaled subtree-latency regression
+  /// over `samples`, treated as one batch. With `accumulate_gradients`, the
+  /// matching parameter gradients are added into Grads() (not applied).
+  /// Fits the scalers on `samples` if the model is untrained. This is the
+  /// differentiable quantity Train() descends, exposed so finite-difference
+  /// checks can verify the tape-based composite backprop end to end.
+  Result<double> TrainingLoss(const std::vector<PlanSample>& samples,
+                              bool accumulate_gradients);
 
  private:
   /// Pre-encoded plan: nodes in pre-order with child links.
@@ -82,11 +104,22 @@ class QppNet : public CostModel {
   void ForwardPlan(const EncodedPlan& plan,
                    std::vector<Matrix>* node_outputs) const;
 
-  /// Accumulates gradients for one plan given per-node output gradients
-  /// seeded with the per-node loss terms. Returns the plan's summed loss.
-  double BackwardPlan(const EncodedPlan& plan,
-                      const std::vector<Matrix>& node_outputs,
-                      double inv_node_count);
+  /// One training chunk's private gradient state: a sink per neural unit,
+  /// lazily (re)zeroed on first touch within a batch so untouched units
+  /// cost nothing to reset or merge.
+  struct ChunkAccum {
+    std::array<GradSink, kNumOpTypes> sinks;
+    std::array<bool, kNumOpTypes> touched{};
+
+    void BeginBatch() { touched.fill(false); }
+  };
+
+  /// Forward + backward for one plan on per-node tapes, accumulating
+  /// parameter gradients (seeded with 2 * err * inv_node_count per node)
+  /// into `accum`. Returns the plan's summed squared error. Const and
+  /// state-free: concurrent calls only share the read-only units.
+  double TrainPlan(const EncodedPlan& plan, double inv_node_count,
+                   ChunkAccum* accum) const;
 
   /// Fits feature scalers and the label scaler on first training.
   void FitScalers(const std::vector<PlanSample>& train);

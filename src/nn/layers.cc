@@ -15,26 +15,25 @@ LinearLayer::LinearLayer(size_t in_dim, size_t out_dim, Rng* rng)
   w_.RandomizeGaussian(rng, stddev);
 }
 
-Matrix LinearLayer::Forward(const Matrix& input) {
-  cached_input_ = input;
-  return ForwardConst(input);
-}
-
-Matrix LinearLayer::ForwardConst(const Matrix& input) const {
+Matrix LinearLayer::Forward(const Matrix& input) const {
   Matrix out = Matrix::MatMul(input, w_);
   out.AddRowBroadcast(b_);
   return out;
 }
 
-void LinearLayer::ForwardConstInto(const Matrix& input, Matrix* output) const {
+void LinearLayer::ForwardInto(const Matrix& input, Matrix* output) const {
   Matrix::MatMulInto(input, w_, output);
   output->AddRowBroadcast(b_);
 }
 
-Matrix LinearLayer::Backward(const Matrix& grad_output) {
+Matrix LinearLayer::Backward(const Matrix& grad_output, const Matrix& input,
+                             const Matrix& /*output*/,
+                             Matrix* const* param_grads) const {
   // dW += X^T * dY ; db += colsum(dY) ; dX = dY * W^T
-  dw_.Add(Matrix::MatMulAT(cached_input_, grad_output));
-  db_.Add(grad_output.ColSum());
+  if (param_grads != nullptr) {
+    param_grads[0]->Add(Matrix::MatMulAT(input, grad_output));
+    param_grads[1]->Add(grad_output.ColSum());
+  }
   return Matrix::MatMulBT(grad_output, w_);
 }
 
@@ -43,18 +42,13 @@ void LinearLayer::ZeroGrad() {
   db_.Fill(0.0);
 }
 
-Matrix ReluLayer::Forward(const Matrix& input) {
-  cached_input_ = input;
-  return ForwardConst(input);
-}
-
-Matrix ReluLayer::ForwardConst(const Matrix& input) const {
+Matrix ReluLayer::Forward(const Matrix& input) const {
   Matrix out = input;
   for (double& x : out.data()) x = x > 0.0 ? x : 0.0;
   return out;
 }
 
-void ReluLayer::ForwardConstInto(const Matrix& input, Matrix* output) const {
+void ReluLayer::ForwardInto(const Matrix& input, Matrix* output) const {
   output->ResetShape(input.rows(), input.cols());
   const double* src = input.data().data();
   double* dst = output->data().data();
@@ -63,51 +57,45 @@ void ReluLayer::ForwardConstInto(const Matrix& input, Matrix* output) const {
   }
 }
 
-Matrix ReluLayer::Backward(const Matrix& grad_output) {
+Matrix ReluLayer::Backward(const Matrix& grad_output, const Matrix& input,
+                           const Matrix& /*output*/,
+                           Matrix* const* /*param_grads*/) const {
   Matrix grad = grad_output;
   for (size_t i = 0; i < grad.data().size(); ++i) {
-    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+    if (input.data()[i] <= 0.0) grad.data()[i] = 0.0;
   }
   return grad;
 }
 
-Matrix SigmoidLayer::Forward(const Matrix& input) {
-  Matrix out = ForwardConst(input);
-  cached_output_ = out;
-  return out;
-}
-
-Matrix SigmoidLayer::ForwardConst(const Matrix& input) const {
+Matrix SigmoidLayer::Forward(const Matrix& input) const {
   Matrix out = input;
   for (double& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
   return out;
 }
 
-Matrix SigmoidLayer::Backward(const Matrix& grad_output) {
+Matrix SigmoidLayer::Backward(const Matrix& grad_output,
+                              const Matrix& /*input*/, const Matrix& output,
+                              Matrix* const* /*param_grads*/) const {
   Matrix grad = grad_output;
   for (size_t i = 0; i < grad.data().size(); ++i) {
-    double y = cached_output_.data()[i];
+    double y = output.data()[i];
     grad.data()[i] *= y * (1.0 - y);
   }
   return grad;
 }
 
-Matrix TanhLayer::Forward(const Matrix& input) {
-  Matrix out = ForwardConst(input);
-  cached_output_ = out;
-  return out;
-}
-
-Matrix TanhLayer::ForwardConst(const Matrix& input) const {
+Matrix TanhLayer::Forward(const Matrix& input) const {
   Matrix out = input;
   for (double& x : out.data()) x = std::tanh(x);
   return out;
 }
 
-Matrix TanhLayer::Backward(const Matrix& grad_output) {
+Matrix TanhLayer::Backward(const Matrix& grad_output, const Matrix& /*input*/,
+                           const Matrix& output,
+                           Matrix* const* /*param_grads*/) const {
   Matrix grad = grad_output;
   for (size_t i = 0; i < grad.data().size(); ++i) {
-    double y = cached_output_.data()[i];
+    double y = output.data()[i];
     grad.data()[i] *= 1.0 - y * y;
   }
   return grad;

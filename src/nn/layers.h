@@ -2,11 +2,13 @@
 #define QCFE_NN_LAYERS_H_
 
 /// \file layers.h
-/// Minimal layer zoo with hand-derived backprop. Each layer caches what its
-/// backward pass needs during Forward(); Backward() returns the gradient with
-/// respect to the layer input, which is what both weight training and
-/// input-importance methods (gradient reduction, difference propagation)
-/// consume.
+/// Minimal layer zoo with hand-derived backprop. Layers are stateless with
+/// respect to activations: Forward() is const and side-effect free, and
+/// Backward() consumes the forward input/output the caller recorded on an
+/// Mlp::Tape instead of per-layer caches. That makes backprop reentrant —
+/// any number of threads can run forward/backward through the same layer
+/// concurrently, each with its own tape and gradient sink — which is what
+/// chunk-parallel training relies on.
 
 #include <memory>
 #include <vector>
@@ -26,36 +28,43 @@ enum class LayerKind {
   kTanh,
 };
 
-/// Base layer: batch-in, batch-out, differentiable.
+/// Base layer: batch-in, batch-out, differentiable, activation-stateless.
 class Layer {
  public:
   virtual ~Layer() = default;
 
   virtual LayerKind kind() const = 0;
 
-  /// Forward pass for a batch (rows = samples). Caches activations needed by
-  /// Backward().
-  virtual Matrix Forward(const Matrix& input) = 0;
+  /// Forward pass for a batch (rows = samples). No caching and no side
+  /// effects: safe to call from any number of threads concurrently.
+  virtual Matrix Forward(const Matrix& input) const = 0;
 
-  /// Forward pass with no caching and no side effects (thread-safe w.r.t.
-  /// other Forward calls); used for inference and diff-prop replays.
-  virtual Matrix ForwardConst(const Matrix& input) const = 0;
-
-  /// Allocation-free variant of ForwardConst for the batched serving path:
+  /// Allocation-free variant of Forward for the batched serving path:
   /// writes the result into `output` (reshaped as needed, reusing its
-  /// buffer). Numerically identical to ForwardConst. `output` must not alias
+  /// buffer). Numerically identical to Forward. `output` must not alias
   /// `input`.
-  virtual void ForwardConstInto(const Matrix& input, Matrix* output) const {
-    *output = ForwardConst(input);
+  virtual void ForwardInto(const Matrix& input, Matrix* output) const {
+    *output = Forward(input);
   }
 
-  /// Given dL/d(output), accumulates parameter gradients (if any) and returns
-  /// dL/d(input). Must be called after Forward() on the same batch.
-  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  /// Given dL/d(output) plus this layer's forward input and output (both
+  /// recorded on the caller's tape), returns dL/d(input). When
+  /// `param_grads` is non-null it points at num_param_grads() accumulator
+  /// matrices (Grads() order) into which the parameter gradients are added;
+  /// null skips parameter accumulation entirely (input-gradient probes).
+  virtual Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                          const Matrix& output,
+                          Matrix* const* param_grads) const = 0;
 
   /// Parameter/gradient pairs for the optimizer (empty for activations).
+  /// The gradient matrices are plain optimizer-bound accumulators; Backward
+  /// never touches them implicitly.
   virtual std::vector<Matrix*> Params() { return {}; }
   virtual std::vector<Matrix*> Grads() { return {}; }
+
+  /// Number of entries Grads() returns (0 for activations), without
+  /// materialising the vector.
+  virtual size_t num_param_grads() const { return 0; }
 
   /// Zeroes accumulated parameter gradients.
   virtual void ZeroGrad() {}
@@ -68,12 +77,14 @@ class LinearLayer : public Layer {
   LinearLayer(size_t in_dim, size_t out_dim, Rng* rng);
 
   LayerKind kind() const override { return LayerKind::kLinear; }
-  Matrix Forward(const Matrix& input) override;
-  Matrix ForwardConst(const Matrix& input) const override;
-  void ForwardConstInto(const Matrix& input, Matrix* output) const override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Forward(const Matrix& input) const override;
+  void ForwardInto(const Matrix& input, Matrix* output) const override;
+  Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                  const Matrix& output,
+                  Matrix* const* param_grads) const override;
   std::vector<Matrix*> Params() override { return {&w_, &b_}; }
   std::vector<Matrix*> Grads() override { return {&dw_, &db_}; }
+  size_t num_param_grads() const override { return 2; }
   void ZeroGrad() override;
 
   size_t in_dim() const { return w_.rows(); }
@@ -88,7 +99,6 @@ class LinearLayer : public Layer {
   Matrix b_;   // 1 x out_dim
   Matrix dw_;
   Matrix db_;
-  Matrix cached_input_;
 };
 
 /// Rectified linear unit. The dead-zero gradient of this layer is exactly the
@@ -96,37 +106,31 @@ class LinearLayer : public Layer {
 class ReluLayer : public Layer {
  public:
   LayerKind kind() const override { return LayerKind::kRelu; }
-  Matrix Forward(const Matrix& input) override;
-  Matrix ForwardConst(const Matrix& input) const override;
-  void ForwardConstInto(const Matrix& input, Matrix* output) const override;
-  Matrix Backward(const Matrix& grad_output) override;
-
- private:
-  Matrix cached_input_;
+  Matrix Forward(const Matrix& input) const override;
+  void ForwardInto(const Matrix& input, Matrix* output) const override;
+  Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                  const Matrix& output,
+                  Matrix* const* param_grads) const override;
 };
 
 /// Logistic sigmoid.
 class SigmoidLayer : public Layer {
  public:
   LayerKind kind() const override { return LayerKind::kSigmoid; }
-  Matrix Forward(const Matrix& input) override;
-  Matrix ForwardConst(const Matrix& input) const override;
-  Matrix Backward(const Matrix& grad_output) override;
-
- private:
-  Matrix cached_output_;
+  Matrix Forward(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                  const Matrix& output,
+                  Matrix* const* param_grads) const override;
 };
 
 /// Hyperbolic tangent.
 class TanhLayer : public Layer {
  public:
   LayerKind kind() const override { return LayerKind::kTanh; }
-  Matrix Forward(const Matrix& input) override;
-  Matrix ForwardConst(const Matrix& input) const override;
-  Matrix Backward(const Matrix& grad_output) override;
-
- private:
-  Matrix cached_output_;
+  Matrix Forward(const Matrix& input) const override;
+  Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                  const Matrix& output,
+                  Matrix* const* param_grads) const override;
 };
 
 }  // namespace qcfe

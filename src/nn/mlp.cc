@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/optimizer.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -35,15 +36,21 @@ Mlp::Mlp(const std::vector<size_t>& layer_dims, Activation act, Rng* rng)
   }
 }
 
-Matrix Mlp::Forward(const Matrix& input) {
+Matrix Mlp::Forward(const Matrix& input, Tape* tape) const {
+  tape->activations.clear();
+  tape->activations.reserve(layers_.size() + 1);
   Matrix x = input;
-  for (auto& layer : layers_) x = layer->Forward(x);
+  for (const auto& layer : layers_) {
+    tape->activations.push_back(std::move(x));
+    x = layer->Forward(tape->activations.back());
+  }
+  tape->activations.push_back(x);
   return x;
 }
 
 Matrix Mlp::Predict(const Matrix& input) const {
   Matrix x = input;
-  for (const auto& layer : layers_) x = layer->ForwardConst(x);
+  for (const auto& layer : layers_) x = layer->Forward(x);
   return x;
 }
 
@@ -55,46 +62,39 @@ const Matrix& Mlp::Predict(const Matrix& input, Scratch* scratch) const {
   const Matrix* src = &input;
   Matrix* dst = &scratch->ping;
   for (const auto& layer : layers_) {
-    layer->ForwardConstInto(*src, dst);
+    layer->ForwardInto(*src, dst);
     src = dst;
     dst = (dst == &scratch->ping) ? &scratch->pong : &scratch->ping;
   }
   return *src;
 }
 
-Matrix Mlp::ForwardCollect(const Matrix& input,
-                           std::vector<Matrix>* activations) const {
-  activations->clear();
-  Matrix x = input;
-  for (const auto& layer : layers_) {
-    activations->push_back(x);
-    x = layer->ForwardConst(x);
-  }
-  activations->push_back(x);
-  return x;
-}
-
-Matrix Mlp::Backward(const Matrix& grad_output) {
+Matrix Mlp::Backward(const Matrix& grad_output, const Tape& tape,
+                     GradSink* sink) const {
+  // Sink slots are laid out in Grads() order (layer by layer); walk layers
+  // in reverse while keeping the running offset past the current layer.
+  size_t offset = sink == nullptr ? 0 : sink->size();
+  Matrix* const* slots = sink == nullptr ? nullptr : sink->slots();
   Matrix g = grad_output;
   for (size_t i = layers_.size(); i > 0; --i) {
-    g = layers_[i - 1]->Backward(g);
+    const Layer& layer = *layers_[i - 1];
+    Matrix* const* param_grads = nullptr;
+    if (sink != nullptr) {
+      offset -= layer.num_param_grads();
+      if (layer.num_param_grads() > 0) param_grads = slots + offset;
+    }
+    g = layer.Backward(g, tape.activations[i - 1], tape.activations[i],
+                       param_grads);
   }
   return g;
 }
 
-Matrix Mlp::InputGradient(const Matrix& input) {
-  // Snapshot parameter grads so this probe does not pollute training state.
-  std::vector<Matrix> saved;
-  for (Matrix* g : Grads()) saved.push_back(*g);
-
-  Matrix out = Forward(input);
+Matrix Mlp::InputGradient(const Matrix& input) const {
+  Tape tape;
+  Matrix out = Forward(input, &tape);
   Matrix seed(out.rows(), out.cols());
   for (size_t r = 0; r < seed.rows(); ++r) seed.At(r, 0) = 1.0;
-  Matrix gin = Backward(seed);
-
-  std::vector<Matrix*> grads = Grads();
-  for (size_t i = 0; i < grads.size(); ++i) *grads[i] = saved[i];
-  return gin;
+  return Backward(seed, tape, /*sink=*/nullptr);
 }
 
 void Mlp::ZeroGrad() {

@@ -18,6 +18,7 @@
 
 namespace qcfe {
 
+class GradSink;
 class Rng;
 
 /// Activation used between hidden layers.
@@ -37,10 +38,23 @@ class Mlp {
   /// Deserialization constructor (empty net; use Load()).
   Mlp() = default;
 
-  /// Forward pass caching intermediates for a subsequent Backward().
-  Matrix Forward(const Matrix& input);
+  /// Caller-owned activation record of one forward pass: activations[0] is
+  /// the network input, activations[i] the input of layer i, and
+  /// activations[num_layers] the output. A tape is what Backward() reads
+  /// instead of per-layer caches, so forward/backward is reentrant: any
+  /// number of threads may run Forward/Backward through the same Mlp
+  /// concurrently as long as each owns its tape (and gradient sink). The
+  /// difference-propagation walker in src/core consumes the same record.
+  struct Tape {
+    std::vector<Matrix> activations;
+  };
 
-  /// Inference-only forward (no caches touched).
+  /// Forward pass recording every layer input plus the final output on
+  /// `tape` (cleared first) for a subsequent Backward(). Thread-safe: the
+  /// network is read-only, all state lands on the caller's tape.
+  Matrix Forward(const Matrix& input, Tape* tape) const;
+
+  /// Inference-only forward (no tape recorded).
   Matrix Predict(const Matrix& input) const;
 
   /// Reusable ping-pong buffers for allocation-free batched inference. One
@@ -57,20 +71,20 @@ class Mlp {
   /// identical to Predict() row for row.
   const Matrix& Predict(const Matrix& input, Scratch* scratch) const;
 
-  /// Forward pass that records the input to every layer plus the final
-  /// output: activations[0] = input, activations[i] = input of layer i,
-  /// activations[num_layers] = output. Used by difference propagation.
-  Matrix ForwardCollect(const Matrix& input,
-                        std::vector<Matrix>* activations) const;
-
-  /// Backprop from dL/d(output); accumulates parameter grads and returns
-  /// dL/d(input).
-  Matrix Backward(const Matrix& grad_output);
+  /// Backprop from dL/d(output) through the activations recorded on `tape`
+  /// (which must come from a Forward() on this network with the matching
+  /// input). Parameter gradients are added into `sink` (layout = Grads();
+  /// shape it with GradSink::InitLike); a null sink skips parameter
+  /// accumulation entirely, which is how gradient probes stay side-effect
+  /// free. Returns dL/d(input).
+  Matrix Backward(const Matrix& grad_output, const Tape& tape,
+                  GradSink* sink) const;
 
   /// d(output_0)/d(input) for each sample: runs Forward+Backward with a
-  /// one-hot output gradient; does not disturb accumulated parameter grads.
+  /// one-hot output gradient on a private tape and a null sink, so
+  /// optimizer-bound parameter grads are untouched (byte-for-byte).
   /// Returns a (batch x in_dim) matrix.
-  Matrix InputGradient(const Matrix& input);
+  Matrix InputGradient(const Matrix& input) const;
 
   void ZeroGrad();
 

@@ -5,6 +5,31 @@
 
 namespace qcfe {
 
+void GradSink::InitLike(const std::vector<Matrix*>& grads) {
+  if (grads_.size() != grads.size()) {
+    grads_.clear();
+    grads_.reserve(grads.size());
+    for (const Matrix* g : grads) grads_.emplace_back(g->rows(), g->cols());
+  } else {
+    for (size_t i = 0; i < grads.size(); ++i) {
+      if (grads_[i].rows() == grads[i]->rows() &&
+          grads_[i].cols() == grads[i]->cols()) {
+        grads_[i].Fill(0.0);
+      } else {
+        grads_[i] = Matrix(grads[i]->rows(), grads[i]->cols());
+      }
+    }
+  }
+  slot_ptrs_.clear();
+  slot_ptrs_.reserve(grads_.size());
+  for (Matrix& g : grads_) slot_ptrs_.push_back(&g);
+}
+
+void GradSink::AddTo(const std::vector<Matrix*>& grads) const {
+  assert(grads.size() == grads_.size());
+  for (size_t i = 0; i < grads_.size(); ++i) grads[i]->Add(grads_[i]);
+}
+
 SgdOptimizer::SgdOptimizer(std::vector<Matrix*> params,
                            std::vector<Matrix*> grads, double lr,
                            double momentum)

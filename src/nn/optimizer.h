@@ -2,8 +2,10 @@
 #define QCFE_NN_OPTIMIZER_H_
 
 /// \file optimizer.h
-/// First-order optimizers over (param, grad) pairs. Adam is the default for
-/// both estimators, matching the reference QPPNet/MSCN implementations.
+/// First-order optimizers over (param, grad) pairs, plus the caller-owned
+/// gradient accumulator (GradSink) that tape-based backprop writes into.
+/// Adam is the default for both estimators, matching the reference
+/// QPPNet/MSCN implementations.
 
 #include <memory>
 #include <vector>
@@ -11,6 +13,36 @@
 #include "nn/matrix.h"
 
 namespace qcfe {
+
+/// A caller-owned set of parameter-gradient accumulators, shaped like some
+/// network's Grads() list. Tape-based Mlp::Backward adds into a sink
+/// instead of mutating shared state, so each training chunk can own one:
+/// chunks backprop concurrently into private sinks, and the reduction adds
+/// the sinks into the optimizer-bound gradients in fixed chunk order —
+/// which is what makes chunk-parallel training bit-identical at any thread
+/// count.
+class GradSink {
+ public:
+  /// Shapes one zeroed accumulator per entry of `grads` (typically
+  /// Mlp::Grads()). Reuses existing allocations when the shapes already
+  /// match, so per-batch reinitialisation is cheap.
+  void InitLike(const std::vector<Matrix*>& grads);
+
+  /// Adds the accumulators into `grads` (same layout as InitLike). This is
+  /// the chunk-order reduction into the optimizer-bound gradients.
+  void AddTo(const std::vector<Matrix*>& grads) const;
+
+  size_t size() const { return grads_.size(); }
+  Matrix& slot(size_t i) { return grads_[i]; }
+  const Matrix& slot(size_t i) const { return grads_[i]; }
+  /// Contiguous accumulator pointers (size() entries), rebuilt by
+  /// InitLike; lets backprop slice per-layer views without allocating.
+  Matrix* const* slots() { return slot_ptrs_.data(); }
+
+ private:
+  std::vector<Matrix> grads_;
+  std::vector<Matrix*> slot_ptrs_;
+};
 
 /// Base optimizer bound to a fixed set of parameter/gradient pairs.
 class Optimizer {

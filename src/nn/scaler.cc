@@ -115,7 +115,7 @@ void LogTargetScaler::Fit(const std::vector<double>& y) {
 
 double LogTargetScaler::ClampTransformed(double yt, double margin) const {
   if (!fitted_) return yt;
-  if (yt < t_min_ - margin) return t_min_ - margin;
+  if (yt < t_min_) return t_min_;
   if (yt > t_max_ + margin) return t_max_ + margin;
   return yt;
 }

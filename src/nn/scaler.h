@@ -59,9 +59,13 @@ class LogTargetScaler {
   double TransformOne(double y) const;
 
   /// Clamps a transformed prediction to the label range observed at Fit()
-  /// time (+/- margin). Predictions outside the observed range are never
-  /// justified and unbounded extrapolation in log space produces
-  /// astronomical q-errors.
+  /// time (+ margin above only). Predictions outside the observed range are
+  /// never justified and unbounded extrapolation in log space produces
+  /// astronomical q-errors. Upward the margin is a benign log-space ratio;
+  /// downward it is not applied at all: for sub-millisecond labels
+  /// log1p(y) ~ y, so even a small downward margin crosses zero and expm1
+  /// would return a *negative* latency — predictions stop at the smallest
+  /// observed label instead.
   double ClampTransformed(double yt, double margin = 0.5) const;
 
   bool fitted() const { return fitted_; }

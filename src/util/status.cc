@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "NumericError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -22,6 +22,11 @@ enum class StatusCode {
   kParseError,
   kNumericError,
   kInternal,
+  /// The operation found (and replaced or refit) state that already
+  /// existed — e.g. re-collecting a snapshot for a cached environment. The
+  /// work was performed; the status names what collided so callers can
+  /// react (or ignore it deliberately).
+  kAlreadyExists,
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -55,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "nn/layers.h"
@@ -137,12 +138,14 @@ TEST(MlpTest, WeightGradientMatchesNumerical) {
   x.RandomizeGaussian(&rng, 1.0);
   std::vector<double> y{1, 2, 3, 4, 5};
 
-  // Analytic: dL/dW for L = 0.5 * sum((out - y)^2).
-  net.ZeroGrad();
-  Matrix out = net.Forward(x);
+  // Analytic: dL/dW for L = 0.5 * sum((out - y)^2), via a tape + sink.
+  Mlp::Tape tape;
+  Matrix out = net.Forward(x, &tape);
   Matrix grad(out.rows(), out.cols());
   for (size_t r = 0; r < out.rows(); ++r) grad.At(r, 0) = out.At(r, 0) - y[r];
-  net.Backward(grad);
+  GradSink sink;
+  sink.InitLike(net.Grads());
+  net.Backward(grad, tape, &sink);
 
   auto loss = [&]() {
     Matrix o = net.Predict(x);
@@ -154,7 +157,6 @@ TEST(MlpTest, WeightGradientMatchesNumerical) {
   };
 
   auto params = net.Params();
-  auto grads = net.Grads();
   const double eps = 1e-6;
   for (size_t p = 0; p < params.size(); ++p) {
     for (size_t k = 0; k < std::min<size_t>(params[p]->size(), 6); ++k) {
@@ -164,7 +166,7 @@ TEST(MlpTest, WeightGradientMatchesNumerical) {
       params[p]->data()[k] = save - eps;
       double lm = loss();
       params[p]->data()[k] = save;
-      EXPECT_NEAR(grads[p]->data()[k], (lp - lm) / (2 * eps), 1e-4);
+      EXPECT_NEAR(sink.slot(p).data()[k], (lp - lm) / (2 * eps), 1e-4);
     }
   }
 }
@@ -178,10 +180,13 @@ TEST(MlpTest, LearnsLinearFunction) {
   std::vector<double> y(64);
   for (size_t i = 0; i < 64; ++i) y[i] = 3.0 * x.At(i, 0) - 2.0 * x.At(i, 1) + 1.0;
 
+  Mlp::Tape tape;
+  GradSink sink;
   double last = 1e18;
   for (int epoch = 0; epoch < 400; ++epoch) {
     opt.ZeroGrad();
-    Matrix out = net.Forward(x);
+    sink.InitLike(net.Grads());
+    Matrix out = net.Forward(x, &tape);
     Matrix grad(out.rows(), 1);
     double loss = 0.0;
     for (size_t r = 0; r < out.rows(); ++r) {
@@ -189,31 +194,69 @@ TEST(MlpTest, LearnsLinearFunction) {
       loss += d * d;
       grad.At(r, 0) = 2.0 * d / static_cast<double>(out.rows());
     }
-    net.Backward(grad);
+    net.Backward(grad, tape, &sink);
+    sink.AddTo(net.Grads());
     opt.Step();
     last = loss / 64.0;
   }
   EXPECT_LT(last, 0.05);
 }
 
-TEST(MlpTest, ForwardCollectRecordsAllLayerInputs) {
+TEST(MlpTest, TapeRecordsAllLayerInputs) {
   Rng rng(47);
   Mlp net({3, 5, 2}, Activation::kRelu, &rng);
   Matrix x(4, 3);
   x.RandomizeGaussian(&rng, 1.0);
-  std::vector<Matrix> acts;
-  Matrix out = net.ForwardCollect(x, &acts);
+  Mlp::Tape tape;
+  Matrix out = net.Forward(x, &tape);
   // layers: Linear, ReLU, Linear -> 3 inputs + 1 output = 4 records.
-  ASSERT_EQ(acts.size(), net.num_layers() + 1);
-  EXPECT_EQ(acts.front().cols(), 3u);
-  EXPECT_EQ(acts.back().cols(), 2u);
+  ASSERT_EQ(tape.activations.size(), net.num_layers() + 1);
+  EXPECT_EQ(tape.activations.front().cols(), 3u);
+  EXPECT_EQ(tape.activations.back().cols(), 2u);
   for (size_t i = 0; i < out.data().size(); ++i) {
-    EXPECT_DOUBLE_EQ(out.data()[i], acts.back().data()[i]);
+    EXPECT_DOUBLE_EQ(out.data()[i], tape.activations.back().data()[i]);
   }
-  // Predict must agree with ForwardCollect.
+  // Predict must agree with the taped forward.
   Matrix p = net.Predict(x);
   for (size_t i = 0; i < out.data().size(); ++i) {
     EXPECT_DOUBLE_EQ(out.data()[i], p.data()[i]);
+  }
+}
+
+TEST(MlpTest, InputGradientLeavesAccumulatedGradsUntouched) {
+  // Regression for the documented InputGradient contract: the probe must
+  // not disturb optimizer-bound parameter grads. With tape-based backprop
+  // and a null sink they are never written at all, so the comparison is
+  // byte-for-byte, not approximate.
+  Rng rng(54);
+  Mlp net({3, 8, 1}, Activation::kRelu, &rng);
+  Matrix x(6, 3);
+  x.RandomizeGaussian(&rng, 1.0);
+
+  // Accumulate some nonzero parameter grads first.
+  Mlp::Tape tape;
+  Matrix out = net.Forward(x, &tape);
+  Matrix grad(out.rows(), 1);
+  for (size_t r = 0; r < out.rows(); ++r) grad.At(r, 0) = 1.0 + out.At(r, 0);
+  GradSink sink;
+  sink.InitLike(net.Grads());
+  net.Backward(grad, tape, &sink);
+  sink.AddTo(net.Grads());
+
+  std::vector<Matrix> before;
+  for (Matrix* g : net.Grads()) before.push_back(*g);
+  ASSERT_GT(before[0].Norm(), 0.0);
+
+  Matrix probe = net.InputGradient(x);
+  ASSERT_EQ(probe.rows(), x.rows());
+
+  std::vector<Matrix*> after = net.Grads();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    ASSERT_EQ(after[i]->data().size(), before[i].data().size());
+    EXPECT_EQ(0, std::memcmp(after[i]->data().data(), before[i].data().data(),
+                             before[i].data().size() * sizeof(double)))
+        << "grad matrix " << i << " changed";
   }
 }
 
@@ -421,6 +464,21 @@ TEST(ScalerTest, LogTargetHandlesConstant) {
   LogTargetScaler sc;
   sc.Fit({5.0, 5.0, 5.0});
   EXPECT_NEAR(sc.InverseTransformOne(sc.TransformOne(5.0)), 5.0, 1e-9);
+}
+
+TEST(ScalerTest, ClampedPredictionsNeverGoNegative) {
+  // Regression: the old clamp allowed `t_min - margin`, and for
+  // sub-millisecond labels log1p(y) ~ y, so the margin crossed zero and
+  // expm1 produced negative predicted latencies. The lower clamp now stops
+  // at the smallest observed label.
+  LogTargetScaler sc;
+  sc.Fit({0.04, 0.05, 12.0});
+  double lo = sc.InverseTransformOne(sc.ClampTransformed(-1e6));
+  EXPECT_GE(lo, 0.0);
+  EXPECT_NEAR(lo, 0.04, 1e-9);
+  // Upward extrapolation keeps its log-space margin.
+  double hi = sc.InverseTransformOne(sc.ClampTransformed(1e6));
+  EXPECT_GT(hi, 12.0);
 }
 
 TEST(ScalerTest, SerializationRoundTrip) {

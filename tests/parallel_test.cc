@@ -198,6 +198,86 @@ TEST_F(ParallelTest, GreedyReductionIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// --------------------------------------------------------------- training
+
+TEST_F(ParallelTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  // Chunk-parallel gradient training must produce the same model at every
+  // worker count: the chunk partition is fixed by (batch_size, chunk_size)
+  // and per-chunk sinks merge in chunk index order, so 1, 2 and 4 threads
+  // follow the same arithmetic. Loss curves (satellite of the per-epoch
+  // Split-keyed shuffles) and predictions are compared bitwise.
+  ThreadPool pool2(2);
+  for (const char* name : {"qppnet", "mscn"}) {
+    ThreadPool* pools[] = {nullptr, &pool2, pool_};
+    std::vector<std::unique_ptr<CostModel>> models;
+    std::vector<TrainStats> stats(3);
+    for (size_t t = 0; t < 3; ++t) {
+      BaseFeaturizer* featurizer = new BaseFeaturizer(ctx_->db->catalog());
+      featurizers_.emplace_back(featurizer);
+      auto model = EstimatorRegistry::Global().Create(
+          name, {ctx_->db->catalog(), featurizer, 77});
+      ASSERT_TRUE(model.ok()) << name;
+      (*model)->set_thread_pool(pools[t]);
+      TrainConfig cfg;
+      cfg.epochs = 5;
+      ASSERT_TRUE((*model)->Train(train_, cfg, &stats[t]).ok()) << name;
+      models.push_back(std::move(model.value()));
+    }
+    for (size_t t = 1; t < 3; ++t) {
+      ASSERT_EQ(stats[0].loss_curve.size(), stats[t].loss_curve.size());
+      for (size_t e = 0; e < stats[0].loss_curve.size(); ++e) {
+        EXPECT_EQ(stats[0].loss_curve[e], stats[t].loss_curve[e])
+            << name << " epoch " << e << " at thread config " << t;
+      }
+    }
+    auto serial = models[0]->PredictBatchMs(test_, nullptr);
+    ASSERT_TRUE(serial.ok()) << name;
+    for (size_t t = 1; t < 3; ++t) {
+      auto parallel = models[t]->PredictBatchMs(test_, nullptr);
+      ASSERT_TRUE(parallel.ok()) << name;
+      ASSERT_EQ(serial->size(), parallel->size());
+      for (size_t i = 0; i < serial->size(); ++i) {
+        EXPECT_EQ((*serial)[i], (*parallel)[i])
+            << name << " sample " << i << " at thread config " << t;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, WarmStartRetrainingKeepsThreadCountParity) {
+  // Transfer-style retraining (a second Train on the same model) must stay
+  // bit-identical too: epoch orders come from Split streams keyed by epoch
+  // index within each Train call, not from a generator whose state depends
+  // on how much work ran before.
+  ThreadPool pool2(2);
+  ThreadPool* pools[] = {nullptr, &pool2, pool_};
+  std::vector<std::unique_ptr<CostModel>> models;
+  for (size_t t = 0; t < 3; ++t) {
+    BaseFeaturizer* featurizer = new BaseFeaturizer(ctx_->db->catalog());
+    featurizers_.emplace_back(featurizer);
+    auto model = EstimatorRegistry::Global().Create(
+        "qppnet", {ctx_->db->catalog(), featurizer, 79});
+    ASSERT_TRUE(model.ok());
+    (*model)->set_thread_pool(pools[t]);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    ASSERT_TRUE((*model)->Train(train_, cfg, nullptr).ok());
+    cfg.seed = 5;
+    cfg.epochs = 2;
+    ASSERT_TRUE((*model)->Train(train_, cfg, nullptr).ok());
+    models.push_back(std::move(model.value()));
+  }
+  auto serial = models[0]->PredictBatchMs(test_, nullptr);
+  ASSERT_TRUE(serial.ok());
+  for (size_t t = 1; t < 3; ++t) {
+    auto parallel = models[t]->PredictBatchMs(test_, nullptr);
+    ASSERT_TRUE(parallel.ok());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*serial)[i], (*parallel)[i]) << " sample " << i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------- serving
 
 TEST_F(ParallelTest, ShardedBatchedServingMatchesScalarLoop) {

@@ -259,6 +259,50 @@ TEST_F(PipelineTest, ExtendSnapshotsAndRetrain) {
   EXPECT_EQ(stats.loss_curve.size(), 2u);
 }
 
+TEST_F(PipelineTest, ExtendSnapshotsNamesAndRefitsCacheCollisions) {
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.snapshot_scale = 1;
+  cfg.use_reduction = false;
+  cfg.train.epochs = 2;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const SnapshotStore* store = (*pipeline)->snapshot_store();
+  size_t before = store->size();
+
+  // Re-collect an environment that Fit already snapshotted: the collision
+  // must be detected and named, not silently last-write-wins.
+  std::vector<Environment> overlap = {ctx_->envs.front()};
+  Status st = (*pipeline)->ExtendSnapshots(overlap, /*from_templates=*/true,
+                                           /*scale=*/1, /*seed=*/91);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(st.message().find(std::to_string(ctx_->envs.front().id)),
+            std::string::npos)
+      << st.ToString();
+
+  // The environment was refit (invalidate + recompute), not dropped.
+  EXPECT_EQ(store->size(), before);
+  const FeatureSnapshot* first = store->Get(ctx_->envs.front().id);
+  ASSERT_NE(first, nullptr);
+  std::vector<double> coeffs;
+  for (OpType op : AllOpTypes()) {
+    for (double c : first->Get(op).coeffs) coeffs.push_back(c);
+  }
+
+  // Deterministic refit: a second collision with the same arguments lands
+  // on bit-identical coefficients, regardless of what was cached before.
+  Status again = (*pipeline)->ExtendSnapshots(overlap, /*from_templates=*/true,
+                                              /*scale=*/1, /*seed=*/91);
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+  const FeatureSnapshot* second = store->Get(ctx_->envs.front().id);
+  ASSERT_NE(second, nullptr);
+  size_t i = 0;
+  for (OpType op : AllOpTypes()) {
+    for (double c : second->Get(op).coeffs) EXPECT_EQ(c, coeffs[i++]);
+  }
+}
+
 TEST_F(PipelineTest, PipelineWithoutSnapshotRefusesExtension) {
   PipelineConfig cfg;
   cfg.estimator = "qppnet";
