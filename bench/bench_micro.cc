@@ -5,24 +5,39 @@
 ///
 /// The *Threads benchmarks sweep the thread-pool parallelism layer
 /// (Pipeline::Fit wall-time and batched serving throughput at 1/2/4/8
-/// workers); their best observed timings are additionally written to
-/// BENCH_parallel.json (machine-readable) when the run includes them, e.g.
-///   bench_micro --benchmark_filter=Threads
+/// workers) and the *KernelMode benchmarks plus the KernelGemm sweep
+/// measure the register-blocked kernel layer against the historical
+/// reference loops (before/after in one binary). Best observed timings are
+/// written to BENCH_parallel.json (machine-readable) when a run includes
+/// them, e.g.
+///   bench_micro --benchmark_filter='Threads|Kernel'
+/// Sections absent from the current run are preserved from an existing
+/// BENCH_parallel.json, so partial reruns never erase other sweeps.
+///
+/// `bench_micro --smoke` skips benchmarking and instead runs the kernel
+/// parity sweep end to end (every kernel, every dispatch mode, edge and
+/// real layer shapes, plus a short two-mode training loop), exiting
+/// non-zero on any bit mismatch — the CI gate for the kernel layer.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
 #include "engine/btree.h"
 #include "harness/evaluate.h"
 #include "models/registry.h"
+#include "nn/kernels.h"
 #include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -278,58 +293,381 @@ struct ParallelBenchRecorder {
     if (!inserted && seconds < it->second) it->second = seconds;
   }
 
+  /// Kernel before/after records: mode 0 = reference replay, 1 = auto
+  /// dispatch. All single-threaded (the kernel layer's own win).
+  void RecordKernelGemm(int shape_index, int mode, double ns) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(shape_index, mode);
+    auto [it, inserted] = kernel_gemm_ns.emplace(key, ns);
+    if (!inserted && ns < it->second) it->second = ns;
+  }
+
+  void RecordKernelTrain(const std::string& model, int mode, double seconds) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, mode);
+    auto [it, inserted] = kernel_train.emplace(key, seconds);
+    if (!inserted && seconds < it->second) it->second = seconds;
+  }
+
+  void RecordKernelServe(const std::string& model, int mode,
+                         double plans_per_sec) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, mode);
+    auto [it, inserted] = kernel_serve.emplace(key, plans_per_sec);
+    if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
+  }
+
+  void RecordKernelFit(int mode, double seconds) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = kernel_fit.emplace(mode, seconds);
+    if (!inserted && seconds < it->second) it->second = seconds;
+  }
+
   bool empty() {
     std::lock_guard<std::mutex> lock(mu);
-    return fit_seconds.empty() && serve.empty() && train_seconds.empty();
+    return fit_seconds.empty() && serve.empty() && train_seconds.empty() &&
+           kernel_gemm_ns.empty() && kernel_train.empty() &&
+           kernel_serve.empty() && kernel_fit.empty();
+  }
+
+  /// Extracts the raw text of `"key": <value>` from a previous dump (our
+  /// own writer's output), so sections the current run did not exercise
+  /// survive a partial rerun. Returns empty when absent.
+  static std::string ExtractSection(const std::string& json,
+                                    const std::string& key) {
+    std::string needle = "\"" + key + "\":";
+    size_t at = json.find(needle);
+    if (at == std::string::npos) return "";
+    size_t start = at + needle.size();
+    while (start < json.size() && json[start] == ' ') ++start;
+    if (start >= json.size() ||
+        (json[start] != '[' && json[start] != '{')) {
+      return "";
+    }
+    int depth = 0;
+    for (size_t i = start; i < json.size(); ++i) {
+      if (json[i] == '[' || json[i] == '{') ++depth;
+      if (json[i] == ']' || json[i] == '}') {
+        --depth;
+        if (depth == 0) return json.substr(start, i - start + 1);
+      }
+    }
+    return "";
   }
 
   /// Minimal hand-rolled JSON:
-  /// {"fit": [...], "train": [...], "predict_batch": [...]}.
+  /// {"fit": [...], "train": [...], "predict_batch": [...], "kernels": {...}}.
+  /// Sections with no data in this run are carried over from an existing
+  /// file — a partial `--benchmark_filter` rerun updates only what it ran
+  /// (historically a Fit/Train-only rerun silently emptied the
+  /// predict_batch section).
   void WriteJson(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu);
+    std::string previous;
+    {
+      std::ifstream is(path);
+      if (is.good()) {
+        std::string all((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+        previous = std::move(all);
+      }
+    }
+    auto carry = [&](const char* key) {
+      return ExtractSection(previous, key);
+    };
+
     std::ofstream os(path);
-    os << "{\n  \"fit\": [";
-    double serial = fit_seconds.count(1) ? fit_seconds.at(1) : 0.0;
-    bool first = true;
-    for (const auto& [threads, seconds] : fit_seconds) {
-      os << (first ? "" : ",") << "\n    {\"threads\": " << threads
-         << ", \"seconds\": " << seconds << ", \"speedup\": "
-         << (seconds > 0.0 && serial > 0.0 ? serial / seconds : 0.0) << "}";
-      first = false;
+    os << "{\n  \"fit\": ";
+    if (fit_seconds.empty() && !carry("fit").empty()) {
+      os << carry("fit");
+    } else {
+      os << "[";
+      double serial = fit_seconds.count(1) ? fit_seconds.at(1) : 0.0;
+      bool first = true;
+      for (const auto& [threads, seconds] : fit_seconds) {
+        os << (first ? "" : ",") << "\n    {\"threads\": " << threads
+           << ", \"seconds\": " << seconds << ", \"speedup\": "
+           << (seconds > 0.0 && serial > 0.0 ? serial / seconds : 0.0) << "}";
+        first = false;
+      }
+      os << "\n  ]";
     }
-    os << "\n  ],\n  \"train\": [";
-    first = true;
-    for (const auto& [key, seconds] : train_seconds) {
-      double serial_train = train_seconds.count({key.first, 1})
-                                ? train_seconds.at({key.first, 1})
-                                : 0.0;
-      os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
-         << "\", \"threads\": " << key.second << ", \"seconds\": " << seconds
-         << ", \"speedup\": "
-         << (seconds > 0.0 && serial_train > 0.0 ? serial_train / seconds
-                                                 : 0.0)
-         << "}";
-      first = false;
+    os << ",\n  \"train\": ";
+    if (train_seconds.empty() && !carry("train").empty()) {
+      os << carry("train");
+    } else {
+      os << "[";
+      bool first = true;
+      for (const auto& [key, seconds] : train_seconds) {
+        double serial_train = train_seconds.count({key.first, 1})
+                                  ? train_seconds.at({key.first, 1})
+                                  : 0.0;
+        os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
+           << "\", \"threads\": " << key.second << ", \"seconds\": " << seconds
+           << ", \"speedup\": "
+           << (seconds > 0.0 && serial_train > 0.0 ? serial_train / seconds
+                                                   : 0.0)
+           << "}";
+        first = false;
+      }
+      os << "\n  ]";
     }
-    os << "\n  ],\n  \"predict_batch\": [";
-    first = true;
-    for (const auto& [key, pps] : serve) {
-      os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
-         << "\", \"threads\": " << key.second
-         << ", \"batch\": " << serve_batch
-         << ", \"plans_per_sec\": " << pps << "}";
-      first = false;
+    os << ",\n  \"predict_batch\": ";
+    if (serve.empty() && !carry("predict_batch").empty()) {
+      os << carry("predict_batch");
+    } else {
+      os << "[";
+      bool first = true;
+      for (const auto& [key, pps] : serve) {
+        os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
+           << "\", \"threads\": " << key.second
+           << ", \"batch\": " << serve_batch << ", \"plans_per_sec\": " << pps
+           << "}";
+        first = false;
+      }
+      os << "\n  ]";
     }
-    os << "\n  ]\n}\n";
+    os << ",\n  \"kernels\": ";
+    if (kernel_gemm_ns.empty() && kernel_train.empty() &&
+        kernel_serve.empty() && kernel_fit.empty() &&
+        !carry("kernels").empty()) {
+      os << carry("kernels");
+    } else {
+      WriteKernelsSection(&os);
+    }
+    os << "\n}\n";
     std::cout << "wrote " << path << "\n";
   }
+
+  void WriteKernelsSection(std::ofstream* out);
 
   std::mutex mu;
   std::map<int, double> fit_seconds;
   std::map<std::pair<std::string, int>, double> train_seconds;
   std::map<std::pair<std::string, int>, double> serve;
   size_t serve_batch = 0;
+  std::map<std::pair<int, int>, double> kernel_gemm_ns;
+  std::map<std::pair<std::string, int>, double> kernel_train;
+  std::map<std::pair<std::string, int>, double> kernel_serve;
+  std::map<int, double> kernel_fit;
 };
+
+// ------------------------------------------------------- kernel sweeps
+
+/// GEMM shapes drawn from the real QPPNet/MSCN layer dims this binary
+/// trains and serves: per-node training rows, wave-batched serving
+/// buckets, packed set-module element matrices — sparse (one-hot/padded)
+/// and dense (standardized activations) variants of each.
+struct KernelShape {
+  const char* variant;  // "nn" (a*b+bias), "bt" (a*b^T), "at" (acc+=a^T*b)
+  size_t m, k, n;       // a is (m x k); nn: b (k x n); bt: b (n x k);
+                        // at: a is (k x m), b (k x n), acc (m x n)
+  double sparsity;      // zero fraction planted in a
+};
+
+constexpr KernelShape kKernelShapes[] = {
+    {"nn", 1, 66, 48, 0.90},    // QPPNet unit L1, per-node training row
+    {"nn", 1, 48, 48, 0.00},    // QPPNet unit L2 row, dense activation
+    {"nn", 64, 66, 48, 0.25},   // QPPNet wave bucket (padded child slots)
+    {"nn", 256, 58, 32, 0.95},  // MSCN predicate module, one-hot rows
+    {"nn", 256, 26, 64, 0.00},  // MSCN operator module, standardized dense
+    {"nn", 80, 96, 64, 0.00},   // MSCN final module over the 3h concat
+    {"bt", 1, 48, 66, 0.00},    // dX = dY * W^T, per-node backward row
+    {"bt", 64, 48, 48, 0.00},   // batched hidden-layer backward
+    {"at", 66, 1, 48, 0.90},    // dW += x^T dY, QPPNet rank-1 (k = 1 row)
+    {"at", 58, 16, 32, 0.95},   // dW += X^T dY, MSCN chunk (one-hot rows)
+    {"at", 48, 64, 48, 0.00},   // dense batched accumulate
+};
+constexpr int kNumKernelShapes =
+    static_cast<int>(sizeof(kKernelShapes) / sizeof(kKernelShapes[0]));
+
+Matrix RandomWithSparsity(size_t rows, size_t cols, double sparsity,
+                          Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+void ParallelBenchRecorder::WriteKernelsSection(std::ofstream* out) {
+  std::ofstream& os = *out;
+  os << "{\n    \"gemm\": [";
+  bool first = true;
+  for (int s = 0; s < kNumKernelShapes; ++s) {
+    if (!kernel_gemm_ns.count({s, 0}) && !kernel_gemm_ns.count({s, 1})) {
+      continue;
+    }
+    const KernelShape& shape = kKernelShapes[s];
+    double ref = kernel_gemm_ns.count({s, 0}) ? kernel_gemm_ns.at({s, 0}) : 0;
+    double opt = kernel_gemm_ns.count({s, 1}) ? kernel_gemm_ns.at({s, 1}) : 0;
+    os << (first ? "" : ",") << "\n      {\"variant\": \"" << shape.variant
+       << "\", \"m\": " << shape.m << ", \"k\": " << shape.k
+       << ", \"n\": " << shape.n << ", \"sparsity\": " << shape.sparsity
+       << ", \"reference_ns\": " << ref << ", \"optimized_ns\": " << opt
+       << ", \"speedup\": " << (ref > 0 && opt > 0 ? ref / opt : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ],\n    \"train\": [";
+  first = true;
+  for (const auto& [key, seconds] : kernel_train) {
+    if (key.second != 1) continue;
+    double ref =
+        kernel_train.count({key.first, 0}) ? kernel_train.at({key.first, 0})
+                                           : 0.0;
+    os << (first ? "" : ",") << "\n      {\"model\": \"" << key.first
+       << "\", \"reference_seconds\": " << ref
+       << ", \"optimized_seconds\": " << seconds << ", \"speedup\": "
+       << (ref > 0 && seconds > 0 ? ref / seconds : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ],\n    \"predict_batch\": [";
+  first = true;
+  for (const auto& [key, pps] : kernel_serve) {
+    if (key.second != 1) continue;
+    double ref =
+        kernel_serve.count({key.first, 0}) ? kernel_serve.at({key.first, 0})
+                                           : 0.0;
+    os << (first ? "" : ",") << "\n      {\"model\": \"" << key.first
+       << "\", \"batch\": 256, \"reference_plans_per_sec\": " << ref
+       << ", \"optimized_plans_per_sec\": " << pps << ", \"speedup\": "
+       << (ref > 0 && pps > 0 ? pps / ref : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ],\n    \"fit\": ";
+  if (kernel_fit.count(0) || kernel_fit.count(1)) {
+    double ref = kernel_fit.count(0) ? kernel_fit.at(0) : 0.0;
+    double opt = kernel_fit.count(1) ? kernel_fit.at(1) : 0.0;
+    os << "{\"reference_seconds\": " << ref
+       << ", \"optimized_seconds\": " << opt << ", \"speedup\": "
+       << (ref > 0 && opt > 0 ? ref / opt : 0.0) << "}";
+  } else {
+    os << "{}";
+  }
+  os << "\n  }";
+}
+
+/// One kernel invocation per iteration at the shape table entry
+/// state.range(0), under reference (range(1) == 0) or auto dispatch.
+void BM_KernelGemm(benchmark::State& state) {
+  const KernelShape& shape = kKernelShapes[state.range(0)];
+  const int mode = static_cast<int>(state.range(1));
+  kernels::ScopedKernelMode pin(mode == 0 ? kernels::KernelMode::kReference
+                                          : kernels::KernelMode::kAuto);
+  Rng rng(41);
+  Matrix a, b, bias, out;
+  if (std::strcmp(shape.variant, "nn") == 0) {
+    a = RandomWithSparsity(shape.m, shape.k, shape.sparsity, &rng);
+    b = RandomWithSparsity(shape.k, shape.n, 0.0, &rng);
+    bias = RandomWithSparsity(1, shape.n, 0.0, &rng);
+  } else if (std::strcmp(shape.variant, "bt") == 0) {
+    a = RandomWithSparsity(shape.m, shape.k, shape.sparsity, &rng);
+    b = RandomWithSparsity(shape.n, shape.k, 0.0, &rng);
+  } else {
+    a = RandomWithSparsity(shape.k, shape.m, shape.sparsity, &rng);
+    b = RandomWithSparsity(shape.k, shape.n, 0.0, &rng);
+    out.ResetShape(shape.m, shape.n);
+  }
+  WallTimer timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    if (std::strcmp(shape.variant, "nn") == 0) {
+      kernels::GemmNNBias(a, b, bias, &out);
+    } else if (std::strcmp(shape.variant, "bt") == 0) {
+      kernels::GemmBT(a, b, &out);
+    } else {
+      kernels::GemmATAccumulate(a, b, &out);
+    }
+    benchmark::DoNotOptimize(out.data().data());
+    ++iters;
+  }
+  if (iters > 0) {
+    ParallelBenchRecorder::Get().RecordKernelGemm(
+        static_cast<int>(state.range(0)), mode,
+        timer.Seconds() * 1e9 / static_cast<double>(iters));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(iters) *
+                          static_cast<int64_t>(shape.m * shape.k * shape.n));
+}
+BENCHMARK(BM_KernelGemm)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, kNumKernelShapes - 1, 1),
+                   {0, 1}});
+
+/// Before/after single-thread training: the same estimator trained under
+/// the reference kernel replay (mode 0: historical loops, temporary
+/// allocations included) and the production dispatch (mode 1). Models are
+/// bit-identical either way — the sweep isolates pure kernel-layer
+/// throughput, which BENCH_parallel.json records as the train delta.
+template <const char* kModel>
+void BM_TrainKernelMode(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int mode = static_cast<int>(state.range(0));
+  kernels::ScopedKernelMode pin(mode == 0 ? kernels::KernelMode::kReference
+                                          : kernels::KernelMode::kAuto);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = EstimatorRegistry::Global()
+                     .Create(kModel, {f.ctx->db->catalog(),
+                                      f.featurizer.get(), 3})
+                     .value();
+    state.ResumeTiming();
+    WallTimer timer;
+    benchmark::DoNotOptimize(model->Train(f.train, cfg, nullptr).ok());
+    ParallelBenchRecorder::Get().RecordKernelTrain(kModel, mode,
+                                                   timer.Seconds());
+  }
+}
+
+/// Before/after single-thread batched serving at batch 256.
+template <const char* kModel>
+void BM_PredictBatchKernelMode(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int mode = static_cast<int>(state.range(0));
+  kernels::ScopedKernelMode pin(mode == 0 ? kernels::KernelMode::kReference
+                                          : kernels::KernelMode::kAuto);
+  const CostModel* model =
+      std::string(kModel) == "qppnet" ? f.qpp.get() : f.mscn.get();
+  std::vector<PlanSample> batch = f.BatchOf(256);
+  for (auto _ : state) {
+    WallTimer timer;
+    auto p = model->PredictBatchMs(batch, nullptr);
+    double seconds = timer.Seconds();
+    benchmark::DoNotOptimize(p.ok());
+    if (seconds > 0.0) {
+      ParallelBenchRecorder::Get().RecordKernelServe(
+          kModel, mode, static_cast<double>(batch.size()) / seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+
+/// Before/after full pipeline fit (snapshot + reduction + training),
+/// single-threaded.
+void BM_PipelineFitKernelMode(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int mode = static_cast<int>(state.range(0));
+  kernels::ScopedKernelMode pin(mode == 0 ? kernels::KernelMode::kReference
+                                          : kernels::KernelMode::kAuto);
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.train.epochs = 6;
+  cfg.pre_reduction_epochs = 4;
+  cfg.parallelism.num_threads = 1;
+  for (auto _ : state) {
+    WallTimer timer;
+    auto pipeline = f.ctx->FitPipeline(cfg, f.train);
+    double seconds = timer.Seconds();
+    benchmark::DoNotOptimize(pipeline.ok());
+    ParallelBenchRecorder::Get().RecordKernelFit(mode, seconds);
+  }
+}
+BENCHMARK(BM_PipelineFitKernelMode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Full QCFE pipeline fit (snapshot + reduction + training) at a given
 /// worker count. All thread counts produce bit-identical pipelines, so the
@@ -435,6 +773,24 @@ BENCHMARK_TEMPLATE(BM_PredictBatchThreads, kMscnName)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+BENCHMARK_TEMPLATE(BM_TrainKernelMode, kQppName)
+    ->Name("BM_QppNetTrainKernelMode")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_TrainKernelMode, kMscnName)
+    ->Name("BM_MscnTrainKernelMode")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_PredictBatchKernelMode, kQppName)
+    ->Name("BM_QppNetPredictBatchKernelMode")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_TEMPLATE(BM_PredictBatchKernelMode, kMscnName)
+    ->Name("BM_MscnPredictBatchKernelMode")
+    ->Arg(0)
+    ->Arg(1);
 
 void BM_SnapshotFit(benchmark::State& state) {
   Rng rng(7);
@@ -466,12 +822,128 @@ void BM_DiffPropReduction(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffPropReduction)->Arg(16)->Arg(64);
 
+// ------------------------------------------------------------ smoke gate
+
+/// End-to-end kernel parity sweep without google-benchmark: every kernel
+/// entry point, every dispatch pin, over the real-shape table plus edge
+/// shapes, and a short two-mode training loop. Returns false on the first
+/// bit mismatch. This is what CI runs as `bench_micro --smoke`.
+bool RunKernelSmoke() {
+  using kernels::KernelMode;
+  size_t checks = 0;
+  size_t failures = 0;
+  auto expect_equal = [&](const Matrix& want, const Matrix& got,
+                          const char* what) {
+    ++checks;
+    if (want.rows() != got.rows() || want.cols() != got.cols()) {
+      std::cerr << "smoke: " << what << " shape mismatch\n";
+      ++failures;
+      return;
+    }
+    for (size_t i = 0; i < want.data().size(); ++i) {
+      if (want.data()[i] != got.data()[i]) {
+        std::cerr << "smoke: " << what << " bit mismatch at flat index " << i
+                  << "\n";
+        ++failures;
+        return;
+      }
+    }
+  };
+
+  struct EdgeShape {
+    size_t m, k, n;
+    double sparsity;
+  };
+  std::vector<EdgeShape> shapes = {{0, 3, 4, 0.0}, {1, 1, 1, 0.0},
+                                   {5, 9, 17, 0.5}, {13, 17, 11, 0.9},
+                                   {8, 6, 8, 1.0}};
+  for (const KernelShape& s : kKernelShapes) {
+    shapes.push_back({s.m, s.k, s.n, s.sparsity});
+  }
+  const KernelMode modes[] = {KernelMode::kAuto, KernelMode::kDense,
+                              KernelMode::kSparse};
+  Rng rng(53);
+  for (const EdgeShape& s : shapes) {
+    Matrix a = RandomWithSparsity(s.m, s.k, s.sparsity, &rng);
+    Matrix b = RandomWithSparsity(s.k, s.n, 0.0, &rng);
+    Matrix bias = RandomWithSparsity(1, s.n, 0.0, &rng);
+    Matrix at_a = RandomWithSparsity(s.k, s.m, s.sparsity, &rng);
+    Matrix bt_b = RandomWithSparsity(s.n, s.k, 0.0, &rng);
+    Matrix acc_seed = RandomWithSparsity(s.m, s.n, 0.0, &rng);
+    Matrix want_nn, want_relu, want_bt, want_at, got;
+    kernels::reference::GemmNNBias(a, b, bias, &want_nn);
+    kernels::reference::GemmNNBiasRelu(a, b, bias, &want_relu);
+    kernels::reference::GemmBT(a, bt_b, &want_bt);
+    Matrix want_acc = acc_seed;
+    kernels::reference::GemmATAccumulate(at_a, b, &want_acc);
+    for (KernelMode mode : modes) {
+      kernels::ScopedKernelMode pin(mode);
+      kernels::GemmNNBias(a, b, bias, &got);
+      expect_equal(want_nn, got, "GemmNNBias");
+      kernels::GemmNNBiasRelu(a, b, bias, &got);
+      expect_equal(want_relu, got, "GemmNNBiasRelu");
+      kernels::GemmBT(a, bt_b, &got);
+      expect_equal(want_bt, got, "GemmBT");
+      Matrix acc = acc_seed;
+      kernels::GemmATAccumulate(at_a, b, &acc);
+      expect_equal(want_acc, acc, "GemmATAccumulate");
+    }
+  }
+
+  // Two-mode training loop: byte-identical weights after 10 Adam steps.
+  auto train_flat = [](kernels::KernelMode mode) {
+    kernels::ScopedKernelMode pin(mode);
+    Rng net_rng(59);
+    Mlp net({11, 16, 1}, Activation::kRelu, &net_rng);
+    AdamOptimizer opt(net.Params(), net.Grads(), 1e-2);
+    Matrix x(20, 11);
+    x.RandomizeGaussian(&net_rng, 1.0);
+    Mlp::Tape tape;
+    GradSink sink;
+    for (int step = 0; step < 10; ++step) {
+      opt.ZeroGrad();
+      sink.InitLike(net.Grads());
+      const Matrix& out = net.Forward(x, &tape);
+      Matrix grad(out.rows(), 1);
+      for (size_t r = 0; r < grad.rows(); ++r) {
+        grad.At(r, 0) = out.At(r, 0) - 1.0;
+      }
+      net.Backward(grad, &tape, &sink);
+      sink.AddTo(net.Grads());
+      opt.Step();
+    }
+    std::vector<double> flat;
+    for (Matrix* p : net.Params()) {
+      for (double v : p->data()) flat.push_back(v);
+    }
+    return flat;
+  };
+  std::vector<double> ref = train_flat(KernelMode::kReference);
+  std::vector<double> opt = train_flat(KernelMode::kAuto);
+  ++checks;
+  if (ref != opt) {
+    std::cerr << "smoke: two-mode training produced different weights\n";
+    ++failures;
+  }
+
+  std::cout << "kernel smoke: " << (checks - failures) << "/" << checks
+            << " checks passed\n";
+  return failures == 0;
+}
+
 }  // namespace
 }  // namespace qcfe
 
-/// BENCHMARK_MAIN plus a post-run dump of the thread-sweep results: any run
-/// that included the *Threads benchmarks leaves BENCH_parallel.json behind.
+/// BENCHMARK_MAIN plus a post-run dump of the sweep results: any run that
+/// included the *Threads / *Kernel* benchmarks updates BENCH_parallel.json
+/// (merging with sections a partial rerun did not touch). `--smoke` runs
+/// the kernel parity gate instead of benchmarks.
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return qcfe::RunKernelSmoke() ? 0 : 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

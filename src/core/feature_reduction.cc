@@ -131,7 +131,10 @@ std::vector<double> DiffPropScores(const Mlp& view, const OpDataset& data,
   size_t n_refs = std::min(num_references, n);
   std::vector<size_t> ref_idx = rng->SampleIndices(n, n_refs);
 
-  Matrix y_all = view.Predict(data.x);  // n x 1
+  // Scratch-based forward: the view's GEMMs run through the blocked
+  // kernels without per-layer allocations.
+  Mlp::Scratch y_scratch;
+  const Matrix& y_all = view.Predict(data.x, &y_scratch);  // n x 1
   double total_pairs = static_cast<double>(n) * static_cast<double>(n_refs);
   // One partial score vector per reference, summed in reference order: a
   // fixed-shape reduction whose result is independent of how references are
@@ -181,7 +184,11 @@ std::vector<double> GradientScores(const Mlp& view, const OpDataset& data,
         for (size_t r = cs; r < ce; ++r) {
           for (size_t k = 0; k < dim; ++k) rows.At(r - cs, k) = data.x.At(r, k);
         }
-        Matrix grads = view.InputGradient(rows);
+        // Tape-backed probe: the forward/backward sweep reuses one scratch
+        // arena instead of allocating per layer, and the null sink keeps
+        // the view's parameter grads byte-identical.
+        Mlp::Tape tape;
+        Matrix grads = view.InputGradient(rows, &tape);
         std::vector<double> p(dim, 0.0);
         for (size_t r = 0; r < grads.rows(); ++r) {
           for (size_t k = 0; k < dim; ++k) p[k] += std::fabs(grads.At(r, k));
@@ -207,7 +214,8 @@ double MaskedQError(Mlp* view, const LogTargetScaler& scaler,
     if (!masked[c] && static_cast<ptrdiff_t>(c) != extra) continue;
     for (size_t r = 0; r < x.rows(); ++r) x.At(r, c) = col_mean[c];
   }
-  Matrix y = view->Predict(x);
+  Mlp::Scratch scratch;
+  const Matrix& y = view->Predict(x, &scratch);
   std::vector<double> qe(x.rows());
   for (size_t r = 0; r < x.rows(); ++r) {
     double pred_ms = scaler.InverseTransformOne(y.At(r, 0));

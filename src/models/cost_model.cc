@@ -1,5 +1,7 @@
 #include "models/cost_model.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -63,6 +65,23 @@ Result<std::vector<double>> CostModel::PredictBatchMs(
 }
 
 double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }
+
+size_t ResolveTrainChunkSize(const TrainConfig& config,
+                             double merge_cost_elems,
+                             double per_sample_cost_elems) {
+  if (config.chunk_size > 0) return config.chunk_size;
+  const size_t batch = std::max<size_t>(1, config.batch_size);
+  // Keep per-chunk sink overhead under 1/16 of the chunk's backprop work:
+  // chunk >= merge / (target * per_sample). Degenerate inputs (no measured
+  // compute) fall back to single-sample chunks.
+  constexpr double kTargetOverheadFraction = 1.0 / 16.0;
+  if (per_sample_cost_elems <= 0.0 || merge_cost_elems <= 0.0) return 1;
+  double width = std::ceil(merge_cost_elems /
+                           (kTargetOverheadFraction * per_sample_cost_elems));
+  if (width < 1.0) width = 1.0;
+  if (width > static_cast<double>(batch)) width = static_cast<double>(batch);
+  return static_cast<size_t>(width);
+}
 
 double EvalMeanQError(const CostModel& model,
                       const std::vector<PlanSample>& eval_set,

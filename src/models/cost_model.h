@@ -38,11 +38,20 @@ struct TrainConfig {
   /// Samples per data-parallel gradient chunk. Each optimizer batch is cut
   /// into fixed chunks of this width; chunks backprop concurrently into
   /// private GradSinks across the model's thread pool and merge in chunk
-  /// index order. The partition depends only on batch_size and chunk_size —
-  /// never on the worker count — so the fitted model is bit-identical at
-  /// any thread count; chunk_size only trades scheduling granularity
-  /// against per-chunk accumulator overhead.
-  size_t chunk_size = 4;
+  /// index order. The partition depends only on batch_size and the
+  /// resolved chunk_size — never on the worker count — so the fitted model
+  /// is bit-identical at any thread count; chunk_size only trades
+  /// scheduling granularity against per-chunk accumulator overhead.
+  ///
+  /// 0 (the default) autotunes: models derive the width from batch_size and
+  /// the measured per-chunk sink-merge cost — the exact count of gradient
+  /// elements a chunk zeroes and merges versus the per-sample backprop
+  /// element count (see ResolveTrainChunkSize). Element counts rather than
+  /// wall timings keep the partition deterministic, so autotuned training
+  /// stays bit-identical across runs and thread counts; small models whose
+  /// merge cost rivals their per-sample compute get wider chunks instead
+  /// of over-chunking at a fixed width.
+  size_t chunk_size = 0;
   /// If > 0, evaluate mean q-error on `eval_set` every `eval_every` epochs
   /// (drives the paper's Figure 8 convergence curves).
   int eval_every = 0;
@@ -122,6 +131,23 @@ class CostModel {
 /// Subtree latency of a node: the per-operator training signal used by
 /// plan-structured models (sum of actual_ms in the subtree).
 double SubtreeLatencyMs(const PlanNode& node);
+
+/// Cost-model constant for chunk autotuning: backprop element-traffic per
+/// parameter element per sample (forward + backward + accumulate roughly
+/// triple the forward's two flops per weight).
+constexpr double kTrainFlopsPerParam = 6.0;
+
+/// Resolves TrainConfig::chunk_size. Explicit widths pass through; 0
+/// (auto) picks the smallest chunk whose per-chunk sink overhead
+/// (`merge_cost_elems`, the gradient elements zeroed + merged per chunk)
+/// stays under a fixed fraction of the chunk's compute
+/// (`per_sample_cost_elems` per sample), clamped to [1, batch_size]. All
+/// inputs are deterministic element counts, so the resolved width — and
+/// with it the chunk partition and the trained model — is identical across
+/// runs and thread counts.
+size_t ResolveTrainChunkSize(const TrainConfig& config,
+                             double merge_cost_elems,
+                             double per_sample_cost_elems);
 
 /// Mean q-error of the model on `eval_set` through the batched, pool-sharded
 /// serving path (bit-identical to the per-plan loop). Drives the per-epoch

@@ -125,56 +125,73 @@ Mscn::EncodedQuery Mscn::EncodeQuery(const PlanNode& plan, int env_id,
 
 Mscn::Packed Mscn::Pack(const std::vector<const EncodedQuery*>& batch) const {
   Packed p;
+  PackInto(batch, &p);
+  return p;
+}
+
+void Mscn::PackInto(const std::vector<const EncodedQuery*>& batch,
+                    Packed* p) const {
   size_t nj = 0, np = 0, no = 0;
   for (const auto* q : batch) {
     nj += q->joins.size();
     np += q->preds.size();
     no += q->ops.size();
   }
-  p.joins = Matrix(nj, join_dim_);
-  p.preds = Matrix(np, pred_dim_);
-  p.ops = Matrix(no, op_dim_);
-  p.join_offsets = {0};
-  p.pred_offsets = {0};
-  p.op_offsets = {0};
+  // Every row is fully overwritten by SetRow below, so the element
+  // matrices reshape without zeroing (and without reallocating at steady
+  // chunk sizes).
+  p->joins.ResetShapeUninitialized(nj, join_dim_);
+  p->preds.ResetShapeUninitialized(np, pred_dim_);
+  p->ops.ResetShapeUninitialized(no, op_dim_);
+  p->join_offsets.assign(1, 0);
+  p->pred_offsets.assign(1, 0);
+  p->op_offsets.assign(1, 0);
+  p->labels.clear();
   size_t ji = 0, pi = 0, oi = 0;
   for (const auto* q : batch) {
-    for (const auto& r : q->joins) p.joins.SetRow(ji++, r);
-    for (const auto& r : q->preds) p.preds.SetRow(pi++, r);
-    for (const auto& r : q->ops) p.ops.SetRow(oi++, r);
-    p.join_offsets.push_back(ji);
-    p.pred_offsets.push_back(pi);
-    p.op_offsets.push_back(oi);
-    p.labels.push_back(q->label_scaled);
+    for (const auto& r : q->joins) p->joins.SetRow(ji++, r);
+    for (const auto& r : q->preds) p->preds.SetRow(pi++, r);
+    for (const auto& r : q->ops) p->ops.SetRow(oi++, r);
+    p->join_offsets.push_back(ji);
+    p->pred_offsets.push_back(pi);
+    p->op_offsets.push_back(oi);
+    p->labels.push_back(q->label_scaled);
   }
-  return p;
 }
 
 namespace {
 
-/// Mean-pools rows [offsets[q], offsets[q+1]) into row q of the output.
-Matrix SegmentMean(const Matrix& rows, const std::vector<size_t>& offsets,
-                   size_t hidden) {
+/// Mean-pools rows [offsets[q], offsets[q+1]) into row q of `out`
+/// (reshaped in place; zero-seeded ascending-row sums, then one divide —
+/// the historical SegmentMean arithmetic without the fresh matrix).
+void SegmentMeanInto(const Matrix& rows, const std::vector<size_t>& offsets,
+                     size_t hidden, Matrix* out) {
   size_t nq = offsets.size() - 1;
-  Matrix out(nq, hidden);
+  out->ResetShape(nq, hidden);
   for (size_t q = 0; q < nq; ++q) {
     size_t count = offsets[q + 1] - offsets[q];
     if (count == 0) continue;
     for (size_t r = offsets[q]; r < offsets[q + 1]; ++r) {
-      for (size_t c = 0; c < hidden; ++c) out.At(q, c) += rows.At(r, c);
+      for (size_t c = 0; c < hidden; ++c) out->At(q, c) += rows.At(r, c);
     }
     for (size_t c = 0; c < hidden; ++c) {
-      out.At(q, c) /= static_cast<double>(count);
+      out->At(q, c) /= static_cast<double>(count);
     }
   }
+}
+
+Matrix SegmentMean(const Matrix& rows, const std::vector<size_t>& offsets,
+                   size_t hidden) {
+  Matrix out;
+  SegmentMeanInto(rows, offsets, hidden, &out);
   return out;
 }
 
 /// Inverse of SegmentMean for gradients.
-Matrix SegmentExpand(const Matrix& pooled_grad,
-                     const std::vector<size_t>& offsets, size_t total_rows,
-                     size_t hidden) {
-  Matrix out(total_rows, hidden);
+void SegmentExpandInto(const Matrix& pooled_grad,
+                       const std::vector<size_t>& offsets, size_t total_rows,
+                       size_t hidden, Matrix* out) {
+  out->ResetShape(total_rows, hidden);
   size_t nq = offsets.size() - 1;
   for (size_t q = 0; q < nq; ++q) {
     size_t count = offsets[q + 1] - offsets[q];
@@ -182,36 +199,46 @@ Matrix SegmentExpand(const Matrix& pooled_grad,
     double inv = 1.0 / static_cast<double>(count);
     for (size_t r = offsets[q]; r < offsets[q + 1]; ++r) {
       for (size_t c = 0; c < hidden; ++c) {
-        out.At(r, c) = pooled_grad.At(q, c) * inv;
+        out->At(r, c) = pooled_grad.At(q, c) * inv;
       }
     }
   }
-  return out;
+}
+
+void ConcatColsInto(const Matrix& a, const Matrix& b, const Matrix& c,
+                    Matrix* out) {
+  out->ResetShapeUninitialized(a.rows(), a.cols() + b.cols() + c.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t i = 0; i < a.cols(); ++i) out->At(r, i) = a.At(r, i);
+    for (size_t i = 0; i < b.cols(); ++i) {
+      out->At(r, a.cols() + i) = b.At(r, i);
+    }
+    for (size_t i = 0; i < c.cols(); ++i) {
+      out->At(r, a.cols() + b.cols() + i) = c.At(r, i);
+    }
+  }
 }
 
 Matrix ConcatCols(const Matrix& a, const Matrix& b, const Matrix& c) {
-  Matrix out(a.rows(), a.cols() + b.cols() + c.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t i = 0; i < a.cols(); ++i) out.At(r, i) = a.At(r, i);
-    for (size_t i = 0; i < b.cols(); ++i) out.At(r, a.cols() + i) = b.At(r, i);
-    for (size_t i = 0; i < c.cols(); ++i) {
-      out.At(r, a.cols() + b.cols() + i) = c.At(r, i);
-    }
-  }
+  Matrix out;
+  ConcatColsInto(a, b, c, &out);
   return out;
 }
 
 }  // namespace
 
-Matrix Mscn::ForwardPacked(const Packed& packed, NetTapes* tapes) const {
+const Matrix& Mscn::ForwardPacked(const Packed& packed,
+                                  ChunkScratch* scratch) const {
   size_t h = config_.set_hidden;
-  Matrix hj = join_net_->Forward(packed.joins, &tapes->join);
-  Matrix hp = pred_net_->Forward(packed.preds, &tapes->pred);
-  Matrix ho = op_net_->Forward(packed.ops, &tapes->op);
-  Matrix pj = SegmentMean(hj, packed.join_offsets, h);
-  Matrix pp = SegmentMean(hp, packed.pred_offsets, h);
-  Matrix po = SegmentMean(ho, packed.op_offsets, h);
-  return final_net_->Forward(ConcatCols(pj, pp, po), &tapes->final_net);
+  const Matrix& hj = join_net_->Forward(packed.joins, &scratch->tapes.join);
+  const Matrix& hp = pred_net_->Forward(packed.preds, &scratch->tapes.pred);
+  const Matrix& ho = op_net_->Forward(packed.ops, &scratch->tapes.op);
+  SegmentMeanInto(hj, packed.join_offsets, h, &scratch->pooled_join);
+  SegmentMeanInto(hp, packed.pred_offsets, h, &scratch->pooled_pred);
+  SegmentMeanInto(ho, packed.op_offsets, h, &scratch->pooled_op);
+  ConcatColsInto(scratch->pooled_join, scratch->pooled_pred,
+                 scratch->pooled_op, &scratch->concat);
+  return final_net_->Forward(scratch->concat, &scratch->tapes.final_net);
 }
 
 Matrix Mscn::PredictPacked(const Packed& packed) const {
@@ -232,13 +259,19 @@ Matrix Mscn::PredictPacked(const Packed& packed) const {
 }
 
 void Mscn::BackwardPacked(const Packed& packed, const Matrix& grad_out,
-                          const NetTapes& tapes, NetSinks* sinks) const {
+                          ChunkScratch* scratch, NetSinks* sinks) const {
   size_t h = config_.set_hidden;
-  Matrix grad_concat =
-      final_net_->Backward(grad_out, tapes.final_net, &sinks->final_net);
-  // Split the concat gradient back into the three pooled segments.
+  const Matrix& grad_concat = final_net_->Backward(
+      grad_out, &scratch->tapes.final_net, &sinks->final_net);
+  // Split the concat gradient back into the three pooled segments (every
+  // element overwritten, so the split buffers reshape without zeroing).
   size_t nq = grad_concat.rows();
-  Matrix gj(nq, h), gp(nq, h), go(nq, h);
+  Matrix& gj = scratch->split_join;
+  Matrix& gp = scratch->split_pred;
+  Matrix& go = scratch->split_op;
+  gj.ResetShapeUninitialized(nq, h);
+  gp.ResetShapeUninitialized(nq, h);
+  go.ResetShapeUninitialized(nq, h);
   for (size_t r = 0; r < nq; ++r) {
     for (size_t c = 0; c < h; ++c) {
       gj.At(r, c) = grad_concat.At(r, c);
@@ -246,15 +279,17 @@ void Mscn::BackwardPacked(const Packed& packed, const Matrix& grad_out,
       go.At(r, c) = grad_concat.At(r, 2 * h + c);
     }
   }
-  join_net_->Backward(
-      SegmentExpand(gj, packed.join_offsets, packed.joins.rows(), h),
-      tapes.join, &sinks->join);
-  pred_net_->Backward(
-      SegmentExpand(gp, packed.pred_offsets, packed.preds.rows(), h),
-      tapes.pred, &sinks->pred);
-  op_net_->Backward(
-      SegmentExpand(go, packed.op_offsets, packed.ops.rows(), h), tapes.op,
-      &sinks->op);
+  // One expand buffer serves the three modules in sequence: each module's
+  // Backward has consumed it before the next expand overwrites it.
+  SegmentExpandInto(gj, packed.join_offsets, packed.joins.rows(), h,
+                    &scratch->expand);
+  join_net_->Backward(scratch->expand, &scratch->tapes.join, &sinks->join);
+  SegmentExpandInto(gp, packed.pred_offsets, packed.preds.rows(), h,
+                    &scratch->expand);
+  pred_net_->Backward(scratch->expand, &scratch->tapes.pred, &sinks->pred);
+  SegmentExpandInto(go, packed.op_offsets, packed.ops.rows(), h,
+                    &scratch->expand);
+  op_net_->Backward(scratch->expand, &scratch->tapes.op, &sinks->op);
 }
 
 void Mscn::NetSinks::InitFor(Mscn* model) {
@@ -273,21 +308,23 @@ void Mscn::NetSinks::AddTo(Mscn* model) const {
 
 double Mscn::TrainChunk(const std::vector<EncodedQuery>& encoded,
                         const std::vector<size_t>& order, size_t start,
-                        size_t end, double inv_batch, NetTapes* tapes,
+                        size_t end, double inv_batch, ChunkScratch* scratch,
                         NetSinks* sinks) const {
-  std::vector<const EncodedQuery*> chunk;
-  chunk.reserve(end - start);
-  for (size_t i = start; i < end; ++i) chunk.push_back(&encoded[order[i]]);
-  Packed packed = Pack(chunk);
-  Matrix out = ForwardPacked(packed, tapes);
-  Matrix grad(out.rows(), 1);
+  scratch->refs.clear();
+  scratch->refs.reserve(end - start);
+  for (size_t i = start; i < end; ++i) {
+    scratch->refs.push_back(&encoded[order[i]]);
+  }
+  PackInto(scratch->refs, &scratch->packed);
+  const Matrix& out = ForwardPacked(scratch->packed, scratch);
+  scratch->grad.ResetShapeUninitialized(out.rows(), 1);
   double loss = 0.0;
   for (size_t r = 0; r < out.rows(); ++r) {
-    double err = out.At(r, 0) - packed.labels[r];
+    double err = out.At(r, 0) - scratch->packed.labels[r];
     loss += err * err;
-    grad.At(r, 0) = 2.0 * err * inv_batch;
+    scratch->grad.At(r, 0) = 2.0 * err * inv_batch;
   }
-  BackwardPacked(packed, grad, *tapes, sinks);
+  BackwardPacked(scratch->packed, scratch->grad, scratch, sinks);
   return loss;
 }
 
@@ -342,14 +379,41 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
   static_cast<AdamOptimizer*>(optimizer_.get())->set_lr(config.learning_rate);
   Rng train_rng(config.seed);
   std::vector<size_t> order(encoded.size());
-  const size_t chunk_size = std::max<size_t>(1, config.chunk_size);
+  // Chunk autotuning (chunk_size == 0): per-chunk overhead is the gradient
+  // elements all four sinks zero and merge; per-query compute is the
+  // query's set rows x module parameter elements plus one final-module
+  // pass. Exact element counts over the encoded set — deterministic, so
+  // the partition stays thread-count- and run-independent.
+  double merge_elems = 0.0;
+  double query_elems = 0.0;
+  {
+    auto net_elems = [](Mlp* net) {
+      double elems = 0.0;
+      for (const Matrix* g : net->Grads()) elems += g->size();
+      return elems;
+    };
+    const double je = net_elems(join_net_.get());
+    const double pe = net_elems(pred_net_.get());
+    const double oe = net_elems(op_net_.get());
+    const double fe = net_elems(final_net_.get());
+    merge_elems = 2.0 * (je + pe + oe + fe);
+    for (const auto& q : encoded) {
+      query_elems += kTrainFlopsPerParam *
+                     (static_cast<double>(q.joins.size()) * je +
+                      static_cast<double>(q.preds.size()) * pe +
+                      static_cast<double>(q.ops.size()) * oe + fe);
+    }
+    query_elems /= static_cast<double>(encoded.size());
+  }
+  const size_t chunk_size =
+      ResolveTrainChunkSize(config, merge_elems, query_elems);
   // Per-chunk gradient state, reused across batches. The chunk partition
-  // depends only on batch_size and chunk_size — never on the worker count —
-  // and chunk sinks merge in chunk index order below, which keeps the
-  // fitted model bit-identical at any thread count. Module forwards are
-  // row-wise and pooling is per-query, so chunk boundaries never change a
-  // query's forward value either.
-  std::vector<NetTapes> tapes;
+  // depends only on batch_size and the resolved chunk_size — never on the
+  // worker count — and chunk sinks merge in chunk index order below, which
+  // keeps the fitted model bit-identical at any thread count. Module
+  // forwards are row-wise and pooling is per-query, so chunk boundaries
+  // never change a query's forward value either.
+  std::vector<ChunkScratch> scratch;
   std::vector<NetSinks> sinks;
   std::vector<double> chunk_losses;
 
@@ -366,7 +430,7 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
       optimizer_->ZeroGrad();
       double inv = 1.0 / static_cast<double>(end - start);
       size_t num_chunks = (end - start + chunk_size - 1) / chunk_size;
-      if (tapes.size() < num_chunks) tapes.resize(num_chunks);
+      if (scratch.size() < num_chunks) scratch.resize(num_chunks);
       if (sinks.size() < num_chunks) sinks.resize(num_chunks);
       chunk_losses.assign(num_chunks, 0.0);
       ParallelFor(pool, num_chunks, [&](size_t c) {
@@ -374,7 +438,7 @@ Status Mscn::Train(const std::vector<PlanSample>& train,
         size_t cs = start + c * chunk_size;
         size_t ce = std::min(cs + chunk_size, end);
         chunk_losses[c] =
-            TrainChunk(encoded, order, cs, ce, inv, &tapes[c], &sinks[c]);
+            TrainChunk(encoded, order, cs, ce, inv, &scratch[c], &sinks[c]);
       });
       // Fixed-order reduction: chunk index major, module order minor.
       for (size_t c = 0; c < num_chunks; ++c) {
@@ -439,11 +503,11 @@ Result<double> Mscn::TrainingLoss(const std::vector<PlanSample>& samples,
     order.push_back(i);
   }
   double inv = 1.0 / static_cast<double>(samples.size());
-  NetTapes tapes;
+  ChunkScratch scratch;
   NetSinks sinks;
   sinks.InitFor(this);
   double loss =
-      TrainChunk(encoded, order, 0, encoded.size(), inv, &tapes, &sinks);
+      TrainChunk(encoded, order, 0, encoded.size(), inv, &scratch, &sinks);
   if (accumulate_gradients) sinks.AddTo(this);
   return loss * inv;
 }

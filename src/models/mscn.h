@@ -106,11 +106,28 @@ class Mscn : public CostModel {
     std::vector<double> labels;
   };
   Packed Pack(const std::vector<const EncodedQuery*>& batch) const;
+  /// Pack into a reusable arena: matrices and offset vectors are reshaped
+  /// in place, so repacking chunks of steady size never allocates.
+  void PackInto(const std::vector<const EncodedQuery*>& batch,
+                Packed* packed) const;
 
   /// One forward pass's activation record across the four modules; what
   /// BackwardPacked consumes instead of per-layer caches.
   struct NetTapes {
     Mlp::Tape join, pred, op, final_net;
+  };
+
+  /// One training chunk's reusable scratch arena: the module tapes, the
+  /// packed element matrices and every pooled/concat/split intermediate of
+  /// the chunked forward/backward, reshaped in place across chunks and
+  /// batches so steady-state training never touches the allocator.
+  struct ChunkScratch {
+    NetTapes tapes;
+    Packed packed;
+    std::vector<const EncodedQuery*> refs;
+    Matrix pooled_join, pooled_pred, pooled_op, concat;  // forward
+    Matrix grad;                                         // dL/d(out)
+    Matrix split_join, split_pred, split_op, expand;     // backward
   };
 
   /// One training chunk's private gradient state across the four modules.
@@ -123,20 +140,22 @@ class Mscn : public CostModel {
     void AddTo(Mscn* model) const;
   };
 
-  /// Forward returns per-query predictions (nq x 1), recording module
-  /// activations on `tapes` for a subsequent BackwardPacked. Const and
+  /// Forward returns per-query predictions (nq x 1) as a reference into
+  /// the scratch's final-module tape, recording module activations on the
+  /// scratch's tapes for a subsequent BackwardPacked. Const and
   /// state-free: concurrent chunks share only the read-only modules.
-  Matrix ForwardPacked(const Packed& packed, NetTapes* tapes) const;
+  const Matrix& ForwardPacked(const Packed& packed, ChunkScratch* scratch) const;
   Matrix PredictPacked(const Packed& packed) const;
   void BackwardPacked(const Packed& packed, const Matrix& grad_out,
-                      const NetTapes& tapes, NetSinks* sinks) const;
+                      ChunkScratch* scratch, NetSinks* sinks) const;
 
   /// Pack + forward + backward for queries [start, end) of `order`,
   /// accumulating into `sinks` (seeded with 2 * err * inv_batch per query).
   /// Returns the chunk's summed squared error.
   double TrainChunk(const std::vector<EncodedQuery>& encoded,
                     const std::vector<size_t>& order, size_t start, size_t end,
-                    double inv_batch, NetTapes* tapes, NetSinks* sinks) const;
+                    double inv_batch, ChunkScratch* scratch,
+                    NetSinks* sinks) const;
 
   void FitScalers(const std::vector<EncodedQuery>& queries,
                   const std::vector<double>& labels_ms);

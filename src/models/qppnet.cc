@@ -116,6 +116,25 @@ Matrix QppNet::UnitInput(const EncodedPlan& plan, size_t node_index,
   return x;
 }
 
+void QppNet::UnitInputInto(const EncodedPlan& plan, size_t node_index,
+                           const std::vector<Mlp::Tape>& tapes,
+                           Matrix* x) const {
+  const EncodedNode& node = plan.nodes[node_index];
+  size_t d = config_.data_vector_dim;
+  size_t feat_dim = node.feats.size();
+  // ResetShape (zeroing) keeps absent-children slots at exactly 0.0, like
+  // the freshly constructed matrix UnitInput builds.
+  x->ResetShape(1, feat_dim + config_.max_children * d);
+  double* row = x->RowPtr(0);
+  for (size_t i = 0; i < feat_dim; ++i) row[i] = node.feats[i];
+  for (size_t c = 0; c < node.children.size() && c < config_.max_children;
+       ++c) {
+    const double* child_out =
+        tapes[node.children[c]].activations.back().RowPtr(0);
+    for (size_t i = 0; i < d; ++i) row[feat_dim + c * d + i] = child_out[i];
+  }
+}
+
 void QppNet::ForwardPlan(const EncodedPlan& plan,
                          std::vector<Matrix>* node_outputs) const {
   node_outputs->assign(plan.nodes.size(), Matrix());
@@ -133,24 +152,29 @@ double QppNet::TrainPlan(const EncodedPlan& plan, double inv_node_count,
                          ChunkAccum* accum) const {
   size_t d = config_.data_vector_dim;
   size_t n = plan.nodes.size();
-  // Bottom-up forward recording one tape per node (children always have
-  // larger pre-order indices, so reverse order computes leaves first).
-  std::vector<Matrix> outputs(n);
-  std::vector<Mlp::Tape> tapes(n);
+  // Bottom-up forward recording one reused tape per node (children always
+  // have larger pre-order indices, so reverse order computes leaves first).
+  // Tapes, per-node gradients and the unit-input row all live in the
+  // chunk's scratch arena, so a warm accumulator runs the whole
+  // forward/backward without allocating.
+  if (accum->tapes.size() < n) accum->tapes.resize(n);
+  if (accum->node_grads.size() < n) accum->node_grads.resize(n);
+  std::vector<Mlp::Tape>& tapes = accum->tapes;
   for (size_t ii = n; ii > 0; --ii) {
     size_t i = ii - 1;
-    Matrix x = UnitInput(plan, i, outputs);
-    outputs[i] =
-        units_[static_cast<size_t>(plan.nodes[i].op)]->Forward(x, &tapes[i]);
+    UnitInputInto(plan, i, tapes, &accum->unit_input);
+    units_[static_cast<size_t>(plan.nodes[i].op)]->Forward(accum->unit_input,
+                                                           &tapes[i]);
   }
 
-  std::vector<Matrix> grads(n, Matrix(1, d));
+  std::vector<Matrix>& grads = accum->node_grads;
+  for (size_t i = 0; i < n; ++i) grads[i].ResetShape(1, d);
   double loss = 0.0;
   // Pre-order: parents first, so parent-propagated gradients are complete
   // before a node's own backward pass runs.
   for (size_t i = 0; i < n; ++i) {
     const EncodedNode& node = plan.nodes[i];
-    double err = outputs[i].At(0, 0) - node.label_scaled;
+    double err = tapes[i].activations.back().At(0, 0) - node.label_scaled;
     loss += err * err;
     grads[i].At(0, 0) += 2.0 * err * inv_node_count;
 
@@ -159,7 +183,8 @@ double QppNet::TrainPlan(const EncodedPlan& plan, double inv_node_count,
       accum->sinks[oi].InitLike(units_[oi]->Grads());
       accum->touched[oi] = true;
     }
-    Matrix gx = units_[oi]->Backward(grads[i], tapes[i], &accum->sinks[oi]);
+    const Matrix& gx =
+        units_[oi]->Backward(grads[i], &tapes[i], &accum->sinks[oi]);
     size_t feat_dim = node.feats.size();
     for (size_t c = 0; c < node.children.size() && c < config_.max_children;
          ++c) {
@@ -188,11 +213,38 @@ Status QppNet::Train(const std::vector<PlanSample>& train,
 
   Rng train_rng(config.seed);
   std::vector<size_t> order(encoded.size());
-  const size_t chunk_size = std::max<size_t>(1, config.chunk_size);
+  // Chunk autotuning (chunk_size == 0): per-chunk overhead is the gradient
+  // elements zeroed and merged for the unit types a chunk touches; per-plan
+  // compute is proportional to plan nodes x unit parameter elements. Both
+  // are exact element counts over the encoded training set — deterministic,
+  // so the partition stays thread-count- and run-independent.
+  double merge_elems = 0.0;
+  double plan_elems = 0.0;
+  {
+    std::array<double, kNumOpTypes> unit_elems{};
+    for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
+      for (const Matrix* g : units_[oi]->Grads()) unit_elems[oi] += g->size();
+    }
+    for (const auto& plan : encoded) {
+      std::array<bool, kNumOpTypes> seen{};
+      for (const auto& node : plan.nodes) {
+        size_t oi = static_cast<size_t>(node.op);
+        plan_elems += kTrainFlopsPerParam * unit_elems[oi];
+        seen[oi] = true;
+      }
+      for (size_t oi = 0; oi < kNumOpTypes; ++oi) {
+        if (seen[oi]) merge_elems += 2.0 * unit_elems[oi];
+      }
+    }
+    merge_elems /= static_cast<double>(encoded.size());
+    plan_elems /= static_cast<double>(encoded.size());
+  }
+  const size_t chunk_size =
+      ResolveTrainChunkSize(config, merge_elems, plan_elems);
   // Per-chunk gradient state, reused across batches. The chunk partition
-  // depends only on batch_size and chunk_size — never on the worker count —
-  // and chunk results merge in chunk index order below, which keeps the
-  // fitted model bit-identical at any thread count.
+  // depends only on batch_size and the resolved chunk_size — never on the
+  // worker count — and chunk results merge in chunk index order below,
+  // which keeps the fitted model bit-identical at any thread count.
   std::vector<ChunkAccum> accums;
   std::vector<double> chunk_losses;
 

@@ -106,10 +106,17 @@ class QppNet : public CostModel {
 
   /// One training chunk's private gradient state: a sink per neural unit,
   /// lazily (re)zeroed on first touch within a batch so untouched units
-  /// cost nothing to reset or merge.
+  /// cost nothing to reset or merge. Doubles as the chunk's scratch arena:
+  /// per-node tapes, per-node output gradients and the unit-input row are
+  /// reshaped in place across plans and batches, so steady-state training
+  /// never touches the allocator.
   struct ChunkAccum {
     std::array<GradSink, kNumOpTypes> sinks;
     std::array<bool, kNumOpTypes> touched{};
+    /// Reusable per-node forward/backward state (grown to the widest plan).
+    std::vector<Mlp::Tape> tapes;
+    std::vector<Matrix> node_grads;
+    Matrix unit_input;
 
     void BeginBatch() { touched.fill(false); }
   };
@@ -126,6 +133,12 @@ class QppNet : public CostModel {
 
   Matrix UnitInput(const EncodedPlan& plan, size_t node_index,
                    const std::vector<Matrix>& node_outputs) const;
+
+  /// UnitInput variant for the tape-based training path: child outputs are
+  /// read off the children's tapes and the row is built in the caller's
+  /// reusable scratch matrix.
+  void UnitInputInto(const EncodedPlan& plan, size_t node_index,
+                     const std::vector<Mlp::Tape>& tapes, Matrix* x) const;
 
   const OperatorFeaturizer* featurizer_;
   QppNetConfig config_;

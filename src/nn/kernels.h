@@ -1,0 +1,150 @@
+#ifndef QCFE_NN_KERNELS_H_
+#define QCFE_NN_KERNELS_H_
+
+/// \file kernels.h
+/// The dedicated NN kernel layer: every forward/backward matrix product in
+/// the training and serving hot paths routes through these entry points.
+///
+/// Two implementations back each product:
+///
+///  * a register-blocked dense kernel (kMr x kNr output panel held in
+///    registers, streaming over the contraction dimension), and
+///  * the historical sparse row-skip loop (i-k-j order, skipping zero
+///    left-operand entries), which wins when inputs are mostly zeros —
+///    plan feature rows are ~90% zeros while hidden activations are dense.
+///
+/// Dispatch between them is density-adaptive (a deterministic strided
+/// sample of the left operand) and never changes results:
+///
+/// Determinism contract. Every kernel accumulates each output element's
+/// contraction terms in ascending-k order into a single accumulator seeded
+/// with +0.0. Skipping an exactly-zero product term cannot change the
+/// accumulator bits (x + ±0.0 == x for every x a zero-seeded ascending sum
+/// can reach), so the dense path (which includes zero terms) and the sparse
+/// path (which skips them) are bit-identical for finite inputs, at any
+/// shape, batch size and dispatch decision. The `*Accumulate` forms compute
+/// the full contraction in registers first and add it to the destination
+/// with one store, reproducing the historical "materialise a temporary,
+/// then Add()" arithmetic without the temporary. Fused epilogues (bias add,
+/// ReLU, ReLU masking) apply exactly the per-element operations the
+/// historical separate passes applied, in the same order.
+///
+/// KernelMode exists for parity tests and before/after benchmarking:
+/// kReference replays the exact pre-kernel-layer code paths (including
+/// their temporary allocations), so "reference vs auto" measures this
+/// layer's end-to-end win while tests assert the results stay bit-equal.
+
+#include <cstddef>
+
+#include "nn/matrix.h"
+
+namespace qcfe {
+namespace kernels {
+
+/// Process-wide dispatch override. kAuto is the production setting;
+/// kReference replays the historical unblocked loops (and temporary
+/// allocations) for parity tests and before/after benchmarks; kDense and
+/// kSparse pin one dispatch path so tests can cover both on any input.
+enum class KernelMode {
+  kAuto,
+  kReference,
+  kDense,
+  kSparse,
+};
+
+/// Sets/reads the process-wide kernel mode (atomic; safe to flip between
+/// parallel regions, not during one).
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
+/// RAII mode pin for tests and benchmarks.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : saved_(GetKernelMode()) {
+    SetKernelMode(mode);
+  }
+  ~ScopedKernelMode() { SetKernelMode(saved_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode saved_;
+};
+
+/// Fraction of exactly-zero entries in a deterministic strided sample of
+/// `m` (a few hundred probes — see kMaxProbes in kernels.cc). Exposed for
+/// tests; the dispatch heuristic.
+double ZeroFraction(const Matrix& m);
+
+/// Zero-fraction threshold above which dispatch prefers the sparse
+/// row-skip path. The row-skip's saving scales linearly with the zero
+/// fraction while the blocked panel's register-reuse win on fully dense
+/// inputs is bounded (~1.5x measured), so the crossover sits well below
+/// half: plan-feature and one-hot set inputs (>=50% zeros) go sparse,
+/// standardized activations (exactly 0% zeros) go dense, and mildly padded
+/// inputs like wave-batched unit rows (~25% zeros) still favour the skip.
+constexpr double kSparseDispatchThreshold = 0.2;
+
+// ------------------------------------------------------------- products
+// All Into-forms reshape `out` reusing its allocation; `out` must not alias
+// an input. Accumulate-forms require `acc` pre-shaped to the result shape.
+
+/// out = a * b. (m x k) * (k x n) -> (m x n).
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b + bias (1 x n row broadcast): the fused linear-layer
+/// forward epilogue.
+void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out);
+
+/// out = relu(a * b + bias): fused linear+ReLU forward for serving, where
+/// the pre-activation never needs to be materialised.
+void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* out);
+
+/// out = a * b^T. (m x k) * (n x k) -> (m x n). The dX = dY * W^T backward
+/// product, without materialising the transpose.
+void GemmBT(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b. (k x m) * (k x n) -> (m x n).
+void GemmAT(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// acc += a^T * b with each output element's contraction summed in a
+/// register before the single add: the dW += X^T * dY backward product,
+/// bit-identical to `acc->Add(MatMulAT(a, b))` without the temporary.
+void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc);
+
+/// acc (1 x n) += column sums of a: the db += colsum(dY) backward product,
+/// bit-identical to `acc->Add(a.ColSum())` without the temporary.
+void ColSumAccumulate(const Matrix& a, Matrix* acc);
+
+// ------------------------------------------------------------ epilogues
+
+/// out = relu(in), elementwise; `out` may alias `in`.
+void ReluForward(const Matrix& in, Matrix* out);
+
+/// grad_in = grad_out with entries zeroed where pre_activation <= 0: the
+/// fused ReLU-mask backward. `grad_in` may alias `grad_out` (the in-place
+/// form the tape-scratch backward uses).
+void ReluMaskBackward(const Matrix& grad_out, const Matrix& pre_activation,
+                      Matrix* grad_in);
+
+// ------------------------------------------------------------- reference
+// The historical unblocked loops, self-contained (no dispatch). Parity
+// tests compare every blocked/sparse kernel against these bit for bit.
+namespace reference {
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out);
+void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* out);
+void GemmBT(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmAT(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc);
+void ColSumAccumulate(const Matrix& a, Matrix* acc);
+}  // namespace reference
+
+}  // namespace kernels
+}  // namespace qcfe
+
+#endif  // QCFE_NN_KERNELS_H_

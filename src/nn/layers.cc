@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -16,25 +17,33 @@ LinearLayer::LinearLayer(size_t in_dim, size_t out_dim, Rng* rng)
 }
 
 Matrix LinearLayer::Forward(const Matrix& input) const {
-  Matrix out = Matrix::MatMul(input, w_);
-  out.AddRowBroadcast(b_);
+  Matrix out;
+  ForwardInto(input, &out);
   return out;
 }
 
 void LinearLayer::ForwardInto(const Matrix& input, Matrix* output) const {
-  Matrix::MatMulInto(input, w_, output);
-  output->AddRowBroadcast(b_);
+  // Fused bias epilogue: the blocked kernel adds b while the output panel
+  // is still in registers instead of a second AddRowBroadcast pass.
+  kernels::GemmNNBias(input, w_, b_, output);
 }
 
-Matrix LinearLayer::Backward(const Matrix& grad_output, const Matrix& input,
-                             const Matrix& /*output*/,
-                             Matrix* const* param_grads) const {
-  // dW += X^T * dY ; db += colsum(dY) ; dX = dY * W^T
+void LinearLayer::ForwardReluInto(const Matrix& input, Matrix* output) const {
+  kernels::GemmNNBiasRelu(input, w_, b_, output);
+}
+
+void LinearLayer::BackwardInto(const Matrix& grad_output, const Matrix& input,
+                               const Matrix& /*output*/,
+                               Matrix* const* param_grads,
+                               Matrix* grad_input) const {
+  // dW += X^T * dY ; db += colsum(dY) ; dX = dY * W^T — all allocation-free:
+  // the accumulate kernels build each contraction in registers and add it
+  // to the sink slot once, and dX lands in the caller's scratch buffer.
   if (param_grads != nullptr) {
-    param_grads[0]->Add(Matrix::MatMulAT(input, grad_output));
-    param_grads[1]->Add(grad_output.ColSum());
+    kernels::GemmATAccumulate(input, grad_output, param_grads[0]);
+    kernels::ColSumAccumulate(grad_output, param_grads[1]);
   }
-  return Matrix::MatMulBT(grad_output, w_);
+  kernels::GemmBT(grad_output, w_, grad_input);
 }
 
 void LinearLayer::ZeroGrad() {
@@ -49,22 +58,17 @@ Matrix ReluLayer::Forward(const Matrix& input) const {
 }
 
 void ReluLayer::ForwardInto(const Matrix& input, Matrix* output) const {
-  output->ResetShape(input.rows(), input.cols());
-  const double* src = input.data().data();
-  double* dst = output->data().data();
-  for (size_t i = 0; i < input.size(); ++i) {
-    dst[i] = src[i] > 0.0 ? src[i] : 0.0;
-  }
+  kernels::ReluForward(input, output);
 }
 
-Matrix ReluLayer::Backward(const Matrix& grad_output, const Matrix& input,
-                           const Matrix& /*output*/,
-                           Matrix* const* /*param_grads*/) const {
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
-    if (input.data()[i] <= 0.0) grad.data()[i] = 0.0;
-  }
-  return grad;
+void ReluLayer::BackwardInto(const Matrix& grad_output, const Matrix& input,
+                             const Matrix& /*output*/,
+                             Matrix* const* /*param_grads*/,
+                             Matrix* grad_input) const {
+  // Fused ReLU-mask backward: one pass that copies and masks (or masks in
+  // place when grad_input aliases grad_output) instead of the historical
+  // copy-then-mask pair.
+  kernels::ReluMaskBackward(grad_output, input, grad_input);
 }
 
 Matrix SigmoidLayer::Forward(const Matrix& input) const {
@@ -73,15 +77,32 @@ Matrix SigmoidLayer::Forward(const Matrix& input) const {
   return out;
 }
 
-Matrix SigmoidLayer::Backward(const Matrix& grad_output,
-                              const Matrix& /*input*/, const Matrix& output,
-                              Matrix* const* /*param_grads*/) const {
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
-    double y = output.data()[i];
-    grad.data()[i] *= y * (1.0 - y);
+void SigmoidLayer::ForwardInto(const Matrix& input, Matrix* output) const {
+  if (output != &input) {
+    output->ResetShapeUninitialized(input.rows(), input.cols());
   }
-  return grad;
+  const double* src = input.data().data();
+  double* dst = output->data().data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    dst[i] = 1.0 / (1.0 + std::exp(-src[i]));
+  }
+}
+
+void SigmoidLayer::BackwardInto(const Matrix& grad_output,
+                                const Matrix& /*input*/, const Matrix& output,
+                                Matrix* const* /*param_grads*/,
+                                Matrix* grad_input) const {
+  if (grad_input != &grad_output) {
+    grad_input->ResetShapeUninitialized(grad_output.rows(),
+                                        grad_output.cols());
+  }
+  const double* src = grad_output.data().data();
+  const double* out = output.data().data();
+  double* dst = grad_input->data().data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    double y = out[i];
+    dst[i] = src[i] * (y * (1.0 - y));
+  }
 }
 
 Matrix TanhLayer::Forward(const Matrix& input) const {
@@ -90,15 +111,30 @@ Matrix TanhLayer::Forward(const Matrix& input) const {
   return out;
 }
 
-Matrix TanhLayer::Backward(const Matrix& grad_output, const Matrix& /*input*/,
-                           const Matrix& output,
-                           Matrix* const* /*param_grads*/) const {
-  Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
-    double y = output.data()[i];
-    grad.data()[i] *= 1.0 - y * y;
+void TanhLayer::ForwardInto(const Matrix& input, Matrix* output) const {
+  if (output != &input) {
+    output->ResetShapeUninitialized(input.rows(), input.cols());
   }
-  return grad;
+  const double* src = input.data().data();
+  double* dst = output->data().data();
+  for (size_t i = 0; i < input.size(); ++i) dst[i] = std::tanh(src[i]);
+}
+
+void TanhLayer::BackwardInto(const Matrix& grad_output,
+                             const Matrix& /*input*/, const Matrix& output,
+                             Matrix* const* /*param_grads*/,
+                             Matrix* grad_input) const {
+  if (grad_input != &grad_output) {
+    grad_input->ResetShapeUninitialized(grad_output.rows(),
+                                        grad_output.cols());
+  }
+  const double* src = grad_output.data().data();
+  const double* out = output.data().data();
+  double* dst = grad_input->data().data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    double y = out[i];
+    dst[i] = src[i] * (1.0 - y * y);
+  }
 }
 
 }  // namespace qcfe

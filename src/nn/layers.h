@@ -48,13 +48,26 @@ class Layer {
   }
 
   /// Given dL/d(output) plus this layer's forward input and output (both
-  /// recorded on the caller's tape), returns dL/d(input). When
-  /// `param_grads` is non-null it points at num_param_grads() accumulator
-  /// matrices (Grads() order) into which the parameter gradients are added;
-  /// null skips parameter accumulation entirely (input-gradient probes).
-  virtual Matrix Backward(const Matrix& grad_output, const Matrix& input,
-                          const Matrix& output,
-                          Matrix* const* param_grads) const = 0;
+  /// recorded on the caller's tape), writes dL/d(input) into `grad_input`
+  /// (reshaped reusing its buffer — allocation-free on steady shapes).
+  /// When `param_grads` is non-null it points at num_param_grads()
+  /// accumulator matrices (Grads() order) into which the parameter
+  /// gradients are added; null skips parameter accumulation entirely
+  /// (input-gradient probes). For elementwise layers (everything but
+  /// Linear) `grad_input` may alias `grad_output`, which is how the tape-
+  /// scratch backward applies activation masks in place; for Linear it
+  /// must not alias any operand.
+  virtual void BackwardInto(const Matrix& grad_output, const Matrix& input,
+                            const Matrix& output, Matrix* const* param_grads,
+                            Matrix* grad_input) const = 0;
+
+  /// Allocating convenience form of BackwardInto (tests, one-off probes).
+  Matrix Backward(const Matrix& grad_output, const Matrix& input,
+                  const Matrix& output, Matrix* const* param_grads) const {
+    Matrix grad_input;
+    BackwardInto(grad_output, input, output, param_grads, &grad_input);
+    return grad_input;
+  }
 
   /// Parameter/gradient pairs for the optimizer (empty for activations).
   /// The gradient matrices are plain optimizer-bound accumulators; Backward
@@ -79,9 +92,13 @@ class LinearLayer : public Layer {
   LayerKind kind() const override { return LayerKind::kLinear; }
   Matrix Forward(const Matrix& input) const override;
   void ForwardInto(const Matrix& input, Matrix* output) const override;
-  Matrix Backward(const Matrix& grad_output, const Matrix& input,
-                  const Matrix& output,
-                  Matrix* const* param_grads) const override;
+  /// Fused linear+ReLU forward (out = relu(in * W + b)) for serving paths
+  /// that never need the pre-activation; bit-identical to ForwardInto
+  /// followed by a ReLU pass.
+  void ForwardReluInto(const Matrix& input, Matrix* output) const;
+  void BackwardInto(const Matrix& grad_output, const Matrix& input,
+                    const Matrix& output, Matrix* const* param_grads,
+                    Matrix* grad_input) const override;
   std::vector<Matrix*> Params() override { return {&w_, &b_}; }
   std::vector<Matrix*> Grads() override { return {&dw_, &db_}; }
   size_t num_param_grads() const override { return 2; }
@@ -108,9 +125,9 @@ class ReluLayer : public Layer {
   LayerKind kind() const override { return LayerKind::kRelu; }
   Matrix Forward(const Matrix& input) const override;
   void ForwardInto(const Matrix& input, Matrix* output) const override;
-  Matrix Backward(const Matrix& grad_output, const Matrix& input,
-                  const Matrix& output,
-                  Matrix* const* param_grads) const override;
+  void BackwardInto(const Matrix& grad_output, const Matrix& input,
+                    const Matrix& output, Matrix* const* param_grads,
+                    Matrix* grad_input) const override;
 };
 
 /// Logistic sigmoid.
@@ -118,9 +135,10 @@ class SigmoidLayer : public Layer {
  public:
   LayerKind kind() const override { return LayerKind::kSigmoid; }
   Matrix Forward(const Matrix& input) const override;
-  Matrix Backward(const Matrix& grad_output, const Matrix& input,
-                  const Matrix& output,
-                  Matrix* const* param_grads) const override;
+  void ForwardInto(const Matrix& input, Matrix* output) const override;
+  void BackwardInto(const Matrix& grad_output, const Matrix& input,
+                    const Matrix& output, Matrix* const* param_grads,
+                    Matrix* grad_input) const override;
 };
 
 /// Hyperbolic tangent.
@@ -128,9 +146,10 @@ class TanhLayer : public Layer {
  public:
   LayerKind kind() const override { return LayerKind::kTanh; }
   Matrix Forward(const Matrix& input) const override;
-  Matrix Backward(const Matrix& grad_output, const Matrix& input,
-                  const Matrix& output,
-                  Matrix* const* param_grads) const override;
+  void ForwardInto(const Matrix& input, Matrix* output) const override;
+  void BackwardInto(const Matrix& grad_output, const Matrix& input,
+                    const Matrix& output, Matrix* const* param_grads,
+                    Matrix* grad_input) const override;
 };
 
 }  // namespace qcfe

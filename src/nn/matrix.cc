@@ -1,7 +1,9 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -46,9 +48,16 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
 }
 
 void Matrix::ResetShape(size_t rows, size_t cols) {
+  ResetShapeUninitialized(rows, cols);
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void Matrix::ResetShapeUninitialized(size_t rows, size_t cols) {
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0);
+  // resize (not assign) keeps existing elements on the same-size path and
+  // never reallocates while the new size fits the current capacity.
+  data_.resize(rows * cols);
 }
 
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
@@ -58,59 +67,21 @@ Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
 }
 
 void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.rows());
-  assert(out != &a && out != &b);
-  out->ResetShape(a.rows(), b.cols());
-  const size_t m = a.rows();
-  const size_t kk = a.cols();
-  const size_t n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // b, and the zero-skip makes the cost proportional to the non-zeros of
-  // each input row — plan feature vectors are ~90% zeros, so this beats
-  // dense register-tiled kernels on real workloads. Each output element
-  // accumulates its k-terms in ascending k order, so results are identical
-  // at any batch size.
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* __restrict orow = out->RowPtr(i);
-    for (size_t k = 0; k < kk; ++k) {
-      double av = arow[k];
-      if (av == 0.0) continue;
-      const double* __restrict brow = b.RowPtr(k);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Density-adaptive dispatch (see kernels.h): the sparse row-skip loop for
+  // mostly-zero inputs (plan feature rows), the register-blocked dense
+  // kernel otherwise — bit-identical either way.
+  kernels::GemmNN(a, b, out);
 }
 
 Matrix Matrix::MatMulBT(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
-    }
-  }
+  Matrix out;
+  kernels::GemmBT(a, b, &out);
   return out;
 }
 
 Matrix Matrix::MatMulAT(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  Matrix out(a.cols(), b.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* arow = a.RowPtr(r);
-    const double* brow = b.RowPtr(r);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
-    }
-  }
+  Matrix out;
+  kernels::GemmAT(a, b, &out);
   return out;
 }
 
@@ -161,8 +132,18 @@ Matrix Matrix::ColSum() const {
 }
 
 Matrix Matrix::ColMean() const {
-  Matrix out = ColSum();
-  if (rows_ > 0) out.Scale(1.0 / static_cast<double>(rows_));
+  // Sum and scale in one output matrix — same chains as ColSum() followed
+  // by Scale(), without the intermediate allocation.
+  Matrix out(1, cols_);
+  double* dst = out.RowPtr(0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  if (rows_ > 0) {
+    const double inv = 1.0 / static_cast<double>(rows_);
+    for (size_t c = 0; c < cols_; ++c) dst[c] *= inv;
+  }
   return out;
 }
 

@@ -63,8 +63,16 @@ class Matrix {
   Matrix SelectCols(const std::vector<size_t>& indices) const;
 
   /// Reshapes to rows x cols and zeroes every entry (contents are not
-  /// preserved). Keeps the existing allocation when the new size fits.
+  /// preserved). Capacity-preserving: when the new size fits the existing
+  /// allocation the buffer is reused, so repeated same-shape calls (e.g.
+  /// ForwardInto on steady batch sizes) never touch the allocator.
   void ResetShape(size_t rows, size_t cols);
+
+  /// Like ResetShape but leaves the contents unspecified — for kernels that
+  /// overwrite every entry, this skips the zeroing pass entirely on the
+  /// same-shape fast path. (Growing still zero-fills the new storage, a
+  /// vector guarantee; the contract is "unspecified", not "garbage".)
+  void ResetShapeUninitialized(size_t rows, size_t cols);
 
   /// Matrix product: (m x k) * (k x n) -> (m x n).
   static Matrix MatMul(const Matrix& a, const Matrix& b);

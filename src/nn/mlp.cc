@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/kernels.h"
 #include "nn/optimizer.h"
 #include "util/rng.h"
 
@@ -36,16 +37,29 @@ Mlp::Mlp(const std::vector<size_t>& layer_dims, Activation act, Rng* rng)
   }
 }
 
-Matrix Mlp::Forward(const Matrix& input, Tape* tape) const {
-  tape->activations.clear();
-  tape->activations.reserve(layers_.size() + 1);
-  Matrix x = input;
-  for (const auto& layer : layers_) {
+const Matrix& Mlp::Forward(const Matrix& input, Tape* tape) const {
+  if (kernels::GetKernelMode() == kernels::KernelMode::kReference) {
+    // Historical replay for before/after benchmarks: fresh activation
+    // matrices every call (same values, allocator included).
+    tape->activations.clear();
+    tape->activations.reserve(layers_.size() + 1);
+    Matrix x = input;
+    for (const auto& layer : layers_) {
+      tape->activations.push_back(std::move(x));
+      x = layer->Forward(tape->activations.back());
+    }
     tape->activations.push_back(std::move(x));
-    x = layer->Forward(tape->activations.back());
+    return tape->activations.back();
   }
-  tape->activations.push_back(x);
-  return x;
+  // Reuse the tape's activation matrices across calls (reshaped in place),
+  // so a steady-shape training loop never allocates on the forward pass.
+  auto& acts = tape->activations;
+  if (acts.size() != layers_.size() + 1) acts.resize(layers_.size() + 1);
+  acts[0] = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardInto(acts[i], &acts[i + 1]);
+  }
+  return acts.back();
 }
 
 Matrix Mlp::Predict(const Matrix& input) const {
@@ -61,21 +75,56 @@ const Matrix& Mlp::Predict(const Matrix& input, Scratch* scratch) const {
   }
   const Matrix* src = &input;
   Matrix* dst = &scratch->ping;
-  for (const auto& layer : layers_) {
-    layer->ForwardInto(*src, dst);
+  const bool fuse =
+      kernels::GetKernelMode() != kernels::KernelMode::kReference;
+  size_t i = 0;
+  while (i < layers_.size()) {
+    const Layer& layer = *layers_[i];
+    // Serving never needs the pre-activation, so a Linear feeding a ReLU
+    // collapses into one fused kernel: the ReLU applies while the output
+    // panel is still in registers and one whole intermediate write+read
+    // pass disappears.
+    if (fuse && layer.kind() == LayerKind::kLinear &&
+        i + 1 < layers_.size() &&
+        layers_[i + 1]->kind() == LayerKind::kRelu) {
+      static_cast<const LinearLayer&>(layer).ForwardReluInto(*src, dst);
+      i += 2;
+    } else {
+      layer.ForwardInto(*src, dst);
+      ++i;
+    }
     src = dst;
     dst = (dst == &scratch->ping) ? &scratch->pong : &scratch->ping;
   }
   return *src;
 }
 
-Matrix Mlp::Backward(const Matrix& grad_output, const Tape& tape,
-                     GradSink* sink) const {
+const Matrix& Mlp::Backward(const Matrix& grad_output, Tape* tape,
+                            GradSink* sink) const {
   // Sink slots are laid out in Grads() order (layer by layer); walk layers
   // in reverse while keeping the running offset past the current layer.
   size_t offset = sink == nullptr ? 0 : sink->size();
   Matrix* const* slots = sink == nullptr ? nullptr : sink->slots();
-  Matrix g = grad_output;
+  if (kernels::GetKernelMode() == kernels::KernelMode::kReference) {
+    // Historical replay: one freshly allocated gradient matrix per layer.
+    Matrix g = grad_output;
+    for (size_t i = layers_.size(); i > 0; --i) {
+      const Layer& layer = *layers_[i - 1];
+      Matrix* const* param_grads = nullptr;
+      if (sink != nullptr) {
+        offset -= layer.num_param_grads();
+        if (layer.num_param_grads() > 0) param_grads = slots + offset;
+      }
+      g = layer.Backward(g, tape->activations[i - 1], tape->activations[i],
+                         param_grads);
+    }
+    tape->grad_ping = std::move(g);
+    return tape->grad_ping;
+  }
+  // The running gradient lives in the tape's ping-pong scratch: elementwise
+  // layers mask it in place, linear layers write the opposite buffer.
+  // Values are identical to the allocating walk — only the storage moved.
+  Matrix* cur = nullptr;  // null: still reading the caller's grad_output
   for (size_t i = layers_.size(); i > 0; --i) {
     const Layer& layer = *layers_[i - 1];
     Matrix* const* param_grads = nullptr;
@@ -83,18 +132,39 @@ Matrix Mlp::Backward(const Matrix& grad_output, const Tape& tape,
       offset -= layer.num_param_grads();
       if (layer.num_param_grads() > 0) param_grads = slots + offset;
     }
-    g = layer.Backward(g, tape.activations[i - 1], tape.activations[i],
-                       param_grads);
+    const Matrix& src = cur == nullptr ? grad_output : *cur;
+    if (layer.kind() == LayerKind::kLinear) {
+      Matrix* dst =
+          (cur == &tape->grad_ping) ? &tape->grad_pong : &tape->grad_ping;
+      layer.BackwardInto(src, tape->activations[i - 1], tape->activations[i],
+                         param_grads, dst);
+      cur = dst;
+    } else if (cur == nullptr) {
+      layer.BackwardInto(src, tape->activations[i - 1], tape->activations[i],
+                         param_grads, &tape->grad_ping);
+      cur = &tape->grad_ping;
+    } else {
+      layer.BackwardInto(src, tape->activations[i - 1], tape->activations[i],
+                         param_grads, cur);
+    }
   }
-  return g;
+  if (cur == nullptr) {
+    tape->grad_ping = grad_output;
+    cur = &tape->grad_ping;
+  }
+  return *cur;
 }
 
 Matrix Mlp::InputGradient(const Matrix& input) const {
   Tape tape;
-  Matrix out = Forward(input, &tape);
-  Matrix seed(out.rows(), out.cols());
-  for (size_t r = 0; r < seed.rows(); ++r) seed.At(r, 0) = 1.0;
-  return Backward(seed, tape, /*sink=*/nullptr);
+  return InputGradient(input, &tape);
+}
+
+Matrix Mlp::InputGradient(const Matrix& input, Tape* tape) const {
+  const Matrix& out = Forward(input, tape);
+  tape->seed.ResetShape(out.rows(), out.cols());
+  for (size_t r = 0; r < tape->seed.rows(); ++r) tape->seed.At(r, 0) = 1.0;
+  return Backward(tape->seed, tape, /*sink=*/nullptr);
 }
 
 void Mlp::ZeroGrad() {

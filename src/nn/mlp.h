@@ -45,14 +45,23 @@ class Mlp {
   /// number of threads may run Forward/Backward through the same Mlp
   /// concurrently as long as each owns its tape (and gradient sink). The
   /// difference-propagation walker in src/core consumes the same record.
+  ///
+  /// A tape doubles as the backward scratch arena: the activation matrices
+  /// and the gradient ping-pong buffers are reused across Forward/Backward
+  /// calls (reshaped in place), so steady-state training steps on a reused
+  /// tape never touch the allocator.
   struct Tape {
     std::vector<Matrix> activations;
+    /// Backward/seed scratch (not part of the activation record).
+    Matrix grad_ping, grad_pong, seed;
   };
 
   /// Forward pass recording every layer input plus the final output on
-  /// `tape` (cleared first) for a subsequent Backward(). Thread-safe: the
-  /// network is read-only, all state lands on the caller's tape.
-  Matrix Forward(const Matrix& input, Tape* tape) const;
+  /// `tape` for a subsequent Backward(); returns the output (a reference
+  /// into the tape, invalidated by the next Forward on it). Tape matrices
+  /// are reused across calls. Thread-safe: the network is read-only, all
+  /// state lands on the caller's tape.
+  const Matrix& Forward(const Matrix& input, Tape* tape) const;
 
   /// Inference-only forward (no tape recorded).
   Matrix Predict(const Matrix& input) const;
@@ -66,9 +75,10 @@ class Mlp {
 
   /// Matrix-batched inference forward for the serving hot path: rows are
   /// samples, layer outputs are written through the caller-owned scratch so
-  /// steady-state prediction does not allocate. The returned reference
-  /// points into `scratch` and is invalidated by the next call. Numerically
-  /// identical to Predict() row for row.
+  /// steady-state prediction does not allocate, and Linear+ReLU pairs run
+  /// as one fused kernel (the pre-activation is never materialised). The
+  /// returned reference points into `scratch` and is invalidated by the
+  /// next call. Numerically identical to Predict() row for row.
   const Matrix& Predict(const Matrix& input, Scratch* scratch) const;
 
   /// Backprop from dL/d(output) through the activations recorded on `tape`
@@ -76,15 +86,24 @@ class Mlp {
   /// input). Parameter gradients are added into `sink` (layout = Grads();
   /// shape it with GradSink::InitLike); a null sink skips parameter
   /// accumulation entirely, which is how gradient probes stay side-effect
-  /// free. Returns dL/d(input).
-  Matrix Backward(const Matrix& grad_output, const Tape& tape,
-                  GradSink* sink) const;
+  /// free. Returns dL/d(input) as a reference into the tape's scratch
+  /// buffers (invalidated by the next Backward on it). The running
+  /// gradient ping-pongs between two tape-owned buffers — activation masks
+  /// apply in place, linear layers write the opposite buffer — so a reused
+  /// tape makes the whole backward pass allocation-free.
+  const Matrix& Backward(const Matrix& grad_output, Tape* tape,
+                         GradSink* sink) const;
 
   /// d(output_0)/d(input) for each sample: runs Forward+Backward with a
   /// one-hot output gradient on a private tape and a null sink, so
   /// optimizer-bound parameter grads are untouched (byte-for-byte).
   /// Returns a (batch x in_dim) matrix.
   Matrix InputGradient(const Matrix& input) const;
+
+  /// InputGradient through a caller-owned tape, so repeated probes (e.g.
+  /// the gradient-importance sweep in feature reduction) reuse one scratch
+  /// arena instead of allocating per call.
+  Matrix InputGradient(const Matrix& input, Tape* tape) const;
 
   void ZeroGrad();
 

@@ -24,8 +24,11 @@ namespace qcfe {
 class GradSink {
  public:
   /// Shapes one zeroed accumulator per entry of `grads` (typically
-  /// Mlp::Grads()). Reuses existing allocations when the shapes already
-  /// match, so per-batch reinitialisation is cheap.
+  /// Mlp::Grads()). Reuses existing allocations whenever the shapes fit,
+  /// so per-batch reinitialisation of a warm sink is a pure zeroing pass —
+  /// the sink-backed half of the allocation-free backward (the register-
+  /// resident accumulate kernels in nn/kernels.h add straight into these
+  /// slots).
   void InitLike(const std::vector<Matrix*>& grads);
 
   /// Adds the accumulators into `grads` (same layout as InitLike). This is

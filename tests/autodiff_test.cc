@@ -132,6 +132,66 @@ TEST(LayerAutodiffTest, TanhBackwardMatchesFiniteDifferences) {
   CheckLayerGradients(&layer, x, 1e-6);
 }
 
+TEST(LayerAutodiffTest, FusedEpilogueGradientsMatchFiniteDifferences) {
+  // End-to-end through Mlp::Forward/Backward, whose linear layers run the
+  // fused bias-epilogue kernels and whose ReLU backward masks in place on
+  // the tape scratch: dL/d(input) and dL/d(params) of a Linear+ReLU+Linear
+  // stack must still match central differences.
+  Rng rng(21);
+  Mlp net({5, 7, 1}, Activation::kRelu, &rng);
+  Matrix x(6, 5);
+  x.RandomizeGaussian(&rng, 1.0);
+  // Keep pre-activations away from the ReLU kink.
+  Mlp::Tape probe_tape;
+  net.Forward(x, &probe_tape);
+  for (double& v : probe_tape.activations[1].data()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+
+  Mlp::Tape tape;
+  Matrix out = net.Forward(x, &tape);
+  Matrix grad(out.rows(), out.cols());
+  grad.Fill(1.0);  // L = sum(out)
+  GradSink sink;
+  sink.InitLike(net.Grads());
+  Matrix gin = net.Backward(grad, &tape, &sink);
+
+  auto loss = [&]() {
+    Matrix o = net.Predict(x);
+    double acc = 0.0;
+    for (double v : o.data()) acc += v;
+    return acc;
+  };
+  // Input gradient, every entry.
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      double save = x.At(r, c);
+      x.At(r, c) = save + kEps;
+      double lp = loss();
+      x.At(r, c) = save - kEps;
+      double lm = loss();
+      x.At(r, c) = save;
+      EXPECT_NEAR(gin.At(r, c), (lp - lm) / (2 * kEps), 1e-5)
+          << "d(input) at (" << r << "," << c << ")";
+    }
+  }
+  // Parameter gradients, spot checks per matrix.
+  std::vector<Matrix*> params = net.Params();
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (size_t k = 0; k < std::min<size_t>(params[p]->data().size(), 4);
+         ++k) {
+      double save = params[p]->data()[k];
+      params[p]->data()[k] = save + kEps;
+      double lp = loss();
+      params[p]->data()[k] = save - kEps;
+      double lm = loss();
+      params[p]->data()[k] = save;
+      EXPECT_NEAR(sink.slot(p).data()[k], (lp - lm) / (2 * kEps), 1e-5)
+          << "d(param " << p << ") entry " << k;
+    }
+  }
+}
+
 TEST(LayerAutodiffTest, NullSinkSkipsParameterAccumulation) {
   Rng rng(11);
   LinearLayer layer(3, 2, &rng);

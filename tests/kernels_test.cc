@@ -1,0 +1,329 @@
+/// Bitwise parity suite for the NN kernel layer (nn/kernels.h): every
+/// blocked / sparse / fused kernel must produce exactly the bits of the
+/// historical reference loops, across edge shapes (0-row, 1-row, odd and
+/// prime dims, all-zero rows, fully dense) and at every dispatch pin. On
+/// top of the kernel-level checks, whole-model parity: an Mlp trained step
+/// by step under each kernel mode must end with byte-identical weights.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/cost_model.h"
+#include "nn/kernels.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace qcfe {
+namespace {
+
+using kernels::KernelMode;
+using kernels::ScopedKernelMode;
+
+/// (rows, cols) of the left operand x inner/right dims, plus the zero
+/// fraction to plant. Shapes cover register-panel edges: sub-panel, exact
+/// panels, ragged tails, prime dims, degenerate empties.
+struct GemmCase {
+  size_t m, k, n;
+  double sparsity;
+};
+
+const GemmCase kCases[] = {
+    {0, 3, 4, 0.0},    // 0-row
+    {3, 0, 4, 0.0},    // empty contraction
+    {1, 1, 1, 0.0},    // scalars
+    {1, 48, 8, 0.0},   // training row, exact j-panel
+    {2, 7, 5, 0.3},    // sub-panel ragged
+    {4, 8, 8, 0.0},    // exact register panel
+    {5, 9, 17, 0.5},   // ragged everything
+    {13, 17, 11, 0.9}, // primes, mostly zero
+    {8, 6, 8, 1.0},    // all-zero left operand
+    {64, 48, 48, 0.0}, // real hidden-layer shape, fully dense
+    {33, 66, 48, 0.9}, // real feature shape, plan-row sparsity
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, double sparsity, Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << what << " flat index " << i;
+  }
+}
+
+const KernelMode kAllModes[] = {KernelMode::kAuto, KernelMode::kDense,
+                                KernelMode::kSparse};
+
+TEST(KernelParityTest, GemmNNMatchesReferenceAcrossShapesAndModes) {
+  Rng rng(11);
+  for (const GemmCase& c : kCases) {
+    Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
+    Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+    Matrix want;
+    kernels::reference::GemmNN(a, b, &want);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got;
+      kernels::GemmNN(a, b, &got);
+      ExpectBitEqual(want, got, "GemmNN");
+    }
+  }
+}
+
+TEST(KernelParityTest, FusedBiasAndReluEpiloguesMatchSeparatePasses) {
+  Rng rng(12);
+  for (const GemmCase& c : kCases) {
+    Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
+    Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+    Matrix bias = RandomMatrix(1, c.n, 0.0, &rng);
+    Matrix want_bias, want_relu;
+    kernels::reference::GemmNNBias(a, b, bias, &want_bias);
+    kernels::reference::GemmNNBiasRelu(a, b, bias, &want_relu);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got;
+      kernels::GemmNNBias(a, b, bias, &got);
+      ExpectBitEqual(want_bias, got, "GemmNNBias");
+      kernels::GemmNNBiasRelu(a, b, bias, &got);
+      ExpectBitEqual(want_relu, got, "GemmNNBiasRelu");
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmBTMatchesReferenceAcrossShapesAndModes) {
+  Rng rng(13);
+  for (const GemmCase& c : kCases) {
+    // BT contracts over columns: a is (m x k), b is (n x k).
+    Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
+    Matrix b = RandomMatrix(c.n, c.k, 0.0, &rng);
+    Matrix want;
+    kernels::reference::GemmBT(a, b, &want);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got;
+      kernels::GemmBT(a, b, &got);
+      ExpectBitEqual(want, got, "GemmBT");
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmATMatchesReferenceAcrossShapesAndModes) {
+  Rng rng(14);
+  for (const GemmCase& c : kCases) {
+    // AT contracts over rows: a is (k x m), b is (k x n).
+    Matrix a = RandomMatrix(c.k, c.m, c.sparsity, &rng);
+    Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+    Matrix want;
+    kernels::reference::GemmAT(a, b, &want);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got;
+      kernels::GemmAT(a, b, &got);
+      ExpectBitEqual(want, got, "GemmAT");
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmATAccumulateMatchesTemporaryPlusAdd) {
+  Rng rng(15);
+  for (const GemmCase& c : kCases) {
+    Matrix a = RandomMatrix(c.k, c.m, c.sparsity, &rng);
+    Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+    // Accumulate onto a warm, non-zero sink: the contract is
+    // full-contraction-sum first, then one add per element.
+    Matrix seed = RandomMatrix(c.m, c.n, 0.0, &rng);
+    Matrix want = seed;
+    kernels::reference::GemmATAccumulate(a, b, &want);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got = seed;
+      kernels::GemmATAccumulate(a, b, &got);
+      ExpectBitEqual(want, got, "GemmATAccumulate");
+    }
+  }
+}
+
+TEST(KernelParityTest, ColSumAccumulateMatchesColSumPlusAdd) {
+  Rng rng(16);
+  for (const GemmCase& c : kCases) {
+    Matrix a = RandomMatrix(c.m, c.n, c.sparsity, &rng);
+    Matrix seed = RandomMatrix(1, c.n, 0.0, &rng);
+    Matrix want = seed;
+    kernels::reference::ColSumAccumulate(a, &want);
+    for (KernelMode mode : kAllModes) {
+      ScopedKernelMode pin(mode);
+      Matrix got = seed;
+      kernels::ColSumAccumulate(a, &got);
+      ExpectBitEqual(want, got, "ColSumAccumulate");
+    }
+  }
+}
+
+TEST(KernelParityTest, ReluMaskBackwardMatchesCopyThenMaskAndAliases) {
+  Rng rng(17);
+  Matrix pre = RandomMatrix(9, 13, 0.3, &rng);
+  Matrix grad = RandomMatrix(9, 13, 0.0, &rng);
+  Matrix want = grad;
+  for (size_t i = 0; i < want.data().size(); ++i) {
+    if (pre.data()[i] <= 0.0) want.data()[i] = 0.0;
+  }
+  Matrix got;
+  kernels::ReluMaskBackward(grad, pre, &got);
+  ExpectBitEqual(want, got, "ReluMaskBackward");
+  // In-place form (grad_in aliases grad_out).
+  Matrix inplace = grad;
+  kernels::ReluMaskBackward(inplace, pre, &inplace);
+  ExpectBitEqual(want, inplace, "ReluMaskBackward in-place");
+}
+
+// ------------------------------------------------------------ matrix API
+
+TEST(MatrixKernelTest, ResetShapeKeepsCapacityOnSteadyShapes) {
+  Matrix m(8, 16);
+  const double* buf = m.data().data();
+  m.ResetShape(8, 16);
+  EXPECT_EQ(m.data().data(), buf);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+  // Shrinking reuses the buffer too.
+  m.ResetShape(4, 8);
+  EXPECT_EQ(m.data().data(), buf);
+  m.ResetShapeUninitialized(8, 16);
+  EXPECT_EQ(m.data().data(), buf);
+}
+
+TEST(MatrixKernelTest, ColMeanMatchesColSumScaled) {
+  Rng rng(18);
+  Matrix m = RandomMatrix(7, 5, 0.2, &rng);
+  Matrix want = m.ColSum();
+  want.Scale(1.0 / 7.0);
+  Matrix got = m.ColMean();
+  ExpectBitEqual(want, got, "ColMean");
+  // Empty matrix: a 0 x n mean is all zeros, no division.
+  Matrix empty(0, 3);
+  Matrix mean = empty.ColMean();
+  for (double v : mean.data()) EXPECT_EQ(v, 0.0);
+}
+
+// ------------------------------------------------------- whole-model parity
+
+/// Trains a small Mlp for a few Adam steps under `mode`; returns the final
+/// flattened parameters.
+std::vector<double> TrainUnderMode(KernelMode mode) {
+  ScopedKernelMode pin(mode);
+  Rng rng(77);
+  Mlp net({9, 16, 16, 1}, Activation::kRelu, &rng);
+  AdamOptimizer opt(net.Params(), net.Grads(), 1e-2);
+  Matrix x = RandomMatrix(24, 9, 0.6, &rng);
+  std::vector<double> y(24);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = rng.Gaussian(0.0, 1.0);
+  Mlp::Tape tape;
+  GradSink sink;
+  for (int step = 0; step < 20; ++step) {
+    opt.ZeroGrad();
+    sink.InitLike(net.Grads());
+    const Matrix& out = net.Forward(x, &tape);
+    Matrix grad(out.rows(), 1);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      grad.At(r, 0) = 2.0 * (out.At(r, 0) - y[r]) / 24.0;
+    }
+    net.Backward(grad, &tape, &sink);
+    sink.AddTo(net.Grads());
+    opt.Step();
+  }
+  std::vector<double> flat;
+  for (Matrix* p : net.Params()) {
+    for (double v : p->data()) flat.push_back(v);
+  }
+  return flat;
+}
+
+TEST(KernelModelParityTest, TrainingIsBitIdenticalAcrossKernelModes) {
+  std::vector<double> reference = TrainUnderMode(KernelMode::kReference);
+  for (KernelMode mode : kAllModes) {
+    std::vector<double> got = TrainUnderMode(mode);
+    ASSERT_EQ(reference.size(), got.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i], got[i])
+          << "param " << i << " under mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(KernelModelParityTest, FusedServingForwardMatchesLayerwisePredict) {
+  Rng rng(79);
+  Mlp net({7, 12, 12, 2}, Activation::kRelu, &rng);
+  Matrix x = RandomMatrix(17, 7, 0.4, &rng);
+  Matrix rowwise = net.Predict(x);  // layer-by-layer, allocating
+  for (KernelMode mode : kAllModes) {
+    ScopedKernelMode pin(mode);
+    Mlp::Scratch scratch;
+    const Matrix& fused = net.Predict(x, &scratch);
+    ASSERT_EQ(rowwise.rows(), fused.rows());
+    for (size_t i = 0; i < rowwise.data().size(); ++i) {
+      EXPECT_EQ(rowwise.data()[i], fused.data()[i])
+          << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(KernelModelParityTest, TapeReuseDoesNotChangeForwardBackward) {
+  // One tape serving many different batches (the training arena pattern)
+  // must give the same bits as a fresh tape each time.
+  Rng rng(81);
+  Mlp net({6, 10, 1}, Activation::kTanh, &rng);
+  Mlp::Tape reused;
+  for (int round = 0; round < 4; ++round) {
+    Matrix x = RandomMatrix(3 + round * 5, 6, 0.3, &rng);
+    Mlp::Tape fresh;
+    const Matrix& out_reused = net.Forward(x, &reused);
+    Matrix out_snapshot = out_reused;
+    const Matrix& out_fresh = net.Forward(x, &fresh);
+    for (size_t i = 0; i < out_fresh.data().size(); ++i) {
+      EXPECT_EQ(out_fresh.data()[i], out_snapshot.data()[i]);
+    }
+    Matrix grad(out_snapshot.rows(), 1);
+    for (size_t r = 0; r < grad.rows(); ++r) grad.At(r, 0) = 1.0;
+    Matrix gin_reused = net.Backward(grad, &reused, nullptr);
+    Matrix gin_fresh = net.Backward(grad, &fresh, nullptr);
+    for (size_t i = 0; i < gin_fresh.data().size(); ++i) {
+      EXPECT_EQ(gin_fresh.data()[i], gin_reused.data()[i]);
+    }
+  }
+}
+
+// ------------------------------------------------------- chunk autotuning
+
+TEST(ChunkAutotuneTest, ExplicitChunkSizePassesThrough) {
+  TrainConfig cfg;
+  cfg.chunk_size = 7;
+  EXPECT_EQ(ResolveTrainChunkSize(cfg, 1e6, 1.0), 7u);
+}
+
+TEST(ChunkAutotuneTest, AutoWidthGrowsWithMergeCostAndClampsToBatch) {
+  TrainConfig cfg;
+  cfg.chunk_size = 0;
+  cfg.batch_size = 32;
+  // Cheap merges relative to per-sample compute: fine-grained chunks.
+  size_t fine = ResolveTrainChunkSize(cfg, 100.0, 10000.0);
+  // Expensive merges (a small model): wider chunks.
+  size_t coarse = ResolveTrainChunkSize(cfg, 10000.0, 10000.0);
+  EXPECT_LT(fine, coarse);
+  EXPECT_GE(fine, 1u);
+  // Never wider than a batch.
+  EXPECT_EQ(ResolveTrainChunkSize(cfg, 1e9, 1.0), 32u);
+  // Degenerate measurements fall back to single-sample chunks.
+  EXPECT_EQ(ResolveTrainChunkSize(cfg, 0.0, 0.0), 1u);
+}
+
+}  // namespace
+}  // namespace qcfe

@@ -145,7 +145,7 @@ TEST(MlpTest, WeightGradientMatchesNumerical) {
   for (size_t r = 0; r < out.rows(); ++r) grad.At(r, 0) = out.At(r, 0) - y[r];
   GradSink sink;
   sink.InitLike(net.Grads());
-  net.Backward(grad, tape, &sink);
+  net.Backward(grad, &tape, &sink);
 
   auto loss = [&]() {
     Matrix o = net.Predict(x);
@@ -194,7 +194,7 @@ TEST(MlpTest, LearnsLinearFunction) {
       loss += d * d;
       grad.At(r, 0) = 2.0 * d / static_cast<double>(out.rows());
     }
-    net.Backward(grad, tape, &sink);
+    net.Backward(grad, &tape, &sink);
     sink.AddTo(net.Grads());
     opt.Step();
     last = loss / 64.0;
@@ -240,7 +240,7 @@ TEST(MlpTest, InputGradientLeavesAccumulatedGradsUntouched) {
   for (size_t r = 0; r < out.rows(); ++r) grad.At(r, 0) = 1.0 + out.At(r, 0);
   GradSink sink;
   sink.InitLike(net.Grads());
-  net.Backward(grad, tape, &sink);
+  net.Backward(grad, &tape, &sink);
   sink.AddTo(net.Grads());
 
   std::vector<Matrix> before;
