@@ -5,12 +5,13 @@
 ///
 /// The *Threads benchmarks sweep the thread-pool parallelism layer
 /// (Pipeline::Fit wall-time and batched serving throughput at 1/2/4/8
-/// workers) and the *KernelMode benchmarks plus the KernelGemm sweep
-/// measure the register-blocked kernel layer against the historical
-/// reference loops (before/after in one binary). Best observed timings are
-/// written to BENCH_parallel.json (machine-readable) when a run includes
-/// them, e.g.
-///   bench_micro --benchmark_filter='Threads|Kernel'
+/// workers), the *KernelMode benchmarks plus the KernelGemm sweep measure
+/// the register-blocked kernel layer against the historical reference
+/// loops (before/after in one binary), and the *AsyncThroughput benchmarks
+/// measure the micro-batching front end against one-at-a-time PredictMs
+/// under 8 concurrent callers. Best observed timings are written to
+/// BENCH_parallel.json (machine-readable) when a run includes them, e.g.
+///   bench_micro --benchmark_filter='Threads|Kernel|Async'
 /// Sections absent from the current run are preserved from an existing
 /// BENCH_parallel.json, so partial reruns never erase other sweeps.
 ///
@@ -23,11 +24,14 @@
 
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
@@ -38,6 +42,7 @@
 #include "nn/matrix.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "serve/async_server.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -323,11 +328,22 @@ struct ParallelBenchRecorder {
     if (!inserted && seconds < it->second) it->second = seconds;
   }
 
+  /// Async serving sweep: mode 0 = 8 callers doing one-at-a-time PredictMs,
+  /// mode 1 = the same callers submitting through an AsyncServer.
+  void RecordAsync(const std::string& model, int mode, size_t callers,
+                   double plans_per_sec) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, mode);
+    auto [it, inserted] = async_pps.emplace(key, plans_per_sec);
+    if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
+    async_callers = callers;
+  }
+
   bool empty() {
     std::lock_guard<std::mutex> lock(mu);
     return fit_seconds.empty() && serve.empty() && train_seconds.empty() &&
            kernel_gemm_ns.empty() && kernel_train.empty() &&
-           kernel_serve.empty() && kernel_fit.empty();
+           kernel_serve.empty() && kernel_fit.empty() && async_pps.empty();
   }
 
   /// Extracts the raw text of `"key": <value>` from a previous dump (our
@@ -435,6 +451,34 @@ struct ParallelBenchRecorder {
     } else {
       WriteKernelsSection(&os);
     }
+    os << ",\n  \"async\": ";
+    // Rows are keyed by the async (mode 1) measurements; a rerun that only
+    // recorded the direct baseline (mode 0) must keep the carried section
+    // rather than emit an empty array.
+    bool have_async_rows = false;
+    for (const auto& [key, pps] : async_pps) {
+      (void)pps;
+      if (key.second == 1) have_async_rows = true;
+    }
+    if (!have_async_rows && !carry("async").empty()) {
+      os << carry("async");
+    } else {
+      os << "[";
+      bool first = true;
+      for (const auto& [key, pps] : async_pps) {
+        if (key.second != 1) continue;  // one row per model, direct inline
+        double direct = async_pps.count({key.first, 0})
+                            ? async_pps.at({key.first, 0})
+                            : 0.0;
+        os << (first ? "" : ",") << "\n    {\"model\": \"" << key.first
+           << "\", \"callers\": " << async_callers
+           << ", \"direct_plans_per_sec\": " << direct
+           << ", \"async_plans_per_sec\": " << pps << ", \"speedup\": "
+           << (direct > 0.0 && pps > 0.0 ? pps / direct : 0.0) << "}";
+        first = false;
+      }
+      os << "\n  ]";
+    }
     os << "\n}\n";
     std::cout << "wrote " << path << "\n";
   }
@@ -450,6 +494,8 @@ struct ParallelBenchRecorder {
   std::map<std::pair<std::string, int>, double> kernel_train;
   std::map<std::pair<std::string, int>, double> kernel_serve;
   std::map<int, double> kernel_fit;
+  std::map<std::pair<std::string, int>, double> async_pps;
+  size_t async_callers = 0;
 };
 
 // ------------------------------------------------------- kernel sweeps
@@ -791,6 +837,94 @@ BENCHMARK_TEMPLATE(BM_PredictBatchKernelMode, kMscnName)
     ->Name("BM_MscnPredictBatchKernelMode")
     ->Arg(0)
     ->Arg(1);
+
+// ----------------------------------------------------- async serving sweep
+
+/// Online-serving throughput under concurrent callers: 8 caller threads
+/// each issue 256 single-plan requests (cycling the 80-query test split
+/// with per-caller offsets, so traffic repeats like templated workloads).
+/// Mode 0 is the baseline every caller starts from — one-at-a-time
+/// PredictMs, no batching anywhere; mode 1 routes the same traffic through
+/// an AsyncServer, which coalesces the callers' singleton submissions into
+/// micro-batches for PredictBatchMs. The recorder writes both into the
+/// `async` section of BENCH_parallel.json.
+template <const char* kModel>
+void BM_AsyncThroughput(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int mode = static_cast<int>(state.range(0));
+  constexpr size_t kCallers = 8;
+  constexpr size_t kPerCaller = 256;
+  const CostModel* model =
+      std::string(kModel) == "qppnet" ? f.qpp.get() : f.mscn.get();
+  auto sample = [&](size_t caller, size_t i) -> const PlanSample& {
+    return f.test[(caller * 17 + i) % f.test.size()];
+  };
+  for (auto _ : state) {
+    WallTimer timer;
+    if (mode == 0) {
+      std::vector<std::thread> callers;
+      callers.reserve(kCallers);
+      for (size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+          for (size_t i = 0; i < kPerCaller; ++i) {
+            const PlanSample& s = sample(c, i);
+            auto p = model->PredictMs(*s.plan, s.env_id);
+            benchmark::DoNotOptimize(p.ok());
+          }
+        });
+      }
+      for (std::thread& t : callers) t.join();
+    } else {
+      AsyncServeConfig cfg;
+      cfg.max_batch = 512;
+      cfg.max_delay_micros = 2000;
+      cfg.max_queue = 0;
+      AsyncServer server(model, cfg);
+      std::vector<std::vector<std::future<Result<double>>>> futures(kCallers);
+      std::vector<std::thread> callers;
+      callers.reserve(kCallers);
+      for (size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+          futures[c].reserve(kPerCaller);
+          for (size_t i = 0; i < kPerCaller; ++i) {
+            const PlanSample& s = sample(c, i);
+            futures[c].push_back(server.Submit(*s.plan, s.env_id));
+          }
+        });
+      }
+      for (std::thread& t : callers) t.join();
+      // Traffic is finite here (closed-loop bench): drain the last partial
+      // micro-batch instead of letting it wait out its deadline.
+      server.Shutdown(AsyncServer::ShutdownMode::kDrain);
+      for (auto& caller_futures : futures) {
+        for (auto& fut : caller_futures) {
+          auto p = fut.get();
+          benchmark::DoNotOptimize(p.ok());
+        }
+      }
+    }
+    double seconds = timer.Seconds();
+    if (seconds > 0.0) {
+      ParallelBenchRecorder::Get().RecordAsync(
+          kModel, mode, kCallers,
+          static_cast<double>(kCallers * kPerCaller) / seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kCallers * kPerCaller));
+}
+BENCHMARK_TEMPLATE(BM_AsyncThroughput, kQppName)
+    ->Name("BM_QppNetAsyncThroughput")
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_AsyncThroughput, kMscnName)
+    ->Name("BM_MscnAsyncThroughput")
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotFit(benchmark::State& state) {
   Rng rng(7);

@@ -97,6 +97,11 @@ Result<std::vector<double>> Pipeline::PredictBatch(
   return model_->PredictBatchMs(samples);
 }
 
+std::unique_ptr<AsyncServer> Pipeline::ServeAsync(Clock* clock) const {
+  return std::make_unique<AsyncServer>(model_.get(), config_.async_serve,
+                                       clock, pool_.get());
+}
+
 std::string Pipeline::name() const {
   bool qcfe = config_.use_snapshot || config_.use_reduction;
   return qcfe ? "QCFE(" + info_.qcfe_label + ")" : info_.display_name;

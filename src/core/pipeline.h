@@ -29,7 +29,9 @@
 #include "engine/database.h"
 #include "models/cost_model.h"
 #include "models/registry.h"
+#include "serve/async_server.h"
 #include "sql/template.h"
+#include "util/clock.h"
 #include "util/thread_pool.h"
 
 namespace qcfe {
@@ -66,6 +68,11 @@ struct PipelineConfig {
   /// for any setting — threads buy wall-clock, never different models.
   Parallelism parallelism;
 
+  /// Micro-batching knobs for servers built via ServeAsync(): batch-full
+  /// size, deadline-flush delay, flusher threads and the admission-control
+  /// queue bound (see serve/async_server.h).
+  AsyncServeConfig async_serve;
+
   uint64_t seed = 2024;
 };
 
@@ -90,6 +97,16 @@ class Pipeline {
   /// bit-identical to per-plan PredictMs. This is the serving hot path.
   Result<std::vector<double>> PredictBatch(
       const std::vector<PlanSample>& samples) const;
+
+  /// Builds an async micro-batching front end over this pipeline's fitted
+  /// estimator (config knobs: PipelineConfig::async_serve). Many caller
+  /// threads Submit() single plans; the server coalesces them into
+  /// micro-batches and flushes through the batched serving path on
+  /// batch-full or deadline, with results bit-identical to PredictBatch.
+  /// The server borrows the pipeline's model and worker pool, so it must
+  /// be destroyed (or shut down) before the pipeline. `clock` is for tests
+  /// (null = real time).
+  std::unique_ptr<AsyncServer> ServeAsync(Clock* clock = nullptr) const;
 
   /// Human-readable description of the fitted chain: estimator, snapshot
   /// provenance and cost, reduction ratio, training stats.

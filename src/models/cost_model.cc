@@ -28,6 +28,38 @@ std::vector<double> BatchRequestDedup::Expand(
   return out;
 }
 
+namespace {
+
+/// Deduped per-request prediction loop shared by the base PredictBatchMs
+/// and the PredictBatchEach fallback: one PredictMs task per distinct
+/// request across the pool (each writing only its own slot, so results
+/// match the serial loop exactly), expanded back to batch order. Requests
+/// must have non-null plans.
+std::vector<CostModel::BatchPrediction> PredictEachByRequest(
+    const CostModel& model, const std::vector<PlanSample>& batch,
+    ThreadPool* pool) {
+  BatchRequestDedup dedup(batch);
+  std::vector<CostModel::BatchPrediction> unique_results =
+      ParallelMap<CostModel::BatchPrediction>(
+          pool, dedup.unique.size(), [&](size_t u) {
+            CostModel::BatchPrediction p;
+            Result<double> r =
+                model.PredictMs(*dedup.unique[u].plan, dedup.unique[u].env_id);
+            if (r.ok()) {
+              p.ms = *r;
+            } else {
+              p.status = r.status();
+            }
+            return p;
+          });
+  std::vector<CostModel::BatchPrediction> out;
+  out.reserve(dedup.slot.size());
+  for (size_t s : dedup.slot) out.push_back(unique_results[s]);
+  return out;
+}
+
+}  // namespace
+
 Result<std::vector<double>> CostModel::PredictBatchMs(
     const std::vector<PlanSample>& batch, ThreadPool* pool) const {
   for (const PlanSample& s : batch) {
@@ -35,33 +67,61 @@ Result<std::vector<double>> CostModel::PredictBatchMs(
       return Status::InvalidArgument("null plan in prediction batch");
     }
   }
-  // Fallback batched path: dedup, then the per-plan loop across the pool.
-  // Each unique request is one task writing its own slot, so results match
-  // the serial loop exactly.
-  BatchRequestDedup dedup(batch);
-  struct OnePrediction {
-    Status status;
-    double ms = 0.0;
-  };
-  std::vector<OnePrediction> predicted = ParallelMap<OnePrediction>(
-      pool, dedup.unique.size(), [&](size_t i) {
-        OnePrediction out;
-        Result<double> p =
-            PredictMs(*dedup.unique[i].plan, dedup.unique[i].env_id);
-        if (p.ok()) {
-          out.ms = *p;
-        } else {
-          out.status = p.status();
-        }
-        return out;
-      });
-  std::vector<double> unique_results;
-  unique_results.reserve(predicted.size());
-  for (const OnePrediction& p : predicted) {
+  // Fallback batched path (all-or-nothing contract): the shared per-request
+  // loop, collapsed to the first error in batch order — which is also the
+  // first failing distinct request, since unique order is first-appearance
+  // order.
+  std::vector<BatchPrediction> each = PredictEachByRequest(*this, batch, pool);
+  std::vector<double> out;
+  out.reserve(each.size());
+  for (const BatchPrediction& p : each) {
     if (!p.status.ok()) return p.status;
-    unique_results.push_back(p.ms);
+    out.push_back(p.ms);
   }
-  return dedup.Expand(unique_results);
+  return out;
+}
+
+std::vector<CostModel::BatchPrediction> CostModel::PredictBatchEach(
+    const std::vector<PlanSample>& batch, ThreadPool* pool) const {
+  std::vector<BatchPrediction> out(batch.size());
+  // Null plans fail individually up front; the all-or-nothing batched path
+  // below then only ever sees servable-looking requests.
+  std::vector<PlanSample> valid;
+  std::vector<size_t> valid_pos;
+  valid.reserve(batch.size());
+  valid_pos.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].plan == nullptr) {
+      out[i].status = Status::InvalidArgument("null plan in prediction batch");
+    } else {
+      valid.push_back(batch[i]);
+      valid_pos.push_back(i);
+    }
+  }
+  if (valid.empty()) return out;
+
+  Result<std::vector<double>> whole = PredictBatchMs(valid, pool);
+  if (whole.ok()) {
+    for (size_t j = 0; j < valid_pos.size(); ++j) {
+      out[valid_pos[j]].ms = (*whole)[j];
+    }
+    return out;
+  }
+
+  // Some request poisoned the whole batch. Retry per distinct request so
+  // the error reaches only its own slot(s); per-request results are
+  // bit-identical to the batched forward (parity contract), so the healthy
+  // requests lose nothing by taking this path. For estimators without a
+  // batched override the failed attempt above already ran this loop once —
+  // accepted cost: it is paid only on batches that contain a bad request,
+  // and keeping the fast path a single virtual PredictBatchMs call is what
+  // lets the healthy path match the all-or-nothing API's throughput.
+  std::vector<BatchPrediction> fallback =
+      PredictEachByRequest(*this, valid, pool);
+  for (size_t j = 0; j < valid_pos.size(); ++j) {
+    out[valid_pos[j]] = fallback[j];
+  }
+  return out;
 }
 
 double SubtreeLatencyMs(const PlanNode& node) { return node.TotalActualMs(); }

@@ -100,6 +100,30 @@ class CostModel {
   virtual Result<std::vector<double>> PredictBatchMs(
       const std::vector<PlanSample>& batch, ThreadPool* pool) const;
 
+  /// One request's outcome in a per-request batched prediction: either an
+  /// OK status with the predicted latency, or the request's own error.
+  struct BatchPrediction {
+    Status status;
+    double ms = 0.0;
+  };
+
+  /// Batched prediction with per-request status isolation: positionally
+  /// aligned with `batch`, and a request that cannot be served (null plan,
+  /// unknown environment, numeric failure) fails alone instead of poisoning
+  /// its co-batched neighbours. The healthy path is one PredictBatchMs call
+  /// (so throughput matches the all-or-nothing API); only when that whole
+  /// batch fails does it fall back to deduped per-request PredictMs — which
+  /// the parity contract guarantees is bit-identical, so healthy requests
+  /// in a poisoned batch still receive exactly the values a clean batch
+  /// would have produced. This is the serving surface the async front end
+  /// (serve/async_server.h) flushes micro-batches through.
+  std::vector<BatchPrediction> PredictBatchEach(
+      const std::vector<PlanSample>& batch, ThreadPool* pool) const;
+  std::vector<BatchPrediction> PredictBatchEach(
+      const std::vector<PlanSample>& batch) const {
+    return PredictBatchEach(batch, pool_);
+  }
+
   /// Attaches a serving/training pool (not owned; must outlive the model —
   /// the Pipeline owns both and guarantees this). Null detaches. The pool
   /// is used by PredictBatchMs(batch) and by per-epoch eval during Train.

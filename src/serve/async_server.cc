@@ -1,0 +1,208 @@
+#include "serve/async_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace qcfe {
+
+namespace {
+
+std::future<Result<double>> ReadyError(Status status) {
+  std::promise<Result<double>> promise;
+  std::future<Result<double>> future = promise.get_future();
+  promise.set_value(Result<double>(std::move(status)));
+  return future;
+}
+
+}  // namespace
+
+AsyncServer::AsyncServer(const CostModel* model, const AsyncServeConfig& config,
+                         Clock* clock, ThreadPool* pool)
+    : model_(model),
+      config_([&] {
+        AsyncServeConfig c = config;
+        if (c.max_batch == 0) c.max_batch = 1;
+        if (c.num_workers == 0) c.num_workers = 1;
+        if (c.max_delay_micros < 0) c.max_delay_micros = 0;
+        return c;
+      }()),
+      clock_(clock != nullptr ? clock : Clock::Real()),
+      pool_(pool) {
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncServer::~AsyncServer() { Shutdown(ShutdownMode::kDrain); }
+
+std::future<Result<double>> AsyncServer::Submit(const PlanNode& plan,
+                                                int env_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.rejected;
+    } else if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+      ++stats_.rejected;
+      return ReadyError(Status::Unavailable(
+          "admission control: serving queue full (" +
+          std::to_string(config_.max_queue) + " requests waiting)"));
+    } else {
+      Pending pending;
+      pending.sample = {&plan, env_id, 0.0};
+      pending.enqueued_micros = clock_->NowMicros();
+      std::future<Result<double>> future = pending.promise.get_future();
+      queue_.push_back(std::move(pending));
+      ++stats_.submitted;
+      // Flushers only need to learn about two transitions: a new queue head
+      // (its deadline starts the next flush timer) and a full batch.
+      if (queue_.size() == 1 || queue_.size() >= config_.max_batch) {
+        cv_.notify_all();
+      }
+      return future;
+    }
+  }
+  return ReadyError(
+      Status::Unavailable("async server is shut down; request rejected"));
+}
+
+void AsyncServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    FlushReason reason = FlushReason::kFull;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (queue_.size() >= config_.max_batch) {
+          reason = FlushReason::kFull;
+          break;
+        }
+        if (shutdown_) {
+          // kCancel shutdown empties the queue itself; drain mode serves
+          // what is left, one (partial) batch per loop iteration.
+          if (queue_.empty()) return;
+          reason = FlushReason::kDrain;
+          break;
+        }
+        if (queue_.empty()) {
+          clock_->WaitUntil(&cv_, &lock, Clock::kNoDeadline,
+                            [&] { return !queue_.empty() || shutdown_; });
+          continue;
+        }
+        const int64_t head_enqueued = queue_.front().enqueued_micros;
+        // Saturating add: a huge max_delay_micros (a caller's way of asking
+        // for batch-full-only flushing) must disable the deadline, not
+        // overflow into signed UB.
+        const int64_t deadline =
+            head_enqueued > Clock::kNoDeadline - config_.max_delay_micros
+                ? Clock::kNoDeadline
+                : head_enqueued + config_.max_delay_micros;
+        if (clock_->NowMicros() >= deadline) {
+          reason = FlushReason::kDeadline;
+          break;
+        }
+        // Wait out the head request's deadline; wake early on a full batch,
+        // shutdown, or another worker having cut the head out from under us
+        // (its deadline no longer governs).
+        clock_->WaitUntil(&cv_, &lock, deadline, [&] {
+          return queue_.size() >= config_.max_batch || shutdown_ ||
+                 queue_.empty() ||
+                 queue_.front().enqueued_micros != head_enqueued;
+        });
+      }
+      const size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Leftover work (several full batches queued at once): hand it to a
+      // sibling flusher before this thread disappears into the model.
+      if (!queue_.empty()) cv_.notify_all();
+    }
+    FlushBatch(&batch, reason);
+  }
+}
+
+void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
+  std::vector<PlanSample> samples;
+  samples.reserve(batch->size());
+  for (const Pending& p : *batch) samples.push_back(p.sample);
+
+  std::vector<CostModel::BatchPrediction> results =
+      model_->PredictBatchEach(samples, pool_);
+
+  size_t failures = 0;
+  for (const CostModel::BatchPrediction& r : results) {
+    if (!r.status.ok()) ++failures;
+  }
+  // Publish counters before fulfilling the futures, so an observer that
+  // sees a completed request also sees its flush accounted for.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches_flushed;
+    stats_.served += batch->size();
+    stats_.failed += failures;
+    switch (reason) {
+      case FlushReason::kFull:
+        ++stats_.full_flushes;
+        break;
+      case FlushReason::kDeadline:
+        ++stats_.deadline_flushes;
+        break;
+      case FlushReason::kDrain:
+        ++stats_.drain_flushes;
+        break;
+    }
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (results[i].status.ok()) {
+      (*batch)[i].promise.set_value(Result<double>(results[i].ms));
+    } else {
+      (*batch)[i].promise.set_value(Result<double>(results[i].status));
+    }
+  }
+}
+
+void AsyncServer::Shutdown(ShutdownMode mode) {
+  std::vector<Pending> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      // Cancel mode empties the queue here; requests already cut into a
+      // flushing batch are still served either way. Drain mode leaves the
+      // queue for the workers, which flush it before exiting.
+      if (mode == ShutdownMode::kCancel) {
+        to_cancel.reserve(queue_.size());
+        while (!queue_.empty()) {
+          to_cancel.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        stats_.cancelled += to_cancel.size();
+      }
+    }
+  }
+  cv_.notify_all();
+  for (Pending& p : to_cancel) {
+    p.promise.set_value(Result<double>(Status::Unavailable(
+        "async server shut down before the request was served")));
+  }
+  std::call_once(join_once_, [this] {
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+AsyncServeStats AsyncServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AsyncServeStats out = stats_;
+  out.mean_occupancy =
+      out.batches_flushed > 0
+          ? static_cast<double>(out.served) /
+                static_cast<double>(out.batches_flushed)
+          : 0.0;
+  return out;
+}
+
+}  // namespace qcfe

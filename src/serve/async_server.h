@@ -1,0 +1,148 @@
+#ifndef QCFE_SERVE_ASYNC_SERVER_H_
+#define QCFE_SERVE_ASYNC_SERVER_H_
+
+/// \file async_server.h
+/// Micro-batching serving front end over CostModel::PredictBatchMs.
+///
+/// The batched prediction path pays off only when callers hand it whole
+/// batches, but online traffic arrives one plan at a time from many
+/// concurrent callers. AsyncServer bridges the two: Submit() enqueues a
+/// single (plan, environment) request and returns a future; dedicated
+/// flusher threads coalesce queued requests into micro-batches and flush on
+/// whichever comes first — the batch reaching `max_batch`, or the oldest
+/// queued request reaching its `max_delay_micros` deadline — then fulfil
+/// every future from one PredictBatchEach call.
+///
+/// Contracts:
+///  * Results are bit-identical to a direct PredictBatchMs / PredictMs call
+///    on the same model. Which micro-batch a request lands in is
+///    scheduling-dependent, but per-request arithmetic is independent of
+///    co-batched requests, so batching is invisible in the output bits.
+///  * Per-request status isolation: a request that cannot be served fails
+///    its own future only; co-batched requests still succeed (see
+///    CostModel::PredictBatchEach).
+///  * Admission control: when `max_queue` requests are already waiting,
+///    Submit rejects immediately with StatusCode::kUnavailable instead of
+///    letting the queue grow without bound.
+///  * Clean shutdown: Shutdown(kDrain) serves everything already queued,
+///    Shutdown(kCancel) fails queued requests with kUnavailable; both then
+///    join the flusher threads. The destructor drains.
+///  * Clock-injectable: all waiting goes through a Clock (util/clock.h), so
+///    tests drive deadline flushes with FakeClock::Advance instead of
+///    sleeps.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "models/cost_model.h"
+#include "util/clock.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace qcfe {
+
+/// Micro-batcher tuning knobs (PipelineConfig::async_serve carries these).
+struct AsyncServeConfig {
+  /// Flush as soon as this many requests are queued.
+  size_t max_batch = 64;
+  /// Flush a partial batch once its oldest request has waited this long.
+  /// This bounds the latency cost of batching: a request is served at most
+  /// max_delay after arrival even at low QPS.
+  int64_t max_delay_micros = 2000;
+  /// Dedicated flusher threads. More than one lets the next micro-batch cut
+  /// while a previous one is still in the model; results are identical
+  /// either way.
+  size_t num_workers = 1;
+  /// Admission control: reject Submit with kUnavailable once this many
+  /// requests are queued (not yet cut into a flushing batch). 0 = no limit.
+  size_t max_queue = 4096;
+};
+
+/// Serving counters, all monotonically increasing except mean_occupancy.
+struct AsyncServeStats {
+  uint64_t submitted = 0;         ///< requests accepted into the queue
+  uint64_t rejected = 0;          ///< refused at admission (or post-shutdown)
+  uint64_t cancelled = 0;         ///< queued requests failed by kCancel
+  uint64_t served = 0;            ///< requests flushed through the model
+  uint64_t failed = 0;            ///< served requests with per-request errors
+  uint64_t batches_flushed = 0;
+  uint64_t full_flushes = 0;      ///< flush reason: batch reached max_batch
+  uint64_t deadline_flushes = 0;  ///< flush reason: max_delay deadline
+  uint64_t drain_flushes = 0;     ///< flush reason: shutdown drain
+  double mean_occupancy = 0.0;    ///< served / batches_flushed
+};
+
+/// Request-queue front end over one CostModel. Thread-safe: any number of
+/// caller threads may Submit concurrently. The model, clock and pool are
+/// not owned and must outlive the server (the Pipeline guarantees this for
+/// servers built via Pipeline::ServeAsync).
+class AsyncServer {
+ public:
+  /// `clock` null means the process-wide real clock; `pool` (optional)
+  /// shards each flushed batch across workers exactly like
+  /// PredictBatchMs(batch, pool).
+  AsyncServer(const CostModel* model, const AsyncServeConfig& config,
+              Clock* clock = nullptr, ThreadPool* pool = nullptr);
+  /// Drains outstanding work, then joins the flusher threads.
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Submits one prediction request. The returned future becomes ready when
+  /// the request's micro-batch flushes (or immediately, with
+  /// kUnavailable, when admission control rejects or the server is shut
+  /// down). The plan must outlive the future's completion.
+  std::future<Result<double>> Submit(const PlanNode& plan, int env_id);
+
+  enum class ShutdownMode {
+    kDrain,   ///< serve everything already queued, then stop
+    kCancel,  ///< fail queued requests with kUnavailable, then stop
+  };
+
+  /// Stops the server and joins its flusher threads. Idempotent; the first
+  /// call's mode wins. Submit after shutdown rejects with kUnavailable.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Snapshot of the serving counters (consistent: taken under the queue
+  /// lock, and flush counters are published before the batch's futures).
+  AsyncServeStats stats() const;
+
+  const AsyncServeConfig& config() const { return config_; }
+
+ private:
+  enum class FlushReason { kFull, kDeadline, kDrain };
+
+  struct Pending {
+    PlanSample sample;
+    int64_t enqueued_micros = 0;
+    std::promise<Result<double>> promise;
+  };
+
+  void WorkerLoop();
+  /// Serves one cut batch outside the queue lock and fulfils its promises.
+  void FlushBatch(std::vector<Pending>* batch, FlushReason reason);
+
+  const CostModel* model_;
+  const AsyncServeConfig config_;
+  Clock* clock_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  AsyncServeStats stats_;
+
+  std::once_flag join_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_SERVE_ASYNC_SERVER_H_

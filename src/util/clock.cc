@@ -1,0 +1,88 @@
+#include "util/clock.h"
+
+#include <algorithm>
+
+namespace qcfe {
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+RealClock::RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool RealClock::WaitUntil(std::condition_variable* cv,
+                          std::unique_lock<std::mutex>* lock,
+                          int64_t deadline_micros,
+                          const std::function<bool()>& wake) {
+  if (deadline_micros == kNoDeadline) {
+    cv->wait(*lock, wake);
+    return true;
+  }
+  // Wait on the remaining duration, capped so that adding an astronomical
+  // deadline (callers saturate toward kNoDeadline to disable timeouts)
+  // cannot overflow the steady_clock time_point arithmetic.
+  constexpr int64_t kMaxWaitMicros = int64_t{1} << 50;  // ~35 years
+  const int64_t now = NowMicros();
+  int64_t remaining = deadline_micros > now ? deadline_micros - now : 0;
+  if (remaining > kMaxWaitMicros) remaining = kMaxWaitMicros;
+  return cv->wait_until(
+      *lock,
+      std::chrono::steady_clock::now() + std::chrono::microseconds(remaining),
+      wake);
+}
+
+FakeClock::FakeClock(int64_t start_micros) : now_micros_(start_micros) {}
+
+int64_t FakeClock::NowMicros() const {
+  return now_micros_.load(std::memory_order_acquire);
+}
+
+bool FakeClock::WaitUntil(std::condition_variable* cv,
+                          std::unique_lock<std::mutex>* lock,
+                          int64_t deadline_micros,
+                          const std::function<bool()>& wake) {
+  // Register so Advance() can find this waiter. The caller already holds
+  // `lock`, so the lock order here is caller-mutex -> mu_; Advance() never
+  // holds mu_ while taking a caller mutex, so the order cannot invert.
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    waiters_.push_back({cv, lock->mutex()});
+  }
+  cv->wait(*lock, [&] {
+    return wake() || NowMicros() >= deadline_micros;
+  });
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                           [&](const Waiter& w) { return w.cv == cv; });
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  return wake();
+}
+
+void FakeClock::Advance(int64_t micros) {
+  std::vector<Waiter> snapshot;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+    snapshot = waiters_;
+  }
+  // Wake every parked waiter. Locking (and immediately releasing) the
+  // waiter's mutex before notifying closes the lost-wakeup window: a thread
+  // that has evaluated its wait predicate against the old time but has not
+  // yet blocked still holds its mutex, so by the time we acquire it the
+  // thread is inside cv::wait and will receive the notification.
+  for (const Waiter& w : snapshot) {
+    { std::lock_guard<std::mutex> wl(*w.mu); }
+    w.cv->notify_all();
+  }
+}
+
+}  // namespace qcfe

@@ -1,0 +1,111 @@
+#ifndef QCFE_UTIL_CLOCK_H_
+#define QCFE_UTIL_CLOCK_H_
+
+/// \file clock.h
+/// Injectable time source for everything in the serving path that waits on
+/// a deadline. Production code takes a Clock* and uses it both to read the
+/// current time and to perform its condition-variable waits; tests inject a
+/// FakeClock and step it manually, so flush-timing behaviour (deadline
+/// flushes, drain semantics, admission windows) is exercised without a
+/// single sleep and is fully deterministic under ThreadSanitizer.
+///
+/// The design couples waiting to the clock on purpose: a fake clock that
+/// only answered NowMicros() could not wake a thread blocked in a real
+/// cv::wait_until. WaitUntil hands the clock the caller's condition
+/// variable and lock, so the real clock maps the deadline onto a
+/// steady_clock wait while the fake clock parks the waiter and wakes it
+/// from Advance().
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace qcfe {
+
+/// Monotonic microsecond time source plus deadline-aware waiting.
+class Clock {
+ public:
+  /// Deadline value meaning "wait on the predicate alone, forever".
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  virtual ~Clock() = default;
+
+  /// Microseconds since this clock's epoch (construction for RealClock, the
+  /// configured start for FakeClock). Monotonic, never wraps in practice.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread on `cv` (whose associated mutex `lock` must
+  /// hold) until `wake()` returns true or this clock reaches
+  /// `deadline_micros`, whichever comes first. `wake` is evaluated only
+  /// with the lock held. Returns the final value of `wake()` — false means
+  /// the deadline fired first. Other threads signal state changes by
+  /// notifying `cv` as usual; time-driven wakeups come from the clock
+  /// itself (the real clock's timed wait, or FakeClock::Advance).
+  virtual bool WaitUntil(std::condition_variable* cv,
+                         std::unique_lock<std::mutex>* lock,
+                         int64_t deadline_micros,
+                         const std::function<bool()>& wake) = 0;
+
+  /// Process-wide real (steady_clock-backed) instance. Never null; callers
+  /// that accept an optional Clock* treat null as Real().
+  static Clock* Real();
+};
+
+/// Wall clock backed by std::chrono::steady_clock. Epoch is the singleton's
+/// construction time, so NowMicros() values stay small and overflow-safe
+/// when added to delays.
+class RealClock : public Clock {
+ public:
+  RealClock();
+  int64_t NowMicros() const override;
+  bool WaitUntil(std::condition_variable* cv,
+                 std::unique_lock<std::mutex>* lock, int64_t deadline_micros,
+                 const std::function<bool()>& wake) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually-stepped clock for tests. Time only moves when Advance() is
+/// called; WaitUntil parks the caller until its predicate is satisfied or
+/// an Advance() carries the clock past the deadline. There are no timed
+/// waits anywhere in the implementation, so tests built on FakeClock are
+/// sleep-free and deterministic.
+///
+/// Lifetime contract: Advance() notifies the condition variables of every
+/// thread currently blocked in WaitUntil, so the objects those threads wait
+/// on (their cv and mutex) must stay alive for the duration of any
+/// concurrent Advance() call. Sequencing Advance() before shutdown on the
+/// test thread — the natural test shape — satisfies this trivially.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_micros = 0);
+
+  int64_t NowMicros() const override;
+  bool WaitUntil(std::condition_variable* cv,
+                 std::unique_lock<std::mutex>* lock, int64_t deadline_micros,
+                 const std::function<bool()>& wake) override;
+
+  /// Steps time forward and wakes every parked WaitUntil so it can re-check
+  /// its predicate and deadline against the new time.
+  void Advance(int64_t micros);
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mu;
+  };
+
+  std::atomic<int64_t> now_micros_;
+  mutable std::mutex mu_;            ///< guards waiters_
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_CLOCK_H_

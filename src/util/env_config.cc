@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/clock.h"
 #include "util/string_util.h"
 
 namespace qcfe {
@@ -67,8 +68,15 @@ double NowSeconds() {
 
 WallTimer::WallTimer() : start_(NowSeconds()) {}
 
-double WallTimer::Seconds() const { return NowSeconds() - start_; }
+WallTimer::WallTimer(const Clock* clock) : clock_(clock), start_(Now()) {}
 
-void WallTimer::Reset() { start_ = NowSeconds(); }
+double WallTimer::Now() const {
+  if (clock_ != nullptr) return 1e-6 * static_cast<double>(clock_->NowMicros());
+  return NowSeconds();
+}
+
+double WallTimer::Seconds() const { return Now() - start_; }
+
+void WallTimer::Reset() { start_ = Now(); }
 
 }  // namespace qcfe

@@ -34,15 +34,25 @@ std::string RunScaleName();
 /// counts, so this flag only changes wall-clock.
 int ThreadsFromArgs(int argc, char** argv);
 
-/// Simple monotonic wall timer returning elapsed seconds.
+class Clock;
+
+/// Simple monotonic wall timer returning elapsed seconds. By default it
+/// reads the real steady clock; tests inject a Clock (util/clock.h) so
+/// elapsed-time behaviour can be asserted exactly instead of against
+/// wall-clock bounds that flake under load.
 class WallTimer {
  public:
   WallTimer();
+  /// Timer driven by an injected clock (non-owning; may not be null).
+  explicit WallTimer(const Clock* clock);
   /// Seconds since construction or the last Reset().
   double Seconds() const;
   void Reset();
 
  private:
+  double Now() const;
+
+  const Clock* clock_ = nullptr;  ///< null = real steady clock
   double start_;
 };
 

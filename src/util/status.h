@@ -27,6 +27,10 @@ enum class StatusCode {
   /// work was performed; the status names what collided so callers can
   /// react (or ignore it deliberately).
   kAlreadyExists,
+  /// The service declined the request without attempting it: admission
+  /// control rejected it (serving queue full) or the serving front end is
+  /// shutting down. Retryable — nothing about the request itself is wrong.
+  kUnavailable,
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -63,6 +67,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,485 @@
+/// Deterministic concurrency suite for the async micro-batching front end
+/// (serve/async_server.h). Two layers:
+///
+///  * Fake-clock flush tests against a stub estimator: batch-full flush
+///    before the deadline, deadline flush of a partial batch, shutdown
+///    drain/cancel semantics, per-request error isolation and admission
+///    control — with zero sleeps. Time only moves when the test calls
+///    FakeClock::Advance, so every flush decision is forced, not raced.
+///  * Multi-threaded stress tests against real trained estimators: N caller
+///    threads submit randomized plans and every delivered result must be
+///    bit-identical to a direct PredictBatchMs call on the same model,
+///    across 1/2/4 flusher threads and repeated runs. Which micro-batch a
+///    request lands in is scheduling-dependent; the bits of its answer are
+///    not.
+///
+/// CI runs this suite under ThreadSanitizer and UBSan (see
+/// .github/workflows/ci.yml) so queue/flush races fail the build.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "harness/context.h"
+#include "models/registry.h"
+#include "serve/async_server.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace qcfe {
+namespace {
+
+// ------------------------------------------------------ fake-clock suite
+
+/// Deterministic stub estimator: prediction is a pure function of the
+/// request, and env_id < 0 simulates a poisoned request. No training and no
+/// database fixture, so the flush-timing tests run in milliseconds.
+class StubModel : public CostModel {
+ public:
+  std::string name() const override { return "stub"; }
+
+  Status Train(const std::vector<PlanSample>&, const TrainConfig&,
+               TrainStats*) override {
+    return Status::OK();
+  }
+
+  Result<double> PredictMs(const PlanNode& plan, int env_id) const override {
+    if (env_id < 0) {
+      return Status::NumericError("poisoned request (stub model)");
+    }
+    return 1.25 * static_cast<double>(env_id) + plan.est_rows;
+  }
+};
+
+class AsyncFakeClockTest : public ::testing::Test {
+ protected:
+  AsyncFakeClockTest() {
+    plan_.est_rows = 10.0;
+    other_plan_.est_rows = 20.0;
+  }
+
+  double Direct(const PlanNode& plan, int env_id) {
+    return *model_.PredictMs(plan, env_id);
+  }
+
+  StubModel model_;
+  FakeClock clock_;
+  PlanNode plan_, other_plan_;
+};
+
+TEST_F(AsyncFakeClockTest, FullBatchFlushesBeforeDeadline) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_micros = 1'000'000;  // never reached: time stays at 0
+  AsyncServer server(&model_, cfg, &clock_);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int env = 0; env < 4; ++env) futures.push_back(server.Submit(plan_, env));
+  // The fourth submission completes the batch; the flush needs no time to
+  // pass. get() blocks until the flusher delivers.
+  for (int env = 0; env < 4; ++env) {
+    Result<double> r = futures[static_cast<size_t>(env)].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, Direct(plan_, env));
+  }
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.full_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.mean_occupancy, 4.0);
+}
+
+TEST_F(AsyncFakeClockTest, DeadlineFlushesPartialBatch) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 1000;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int env = 0; env < 3; ++env) futures.push_back(server.Submit(plan_, env));
+  // Nothing can legitimately flush: the batch is not full and the deadline
+  // cannot pass until the test advances time.
+  EXPECT_EQ(server.stats().batches_flushed, 0u);
+
+  clock_.Advance(cfg.max_delay_micros);
+  for (int env = 0; env < 3; ++env) {
+    Result<double> r = futures[static_cast<size_t>(env)].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, Direct(plan_, env));
+  }
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.full_flushes, 0u);
+  EXPECT_EQ(stats.mean_occupancy, 3.0);
+}
+
+TEST_F(AsyncFakeClockTest, DeadlineRunsFromTheOldestQueuedRequest) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 1000;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  auto first = server.Submit(plan_, 1);  // enqueued at t=0, deadline t=1000
+  clock_.Advance(600);
+  auto second = server.Submit(other_plan_, 2);  // enqueued at t=600
+  EXPECT_EQ(server.stats().batches_flushed, 0u);
+
+  // Reaching the FIRST request's deadline flushes both queued requests.
+  clock_.Advance(400);
+  EXPECT_EQ(*first.get(), Direct(plan_, 1));
+  EXPECT_EQ(*second.get(), Direct(other_plan_, 2));
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.served, 2u);
+}
+
+TEST_F(AsyncFakeClockTest, ShutdownDrainServesQueuedWork) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 1'000'000;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int env = 0; env < 3; ++env) futures.push_back(server.Submit(plan_, env));
+  server.Shutdown(AsyncServer::ShutdownMode::kDrain);
+
+  for (int env = 0; env < 3; ++env) {
+    Result<double> r = futures[static_cast<size_t>(env)].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, Direct(plan_, env));
+  }
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.drain_flushes, 1u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.cancelled, 0u);
+
+  // Post-shutdown submissions are rejected, not queued.
+  Result<double> late = server.Submit(plan_, 9).get();
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST_F(AsyncFakeClockTest, ShutdownCancelFailsQueuedWork) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 1'000'000;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int env = 0; env < 3; ++env) futures.push_back(server.Submit(plan_, env));
+  server.Shutdown(AsyncServer::ShutdownMode::kCancel);
+
+  for (auto& f : futures) {
+    Result<double> r = f.get();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  }
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 3u);
+  EXPECT_EQ(stats.batches_flushed, 0u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST_F(AsyncFakeClockTest, PoisonedRequestFailsOnlyItsOwnCaller) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_micros = 1'000'000;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  // One poisoned request (env_id < 0) co-batched with three healthy ones.
+  auto ok0 = server.Submit(plan_, 0);
+  auto poisoned = server.Submit(plan_, -1);
+  auto ok1 = server.Submit(other_plan_, 1);
+  auto ok2 = server.Submit(plan_, 2);
+
+  Result<double> bad = poisoned.get();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNumericError);
+
+  EXPECT_EQ(*ok0.get(), Direct(plan_, 0));
+  EXPECT_EQ(*ok1.get(), Direct(other_plan_, 1));
+  EXPECT_EQ(*ok2.get(), Direct(plan_, 2));
+
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.batches_flushed, 1u);
+}
+
+TEST_F(AsyncFakeClockTest, AdmissionControlRejectsWhenQueueIsFull) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 1'000'000;
+  cfg.max_queue = 2;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  auto a = server.Submit(plan_, 0);
+  auto b = server.Submit(plan_, 1);
+  // The queue cannot shrink (no flush is possible), so the third submission
+  // is deterministically rejected, with the future ready immediately.
+  Result<double> rejected = server.Submit(plan_, 2).get();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  // The accepted requests still drain normally.
+  server.Shutdown(AsyncServer::ShutdownMode::kDrain);
+  EXPECT_EQ(*a.get(), Direct(plan_, 0));
+  EXPECT_EQ(*b.get(), Direct(plan_, 1));
+}
+
+TEST_F(AsyncFakeClockTest, MultipleWorkersDrainSeveralFullBatches) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay_micros = 1'000'000;
+  cfg.num_workers = 2;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int env = 0; env < 8; ++env) futures.push_back(server.Submit(plan_, env));
+  for (int env = 0; env < 8; ++env) {
+    EXPECT_EQ(*futures[static_cast<size_t>(env)].get(), Direct(plan_, env));
+  }
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.served, 8u);
+  EXPECT_EQ(stats.batches_flushed, 4u);
+  EXPECT_EQ(stats.full_flushes, 4u);
+  EXPECT_EQ(stats.mean_occupancy, 2.0);
+}
+
+TEST_F(AsyncFakeClockTest, HugeDelayDisablesDeadlineWithoutOverflow) {
+  // max_delay_micros = INT64_MAX is the natural way to ask for
+  // batch-full-only flushing; the deadline arithmetic must saturate (to
+  // Clock::kNoDeadline) rather than overflow. Regression for the flusher's
+  // head_enqueued + max_delay sum; the UBSan CI job enforces it.
+  AsyncServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay_micros = std::numeric_limits<int64_t>::max();
+  AsyncServer server(&model_, cfg, &clock_);
+
+  auto first = server.Submit(plan_, 0);
+  clock_.Advance(1'000'000'000);  // a long time passes: still no flush
+  EXPECT_EQ(server.stats().batches_flushed, 0u);
+
+  auto second = server.Submit(plan_, 1);  // completes the batch
+  EXPECT_EQ(*first.get(), Direct(plan_, 0));
+  EXPECT_EQ(*second.get(), Direct(plan_, 1));
+  AsyncServeStats stats = server.stats();
+  EXPECT_EQ(stats.full_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+}
+
+TEST_F(AsyncFakeClockTest, DeadlineFlushWorksWithMultipleWorkers) {
+  AsyncServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_micros = 500;
+  cfg.num_workers = 2;
+  AsyncServer server(&model_, cfg, &clock_);
+
+  auto f = server.Submit(plan_, 3);
+  EXPECT_EQ(server.stats().batches_flushed, 0u);
+  clock_.Advance(500);
+  EXPECT_EQ(*f.get(), Direct(plan_, 3));
+  EXPECT_EQ(server.stats().deadline_flushes, 1u);
+}
+
+// --------------------------------------------------------- stress suite
+
+/// Real-model stress fixture, mirroring parallel_test's setup: a quick
+/// sysbench context plus small trained estimators.
+class AsyncStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+    opt.corpus_size = 120;
+    opt.num_envs = 3;
+    auto ctx = BenchmarkContext::Create(opt);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = ctx.value().release();
+    ctx_->Split(120, &train_, &test_);
+  }
+
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+
+  static std::unique_ptr<CostModel> TrainedModel(const std::string& name,
+                                                 uint64_t seed) {
+    BaseFeaturizer* featurizer = new BaseFeaturizer(ctx_->db->catalog());
+    featurizers_.emplace_back(featurizer);
+    auto model = EstimatorRegistry::Global().Create(
+        name, {ctx_->db->catalog(), featurizer, seed});
+    EXPECT_TRUE(model.ok());
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    EXPECT_TRUE((*model)->Train(train_, cfg, nullptr).ok());
+    return std::move(model.value());
+  }
+
+  /// `count` samples for caller `caller`, drawn from the test split with a
+  /// per-caller Rng stream (deterministic, overlapping across callers so
+  /// micro-batches exercise request dedup).
+  static std::vector<PlanSample> CallerSamples(uint64_t run_seed,
+                                               size_t caller, size_t count) {
+    Rng rng(run_seed);
+    Rng stream = rng.Split(caller);
+    std::vector<PlanSample> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      size_t pick = static_cast<size_t>(
+          stream.UniformInt(0, static_cast<int>(test_.size()) - 1));
+      out.push_back(test_[pick]);
+    }
+    return out;
+  }
+
+  static BenchmarkContext* ctx_;
+  static std::vector<PlanSample> train_, test_;
+  static std::vector<std::unique_ptr<BaseFeaturizer>> featurizers_;
+};
+
+BenchmarkContext* AsyncStressTest::ctx_ = nullptr;
+std::vector<PlanSample> AsyncStressTest::train_;
+std::vector<PlanSample> AsyncStressTest::test_;
+std::vector<std::unique_ptr<BaseFeaturizer>> AsyncStressTest::featurizers_;
+
+TEST_F(AsyncStressTest, ResultsBitIdenticalToDirectBatchedServing) {
+  constexpr size_t kCallers = 4;
+  constexpr size_t kPerCaller = 80;
+  for (const char* name : {"qppnet", "mscn"}) {
+    std::unique_ptr<CostModel> model = TrainedModel(name, 41);
+    // Ground truth per caller, straight through the batched serving path.
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (uint64_t run = 0; run < 2; ++run) {
+        const uint64_t run_seed = 1000 + run;
+        std::vector<std::vector<PlanSample>> submissions(kCallers);
+        std::vector<std::vector<double>> expected(kCallers);
+        for (size_t c = 0; c < kCallers; ++c) {
+          submissions[c] = CallerSamples(run_seed, c, kPerCaller);
+          auto direct = model->PredictBatchMs(submissions[c], nullptr);
+          ASSERT_TRUE(direct.ok()) << name;
+          expected[c] = std::move(direct.value());
+        }
+
+        AsyncServeConfig cfg;
+        cfg.max_batch = 16;
+        cfg.max_delay_micros = 200;  // real clock: tiny deadline, no sleeps
+        cfg.num_workers = workers;
+        cfg.max_queue = 0;  // stress the queue, not admission control
+        AsyncServer server(model.get(), cfg);
+
+        std::vector<std::vector<Result<double>>> got(kCallers);
+        std::vector<std::thread> callers;
+        callers.reserve(kCallers);
+        for (size_t c = 0; c < kCallers; ++c) {
+          callers.emplace_back([&, c] {
+            std::vector<std::future<Result<double>>> futures;
+            futures.reserve(submissions[c].size());
+            for (const PlanSample& s : submissions[c]) {
+              futures.push_back(server.Submit(*s.plan, s.env_id));
+            }
+            for (auto& f : futures) got[c].push_back(f.get());
+          });
+        }
+        for (std::thread& t : callers) t.join();
+        server.Shutdown(AsyncServer::ShutdownMode::kDrain);
+
+        for (size_t c = 0; c < kCallers; ++c) {
+          ASSERT_EQ(got[c].size(), kPerCaller);
+          for (size_t i = 0; i < kPerCaller; ++i) {
+            ASSERT_TRUE(got[c][i].ok())
+                << name << " caller " << c << " sample " << i << ": "
+                << got[c][i].status().ToString();
+            EXPECT_EQ(*got[c][i], expected[c][i])
+                << name << " caller " << c << " sample " << i << " workers "
+                << workers << " run " << run;
+          }
+        }
+        AsyncServeStats stats = server.stats();
+        EXPECT_EQ(stats.submitted, kCallers * kPerCaller);
+        EXPECT_EQ(stats.served, kCallers * kPerCaller);
+        EXPECT_EQ(stats.failed, 0u);
+        EXPECT_GE(stats.mean_occupancy, 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(AsyncStressTest, ServerShardsFlushedBatchesAcrossAThreadPool) {
+  // Same parity contract when the server also shards each flushed batch
+  // across a worker pool (the pipeline-owned pool in production).
+  std::unique_ptr<CostModel> model = TrainedModel("qppnet", 43);
+  ThreadPool pool(2);
+  std::vector<PlanSample> submissions = CallerSamples(7, 0, 120);
+  auto direct = model->PredictBatchMs(submissions, nullptr);
+  ASSERT_TRUE(direct.ok());
+
+  AsyncServeConfig cfg;
+  cfg.max_batch = 32;
+  cfg.max_delay_micros = 200;
+  cfg.num_workers = 2;
+  AsyncServer server(model.get(), cfg, nullptr, &pool);
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(submissions.size());
+  for (const PlanSample& s : submissions) {
+    futures.push_back(server.Submit(*s.plan, s.env_id));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> r = futures[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, (*direct)[i]) << " sample " << i;
+  }
+}
+
+TEST_F(AsyncStressTest, PipelineServeAsyncMatchesPredictBatch) {
+  // End-to-end through the facade: Pipeline::ServeAsync with a FakeClock,
+  // deadline-flushing a partial batch, against Pipeline::PredictBatch.
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.train.epochs = 3;
+  cfg.pre_reduction_epochs = 2;
+  cfg.snapshot_scale = 1;
+  cfg.async_serve.max_batch = 64;
+  cfg.async_serve.max_delay_micros = 1000;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  auto direct = (*pipeline)->PredictBatch(test_);
+  ASSERT_TRUE(direct.ok());
+
+  FakeClock clock;
+  std::unique_ptr<AsyncServer> server = (*pipeline)->ServeAsync(&clock);
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(test_.size());
+  for (const PlanSample& s : test_) {
+    futures.push_back(server->Submit(*s.plan, s.env_id));
+  }
+  clock.Advance(cfg.async_serve.max_delay_micros);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> r = futures[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, (*direct)[i]) << " sample " << i;
+  }
+  server->Shutdown();
+  EXPECT_GE(server->stats().batches_flushed, 1u);
+}
+
+}  // namespace
+}  // namespace qcfe

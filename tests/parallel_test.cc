@@ -4,6 +4,15 @@
 /// count. "Bit-identical" is meant literally — EXPECT_EQ on doubles — since
 /// all parallel loops partition work statically, reduce in index order and
 /// draw per-task Rng::Split streams.
+///
+/// Wall-clock audit: nothing in this suite depends on real time. The
+/// `collection_ms` values compared below are SIMULATED label cost — the sum
+/// of the cost simulator's per-query latencies, a deterministic function of
+/// (templates, seed, environment) — not measured wall time, which is why
+/// exact equality across thread counts is a valid assertion. Timing-derived
+/// quantities (TrainStats::train_seconds and friends) are deliberately never
+/// asserted on here; elapsed-time behaviour is tested exactly via the
+/// injected Clock in util_test (WallTimerFollowsInjectedClock).
 
 #include <gtest/gtest.h>
 

@@ -7,10 +7,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "util/clock.h"
 #include "util/env_config.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -453,12 +457,84 @@ TEST(EnvConfigTest, ThreadsFromArgsParsesBothForms) {
 }
 
 TEST(EnvConfigTest, WallTimerAdvances) {
+  // Real-clock smoke only: elapsed time is non-negative. Exact elapsed-time
+  // behaviour is asserted below with an injected FakeClock — a wall-clock
+  // upper bound here (the historical `Seconds() < 1.0`) flakes whenever a
+  // loaded CI machine or a sanitizer build stalls the test for a second.
   WallTimer t;
-  volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
   EXPECT_GE(t.Seconds(), 0.0);
+}
+
+TEST(EnvConfigTest, WallTimerFollowsInjectedClock) {
+  // Exactly-representable elapsed values (multiples of 2^-2 seconds), so
+  // bitwise EXPECT_EQ is valid.
+  FakeClock clock(5'000'000);
+  WallTimer t(&clock);
+  EXPECT_EQ(t.Seconds(), 0.0);
+  clock.Advance(250'000);
+  EXPECT_EQ(t.Seconds(), 0.25);
+  clock.Advance(750'000);
+  EXPECT_EQ(t.Seconds(), 1.0);
   t.Reset();
-  EXPECT_LT(t.Seconds(), 1.0);
+  EXPECT_EQ(t.Seconds(), 0.0);
+  clock.Advance(2'000'000);
+  EXPECT_EQ(t.Seconds(), 2.0);
+}
+
+TEST(ClockTest, FakeClockAdvancesManually) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.Advance(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+  FakeClock offset(100);
+  EXPECT_EQ(offset.NowMicros(), 100);
+}
+
+TEST(ClockTest, FakeClockWaitUntilWakesOnAdvanceAndOnPredicate) {
+  FakeClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool flag = false;
+
+  // Deadline wake: a waiter whose predicate never fires returns false once
+  // Advance() carries the clock to its deadline. No sleeps anywhere.
+  std::thread deadline_waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    bool woken_by_pred =
+        clock.WaitUntil(&cv, &lock, 1000, [] { return false; });
+    EXPECT_FALSE(woken_by_pred);
+  });
+  clock.Advance(1000);
+  deadline_waiter.join();
+
+  // Predicate wake: an ordinary cv notification delivers through WaitUntil
+  // even though time never reaches the deadline.
+  std::thread pred_waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    bool woken_by_pred =
+        clock.WaitUntil(&cv, &lock, Clock::kNoDeadline, [&] { return flag; });
+    EXPECT_TRUE(woken_by_pred);
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    flag = true;
+  }
+  cv.notify_all();
+  pred_waiter.join();
+}
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  Clock* clock = Clock::Real();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  // A satisfied predicate returns immediately regardless of deadline.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_TRUE(clock->WaitUntil(&cv, &lock, Clock::kNoDeadline,
+                               [] { return true; }));
 }
 
 }  // namespace
