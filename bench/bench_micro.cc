@@ -43,6 +43,7 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "serve/async_server.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -78,8 +79,8 @@ struct MicroFixture {
                               .value());
       TrainConfig cfg;
       cfg.epochs = 8;
-      (void)f->qpp->Train(f->train, cfg, nullptr);
-      (void)f->mscn->Train(f->train, cfg, nullptr);
+      QCFE_CHECK_OK(f->qpp->Train(f->train, cfg, nullptr));
+      QCFE_CHECK_OK(f->mscn->Train(f->train, cfg, nullptr));
       return f;
     }();
     return *fixture;

@@ -31,11 +31,19 @@ double ScoreEnvironment(const Pipeline& pipeline, Database* db,
                         const Environment& env) {
   std::vector<std::unique_ptr<PlanNode>> plans;
   std::vector<PlanSample> batch;
+  size_t unplannable = 0;
   for (const auto& spec : workload) {
     auto plan = db->Plan(spec, env.knobs);
-    if (!plan.ok()) continue;
+    if (!plan.ok()) {
+      ++unplannable;
+      continue;
+    }
     plans.push_back(std::move(plan.value()));
     batch.push_back({plans.back().get(), env.id, 0.0});
+  }
+  if (unplannable > 0) {
+    std::cerr << "warning: env " << env.id << ": " << unplannable << "/"
+              << workload.size() << " queries unplannable, scoring the rest\n";
   }
   auto preds = pipeline.PredictBatch(batch);
   if (!preds.ok() || preds->empty()) {
@@ -114,7 +122,12 @@ int main() {
   for (int i = 0; i < 30; ++i) {
     auto spec = templates[static_cast<size_t>(i) % templates.size()]
                     .Instantiate(abstract, &rng);
-    if (spec.ok()) workload.push_back(*spec);
+    if (spec.ok()) {
+      workload.push_back(*spec);
+    } else {
+      std::cerr << "warning: skipping template " << (i % templates.size())
+                << ": " << spec.status().ToString() << "\n";
+    }
   }
 
   std::cout << "candidate ranking for the reporting workload:\n";

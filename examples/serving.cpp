@@ -78,6 +78,7 @@ int main() {
     std::unique_ptr<AsyncServer> server = (*pipeline)->ServeAsync();
     constexpr size_t kCallers = 4;
     std::vector<double> sums(kCallers, 0.0);
+    std::vector<size_t> failures(kCallers, 0);
     std::vector<std::thread> callers;
     for (size_t c = 0; c < kCallers; ++c) {
       callers.emplace_back([&, c] {
@@ -87,11 +88,20 @@ int main() {
         }
         for (auto& f : futures) {
           Result<double> r = f.get();
-          if (r.ok()) sums[c] += *r;
+          if (r.ok()) {
+            sums[c] += *r;
+          } else {
+            ++failures[c];
+          }
         }
       });
     }
     for (std::thread& t : callers) t.join();
+    size_t failed = 0;
+    for (size_t n : failures) failed += n;
+    if (failed > 0) {
+      std::cerr << "warning: " << failed << " async predictions failed\n";
+    }
     AsyncServeStats stats = server->stats();
     std::cout << "\nasync serving: " << stats.served << " requests in "
               << stats.batches_flushed << " micro-batches (mean occupancy "

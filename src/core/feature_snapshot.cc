@@ -60,6 +60,7 @@ Result<FeatureSnapshot> FeatureSnapshot::Fit(
     const std::vector<OperatorObservation>& observations,
     SnapshotGranularity granularity) {
   FeatureSnapshot snapshot;
+  snapshot.granularity_ = granularity;
   // Partition observations by operator type (and optionally table).
   std::array<std::vector<const OperatorObservation*>, kNumOpTypes> by_op;
   std::map<std::string, std::vector<const OperatorObservation*>> by_op_table;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/plan.h"
+#include "util/check.h"
 #include "util/status.h"
 #include "workload/collector.h"
 
@@ -89,16 +90,31 @@ class FeatureSnapshot {
   /// snapshot-quality diagnostics).
   double PredictMs(OpType op, double n, double n2) const;
 
+  /// The granularity this snapshot was fitted at (its fit fingerprint; the
+  /// SnapshotStore enforces that one store never mixes granularities).
+  SnapshotGranularity granularity() const { return granularity_; }
+
  private:
   std::array<OperatorSnapshot, kNumOpTypes> per_op_;
   /// Keyed "op_index|table"; populated only at kOperatorTable granularity.
   std::map<std::string, OperatorSnapshot> fine_;
+  SnapshotGranularity granularity_ = SnapshotGranularity::kOperator;
 };
 
 /// Snapshots for all environments, keyed by environment id.
 class SnapshotStore {
  public:
+  /// Fingerprint/id consistency contract: every snapshot in one store must
+  /// be fitted at the same granularity. The snapshot featurizer assumes a
+  /// uniform store — a kOperator snapshot answering a kOperatorTable lookup
+  /// would silently fall back to coarse coefficients for some environments
+  /// and not others, which is exactly the kind of quiet degradation this
+  /// layer exists to make loud.
   void Put(int env_id, FeatureSnapshot snapshot) {
+    QCFE_CHECK(snapshots_.empty() ||
+                   snapshot.granularity() ==
+                       snapshots_.begin()->second.granularity(),
+               "SnapshotStore must not mix snapshot granularities");
     snapshots_[env_id] = std::move(snapshot);
   }
   /// nullptr when the environment is unknown.

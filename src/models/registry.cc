@@ -1,10 +1,14 @@
 #include "models/registry.h"
 
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace qcfe {
 
 EstimatorRegistry& EstimatorRegistry::Global() {
+  // Leaked on purpose: registrations run during static init, so the registry
+  // must outlive every static destructor.
+  // qcfe-lint: allow(no-naked-new)
   static EstimatorRegistry* registry = new EstimatorRegistry();
   return *registry;
 }
@@ -77,8 +81,10 @@ std::vector<std::string> EstimatorRegistry::Names() const {
 
 EstimatorRegistration::EstimatorRegistration(EstimatorInfo info,
                                              EstimatorRegistry::Factory factory) {
-  (void)EstimatorRegistry::Global().Register(std::move(info),
-                                             std::move(factory));
+  // A failed static registration (duplicate or empty name) is a programming
+  // bug; abort at startup instead of silently dropping the estimator.
+  QCFE_CHECK_OK(
+      EstimatorRegistry::Global().Register(std::move(info), std::move(factory)));
 }
 
 }  // namespace qcfe

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/check.h"
 
 namespace qcfe {
 namespace kernels {
@@ -45,8 +46,8 @@ enum class Epilogue { kNone, kBias, kBiasRelu };
 /// output memory (zero-seeded, ascending k per element). Cost is
 /// proportional to the non-zeros of a, which wins on plan feature rows.
 void SparseNN(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.rows());
-  assert(out != &a && out != &b);
+  QCFE_CHECK(a.cols() == b.rows(), "GemmNN: a.cols() must equal b.rows()");
+  QCFE_CHECK(out != &a && out != &b, "GemmNN: out must not alias an input");
   out->ResetShape(a.rows(), b.cols());
   const size_t m = a.rows();
   const size_t kk = a.cols();
@@ -67,7 +68,8 @@ void SparseNN(const Matrix& a, const Matrix& b, Matrix* out) {
 /// sparse product and the reference replay): identical per-element
 /// arithmetic to the fused epilogues.
 void BiasPass(const Matrix& bias, Matrix* out) {
-  assert(bias.rows() == 1 && bias.cols() == out->cols());
+  QCFE_CHECK(bias.rows() == 1 && bias.cols() == out->cols(),
+             "bias must be a 1 x out-cols row vector");
   const double* src = bias.RowPtr(0);
   for (size_t r = 0; r < out->rows(); ++r) {
     double* dst = out->RowPtr(r);
@@ -88,8 +90,12 @@ void ReluPass(Matrix* out) {
 template <Epilogue kEpilogue>
 void DenseNN(const Matrix& a, const Matrix& b, const Matrix* bias,
              Matrix* out) {
-  assert(a.cols() == b.rows());
-  assert(out != &a && out != &b);
+  QCFE_CHECK(a.cols() == b.rows(), "GemmNN: a.cols() must equal b.rows()");
+  QCFE_CHECK(out != &a && out != &b, "GemmNN: out must not alias an input");
+  QCFE_DCHECK(kEpilogue == Epilogue::kNone ||
+                  (bias != nullptr && bias->rows() == 1 &&
+                   bias->cols() == b.cols()),
+              "fused epilogue requires a 1 x n bias row");
   out->ResetShapeUninitialized(a.rows(), b.cols());
   const size_t m = a.rows();
   const size_t kk = a.cols();
@@ -141,12 +147,13 @@ void DenseNN(const Matrix& a, const Matrix& b, const Matrix* bias,
 /// replacement for "materialise a^T * b, then Add()".
 template <bool kAccumulate>
 void DenseAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.rows() == b.rows());
-  assert(out != &a && out != &b);
+  QCFE_CHECK(a.rows() == b.rows(), "GemmAT: a.rows() must equal b.rows()");
+  QCFE_CHECK(out != &a && out != &b, "GemmAT: out must not alias an input");
   if (!kAccumulate) {
     out->ResetShapeUninitialized(a.cols(), b.cols());
   } else {
-    assert(out->rows() == a.cols() && out->cols() == b.cols());
+    QCFE_CHECK(out->rows() == a.cols() && out->cols() == b.cols(),
+               "GemmATAccumulate: acc must be pre-shaped to a.cols x b.cols");
   }
   const size_t rows = a.rows();
   const size_t m = a.cols();
@@ -229,8 +236,8 @@ void SparseTempATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
 /// a lone dot product hidden behind kNr-way ILP, and each a-row's streamed
 /// read amortised over kNr b-rows).
 void DenseBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.cols());
-  assert(out != &a && out != &b);
+  QCFE_CHECK(a.cols() == b.cols(), "GemmBT: a.cols() must equal b.cols()");
+  QCFE_CHECK(out != &a && out != &b, "GemmBT: out must not alias an input");
   out->ResetShapeUninitialized(a.rows(), b.rows());
   const size_t m = a.rows();
   const size_t n = b.rows();
@@ -389,7 +396,9 @@ void GemmAT(const Matrix& a, const Matrix& b, Matrix* out) {
 }
 
 void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
-  assert(acc->rows() == a.cols() && acc->cols() == b.cols());
+  QCFE_CHECK(a.rows() == b.rows(), "GemmATAccumulate: row-count mismatch");
+  QCFE_CHECK(acc->rows() == a.cols() && acc->cols() == b.cols(),
+             "GemmATAccumulate: acc must be pre-shaped to a.cols x b.cols");
   switch (GetKernelMode()) {
     case KernelMode::kReference:
       reference::GemmATAccumulate(a, b, acc);
@@ -424,7 +433,8 @@ void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
 }
 
 void ColSumAccumulate(const Matrix& a, Matrix* acc) {
-  assert(acc->rows() == 1 && acc->cols() == a.cols());
+  QCFE_CHECK(acc->rows() == 1 && acc->cols() == a.cols(),
+             "ColSumAccumulate: acc must be a pre-shaped 1 x a.cols row");
   if (GetKernelMode() == KernelMode::kReference) {
     reference::ColSumAccumulate(a, acc);
     return;
@@ -456,8 +466,9 @@ void ReluForward(const Matrix& in, Matrix* out) {
 
 void ReluMaskBackward(const Matrix& grad_out, const Matrix& pre_activation,
                       Matrix* grad_in) {
-  assert(grad_out.rows() == pre_activation.rows() &&
-         grad_out.cols() == pre_activation.cols());
+  QCFE_CHECK(grad_out.rows() == pre_activation.rows() &&
+                 grad_out.cols() == pre_activation.cols(),
+             "ReluMaskBackward: gradient and pre-activation shapes differ");
   if (grad_in != &grad_out) {
     grad_in->ResetShapeUninitialized(grad_out.rows(), grad_out.cols());
   }
@@ -489,7 +500,7 @@ void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
 }
 
 void GemmBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.cols());
+  QCFE_CHECK(a.cols() == b.cols(), "GemmBT: a.cols() must equal b.cols()");
   out->ResetShape(a.rows(), b.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.RowPtr(i);
@@ -504,7 +515,7 @@ void GemmBT(const Matrix& a, const Matrix& b, Matrix* out) {
 }
 
 void GemmAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.rows() == b.rows());
+  QCFE_CHECK(a.rows() == b.rows(), "GemmAT: a.rows() must equal b.rows()");
   out->ResetShape(a.cols(), b.cols());
   for (size_t r = 0; r < a.rows(); ++r) {
     const double* arow = a.RowPtr(r);

@@ -13,12 +13,14 @@ void Matrix::Fill(double v) {
 }
 
 std::vector<double> Matrix::Row(size_t r) const {
-  assert(r < rows_);
+  QCFE_CHECK(r < rows_, "Matrix::Row index out of range");
   return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
 }
 
 void Matrix::SetRow(size_t r, const std::vector<double>& values) {
-  assert(r < rows_ && values.size() == cols_);
+  QCFE_CHECK(r < rows_ && values.size() == cols_,
+             "Matrix::SetRow requires an in-range row and a cols()-sized "
+             "vector");
   double* dst = RowPtr(r);
   for (size_t c = 0; c < cols_; ++c) dst[c] = values[c];
 }
@@ -26,7 +28,7 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
 Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
   Matrix out(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
-    assert(indices[i] < rows_);
+    QCFE_DCHECK(indices[i] < rows_, "SelectRows index out of range");
     const double* src = RowPtr(indices[i]);
     double* dst = out.RowPtr(i);
     for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
@@ -40,7 +42,7 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
     const double* src = RowPtr(r);
     double* dst = out.RowPtr(r);
     for (size_t i = 0; i < indices.size(); ++i) {
-      assert(indices[i] < cols_);
+      QCFE_DCHECK(indices[i] < cols_, "SelectCols index out of range");
       dst[i] = src[indices[i]];
     }
   }
@@ -94,12 +96,14 @@ Matrix Matrix::Transposed() const {
 }
 
 void Matrix::Add(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  QCFE_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "Matrix::Add shape mismatch");
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::Sub(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  QCFE_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "Matrix::Sub shape mismatch");
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
 }
 
@@ -108,12 +112,14 @@ void Matrix::Scale(double s) {
 }
 
 void Matrix::Hadamard(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  QCFE_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "Matrix::Hadamard shape mismatch");
   for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
 }
 
 void Matrix::AddRowBroadcast(const Matrix& row) {
-  assert(row.rows() == 1 && row.cols() == cols_);
+  QCFE_CHECK(row.rows() == 1 && row.cols() == cols_,
+             "AddRowBroadcast requires a 1 x cols() row vector");
   for (size_t r = 0; r < rows_; ++r) {
     double* dst = RowPtr(r);
     const double* src = row.RowPtr(0);

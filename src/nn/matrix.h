@@ -6,9 +6,10 @@
 /// from-scratch neural-network library (the PyTorch substitute): batches are
 /// rows, features are columns.
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "util/check.h"
 
 namespace qcfe {
 
@@ -24,7 +25,8 @@ class Matrix {
   /// Takes ownership of a flat row-major buffer (size must be rows*cols).
   Matrix(size_t rows, size_t cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    assert(data_.size() == rows_ * cols_);
+    QCFE_CHECK(data_.size() == rows_ * cols_,
+               "flat buffer size must equal rows*cols");
   }
 
   size_t rows() const { return rows_; }
@@ -33,16 +35,22 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& At(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    QCFE_DCHECK(r < rows_ && c < cols_, "Matrix::At index out of range");
     return data_[r * cols_ + c];
   }
   double At(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    QCFE_DCHECK(r < rows_ && c < cols_, "Matrix::At index out of range");
     return data_[r * cols_ + c];
   }
 
-  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) {
+    QCFE_DCHECK(r < rows_ || size() == 0, "Matrix::RowPtr row out of range");
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    QCFE_DCHECK(r < rows_ || size() == 0, "Matrix::RowPtr row out of range");
+    return data_.data() + r * cols_;
+  }
 
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }

@@ -6,6 +6,7 @@
 
 #include "nn/kernels.h"
 #include "nn/optimizer.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -38,6 +39,9 @@ Mlp::Mlp(const std::vector<size_t>& layer_dims, Activation act, Rng* rng)
 }
 
 const Matrix& Mlp::Forward(const Matrix& input, Tape* tape) const {
+  QCFE_CHECK(tape != nullptr, "Mlp::Forward requires a caller-owned tape");
+  QCFE_CHECK(layers_.empty() || in_dim_ == 0 || input.cols() == in_dim_,
+             "Mlp::Forward input width does not match the network's in_dim");
   if (kernels::GetKernelMode() == kernels::KernelMode::kReference) {
     // Historical replay for before/after benchmarks: fresh activation
     // matrices every call (same values, allocator included).
@@ -101,6 +105,15 @@ const Matrix& Mlp::Predict(const Matrix& input, Scratch* scratch) const {
 
 const Matrix& Mlp::Backward(const Matrix& grad_output, Tape* tape,
                             GradSink* sink) const {
+  // Tape-reuse contract: Backward consumes the activation record of a
+  // Forward() on this same network. A stale or foreign tape would read
+  // mismatched activations and silently corrupt every gradient.
+  QCFE_CHECK(tape != nullptr &&
+                 tape->activations.size() == layers_.size() + 1,
+             "Mlp::Backward tape does not match a Forward() on this network");
+  QCFE_DCHECK(grad_output.rows() == tape->activations.back().rows() &&
+                  grad_output.cols() == tape->activations.back().cols(),
+              "Mlp::Backward gradient shape does not match the taped output");
   // Sink slots are laid out in Grads() order (layer by layer); walk layers
   // in reverse while keeping the running offset past the current layer.
   size_t offset = sink == nullptr ? 0 : sink->size();

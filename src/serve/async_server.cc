@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace qcfe {
 
 namespace {
@@ -52,6 +54,12 @@ std::future<Result<double>> AsyncServer::Submit(const PlanNode& plan,
       Pending pending;
       pending.sample = {&plan, env_id, 0.0};
       pending.enqueued_micros = clock_->NowMicros();
+      // Queue-state invariant: enqueue times are non-decreasing (pushes are
+      // serialized under mu_ and the clock is monotonic). The deadline-flush
+      // logic reads only the head's time on the strength of this.
+      QCFE_DCHECK(queue_.empty() ||
+                      pending.enqueued_micros >= queue_.back().enqueued_micros,
+                  "AsyncServer queue enqueue times went backwards");
       std::future<Result<double>> future = pending.promise.get_future();
       queue_.push_back(std::move(pending));
       ++stats_.submitted;
@@ -112,6 +120,10 @@ void AsyncServer::WorkerLoop() {
         });
       }
       const size_t take = std::min(queue_.size(), config_.max_batch);
+      // Every exit from the wait loop above leaves work to cut: batch-full
+      // and deadline imply a non-empty queue, and the drain path returns
+      // before reaching here when the queue is empty.
+      QCFE_DCHECK(take >= 1, "AsyncServer cut an empty batch");
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -132,6 +144,11 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
 
   std::vector<CostModel::BatchPrediction> results =
       model_->PredictBatchEach(samples, pool_);
+  // The promise-fulfilment loop below indexes results positionally; a model
+  // returning a short/long vector would fulfil the wrong futures.
+  QCFE_CHECK(results.size() == batch->size(),
+             "PredictBatchEach returned a result count different from its "
+             "request count");
 
   size_t failures = 0;
   for (const CostModel::BatchPrediction& r : results) {
@@ -144,6 +161,9 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
     ++stats_.batches_flushed;
     stats_.served += batch->size();
     stats_.failed += failures;
+    // Counter conservation: every served or cancelled request was admitted.
+    QCFE_DCHECK(stats_.served + stats_.cancelled <= stats_.submitted,
+                "AsyncServer served/cancelled more requests than submitted");
     switch (reason) {
       case FlushReason::kFull:
         ++stats_.full_flushes;

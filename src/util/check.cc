@@ -1,0 +1,29 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qcfe {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const char* msg) {
+  // fprintf + abort rather than iostreams: the failure path must work from
+  // any thread, during static init/teardown, and under sanitizers, without
+  // pulling stream locales into every contract's translation unit.
+  std::fprintf(stderr, "QCFE_CHECK failed at %s:%d: %s — %s\n", file, line,
+               cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void StatusCheckFailed(const char* file, int line, const char* expr,
+                       const Status& status) {
+  std::fprintf(stderr, "QCFE_CHECK_OK failed at %s:%d: %s returned %s\n", file,
+               line, expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace qcfe

@@ -1,0 +1,88 @@
+#ifndef QCFE_UTIL_CHECK_H_
+#define QCFE_UTIL_CHECK_H_
+
+/// \file check.h
+/// Always-on and debug-only invariant contracts.
+///
+/// QCFE's determinism story (bit-identical parallel/kernel/async paths)
+/// rests on preconditions the type system cannot express: shape/stride
+/// agreement between GEMM operands, tape-reuse discipline in backprop,
+/// queue-state transitions in the async server, snapshot-store id
+/// consistency. These macros make those contracts executable:
+///
+///  * QCFE_CHECK(cond, msg)    — always compiled in, every build type.
+///    Aborts with file:line, the failed expression and `msg`. Use on cold
+///    or per-call (not per-element) paths where a violated contract would
+///    otherwise corrupt results silently.
+///  * QCFE_CHECK_OK(expr)      — evaluates a Status-returning expression
+///    and aborts on non-OK. The loud alternative to `(void)` for call
+///    sites where failure is a programming error (e.g. appending rows of
+///    a statically-known schema while building a synthetic workload).
+///  * QCFE_DCHECK(cond, msg)   — compiled only when QCFE_ENABLE_DCHECKS
+///    is defined (the `-DQCFE_ENABLE_DCHECKS=ON` CMake option, default ON
+///    for Debug builds). In other builds it expands to a dead branch that
+///    still type-checks its operands but evaluates nothing, so hot-loop
+///    contracts (per-panel indexing, per-element bounds) are free in
+///    release. Death-tested in tests/check_test.cc, including the
+///    no-evaluation guarantee.
+///
+/// Contracts are for invariants — conditions that are true unless the
+/// code is wrong. Recoverable conditions (bad user input, missing env id,
+/// parse failures) stay on the Status path in util/status.h.
+
+#include "util/status.h"
+
+namespace qcfe {
+namespace internal {
+
+/// Prints "QCFE_CHECK failed at <file>:<line>: <cond> — <msg>" to stderr
+/// and aborts. Out of line so the macro expansion stays one call.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const char* msg);
+
+/// QCFE_CHECK_OK failure path: renders the status and aborts.
+[[noreturn]] void StatusCheckFailed(const char* file, int line,
+                                    const char* expr, const Status& status);
+
+}  // namespace internal
+}  // namespace qcfe
+
+/// Always-on contract. `cond` is evaluated exactly once.
+#define QCFE_CHECK(cond, msg)                                              \
+  (static_cast<bool>(cond)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::qcfe::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)))
+
+/// Always-on Status contract: aborts (with the rendered status) when the
+/// expression returns non-OK. Use where failure means the program is
+/// wrong, not where the caller could meaningfully handle it.
+#define QCFE_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    const ::qcfe::Status qcfe_check_ok_st = (expr);                        \
+    if (!qcfe_check_ok_st.ok()) {                                          \
+      ::qcfe::internal::StatusCheckFailed(__FILE__, __LINE__, #expr,       \
+                                          qcfe_check_ok_st);               \
+    }                                                                      \
+  } while (0)
+
+#if defined(QCFE_ENABLE_DCHECKS)
+
+/// Debug contract: identical to QCFE_CHECK when dchecks are compiled in.
+#define QCFE_DCHECK(cond, msg) QCFE_CHECK(cond, msg)
+/// True when QCFE_DCHECK is live in this translation unit.
+#define QCFE_DCHECKS_ENABLED 1
+
+#else
+
+/// Release expansion: the condition is parsed and type-checked (so a
+/// dcheck cannot rot behind the flag) but sits in a constant-false branch
+/// the compiler deletes — zero evaluations, zero codegen, which is what
+/// lets dchecks guard per-element kernel indexing.
+#define QCFE_DCHECK(cond, msg)                         \
+  (true ? static_cast<void>(0)                         \
+        : QCFE_CHECK(cond, msg))
+#define QCFE_DCHECKS_ENABLED 0
+
+#endif  // QCFE_ENABLE_DCHECKS
+
+#endif  // QCFE_UTIL_CHECK_H_

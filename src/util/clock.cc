@@ -5,6 +5,8 @@
 namespace qcfe {
 
 Clock* Clock::Real() {
+  // Leaked on purpose so the process-wide clock survives static destruction.
+  // qcfe-lint: allow(no-naked-new)
   static RealClock* clock = new RealClock();
   return clock;
 }

@@ -59,20 +59,13 @@ int ThreadsFromArgs(int argc, char** argv) {
   return 1;
 }
 
-namespace {
-double NowSeconds() {
-  auto now = std::chrono::steady_clock::now().time_since_epoch();
-  return std::chrono::duration<double>(now).count();
-}
-}  // namespace
-
-WallTimer::WallTimer() : start_(NowSeconds()) {}
+WallTimer::WallTimer() : WallTimer(Clock::Real()) {}
 
 WallTimer::WallTimer(const Clock* clock) : clock_(clock), start_(Now()) {}
 
 double WallTimer::Now() const {
-  if (clock_ != nullptr) return 1e-6 * static_cast<double>(clock_->NowMicros());
-  return NowSeconds();
+  const Clock* clock = clock_ != nullptr ? clock_ : Clock::Real();
+  return 1e-6 * static_cast<double>(clock->NowMicros());
 }
 
 double WallTimer::Seconds() const { return Now() - start_; }

@@ -38,7 +38,13 @@ enum class StatusCode {
 /// Usage mirrors rocksdb::Status:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is a compile
+/// warning (an error under -Werror CI), because an estimator pipeline that
+/// swallows failures degrades silently instead of crashing. A call site
+/// that genuinely does not care must say so:
+///   (void)DoThing();  // reason the failure is acceptable here
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,9 +93,10 @@ class Status {
   std::string message_;
 };
 
-/// A value-or-error union. `ok()` implies `value()` is valid.
+/// A value-or-error union. `ok()` implies `value()` is valid. [[nodiscard]]
+/// for the same reason as Status: a discarded Result is a discarded error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -53,6 +53,9 @@ struct ThreadPool::Impl {
   }
 };
 
+// pimpl: Impl is incomplete in the header, so the raw pointer is owned here
+// and deleted by the destructor below.
+// qcfe-lint: allow(no-naked-new)
 ThreadPool::ThreadPool(int num_threads) : impl_(new Impl()) {
   size_t n = ResolveNumThreads(num_threads);
   impl_->workers.reserve(n);
@@ -68,7 +71,7 @@ ThreadPool::~ThreadPool() {
   }
   impl_->cv.notify_all();
   for (auto& worker : impl_->workers) worker.join();
-  delete impl_;
+  delete impl_;  // qcfe-lint: allow(no-naked-new) — pimpl counterpart
 }
 
 size_t ThreadPool::num_workers() const { return impl_->workers.size(); }

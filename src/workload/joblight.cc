@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -43,10 +44,10 @@ std::unique_ptr<Database> JobLightBenchmark::BuildDatabase(
     // Production years skew recent, like IMDB.
     int64_t year = 2019 - static_cast<int64_t>(
                               std::floor(std::pow(rng.Uniform(), 2.2) * 110));
-    (void)title->AppendRow({Value(i), Value(rng.Zipf(7, 1.0)), Value(year)});
+    QCFE_CHECK_OK(title->AppendRow({Value(i), Value(rng.Zipf(7, 1.0)), Value(year)}));
   }
-  (void)title->BuildIndex("id");
-  (void)db->catalog()->AddTable(std::move(title));
+  QCFE_CHECK_OK(title->BuildIndex("id"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(title)));
 
   for (const Satellite& sat : kSatellites) {
     int64_t n = static_cast<int64_t>(
@@ -58,11 +59,11 @@ std::unique_ptr<Database> JobLightBenchmark::BuildDatabase(
     for (int64_t i = 0; i < n; ++i) {
       // Popular movies accumulate more facts: Zipf over title ids.
       int64_t movie = rng.Zipf(n_title, 0.6) - 1;
-      (void)table->AppendRow(
-          {Value(i), Value(movie), Value(rng.Zipf(sat.extra_max, 0.9))});
+      QCFE_CHECK_OK(table->AppendRow(
+          {Value(i), Value(movie), Value(rng.Zipf(sat.extra_max, 0.9))}));
     }
-    (void)table->BuildIndex("movie_id");
-    (void)db->catalog()->AddTable(std::move(table));
+    QCFE_CHECK_OK(table->BuildIndex("movie_id"));
+    QCFE_CHECK_OK(db->catalog()->AddTable(std::move(table)));
   }
 
   db->Analyze();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -18,13 +19,13 @@ std::unique_ptr<Database> SysbenchBenchmark::BuildDatabase(
                          {"c", DataType::kString},
                          {"pad", DataType::kString}}));
   for (int64_t i = 1; i <= n; ++i) {
-    (void)sbtest->AppendRow({Value(i), Value(rng.Zipf(n, 0.5)),
+    QCFE_CHECK_OK(sbtest->AppendRow({Value(i), Value(rng.Zipf(n, 0.5)),
                              Value(rng.RandomString(16)),
-                             Value(rng.RandomString(12))});
+                             Value(rng.RandomString(12))}));
   }
-  (void)sbtest->BuildIndex("id");
-  (void)sbtest->BuildIndex("k");
-  (void)db->catalog()->AddTable(std::move(sbtest));
+  QCFE_CHECK_OK(sbtest->BuildIndex("id"));
+  QCFE_CHECK_OK(sbtest->BuildIndex("k"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(sbtest)));
   db->Analyze();
   return db;
 }

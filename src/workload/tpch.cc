@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace qcfe {
@@ -45,21 +46,21 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
       "region",
       Schema({{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}}));
   for (int64_t i = 0; i < 5; ++i) {
-    (void)region->AppendRow({Value(i), Value(std::string(kRegions[i]))});
+    QCFE_CHECK_OK(region->AppendRow({Value(i), Value(std::string(kRegions[i]))}));
   }
-  (void)region->BuildIndex("r_regionkey");
-  (void)db->catalog()->AddTable(std::move(region));
+  QCFE_CHECK_OK(region->BuildIndex("r_regionkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(region)));
 
   auto nation = std::make_unique<Table>(
       "nation", Schema({{"n_nationkey", DataType::kInt64},
                         {"n_regionkey", DataType::kInt64},
                         {"n_name", DataType::kString}}));
   for (int64_t i = 0; i < 25; ++i) {
-    (void)nation->AppendRow(
-        {Value(i), Value(i % 5), Value("NATION_" + std::to_string(i))});
+    QCFE_CHECK_OK(nation->AppendRow(
+        {Value(i), Value(i % 5), Value("NATION_" + std::to_string(i))}));
   }
-  (void)nation->BuildIndex("n_nationkey");
-  (void)db->catalog()->AddTable(std::move(nation));
+  QCFE_CHECK_OK(nation->BuildIndex("n_nationkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(nation)));
 
   // supplier.
   int64_t n_supplier = count(100);
@@ -69,12 +70,12 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
                           {"s_acctbal", DataType::kFloat64},
                           {"s_name", DataType::kString}}));
   for (int64_t i = 0; i < n_supplier; ++i) {
-    (void)supplier->AppendRow({Value(i), Value(rng.UniformInt(0, 24)),
+    QCFE_CHECK_OK(supplier->AppendRow({Value(i), Value(rng.UniformInt(0, 24)),
                                Value(rng.Uniform(-999.0, 9999.0)),
-                               Value("Supplier#" + std::to_string(i))});
+                               Value("Supplier#" + std::to_string(i))}));
   }
-  (void)supplier->BuildIndex("s_suppkey");
-  (void)db->catalog()->AddTable(std::move(supplier));
+  QCFE_CHECK_OK(supplier->BuildIndex("s_suppkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(supplier)));
 
   // customer.
   int64_t n_customer = count(1500);
@@ -85,14 +86,14 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
                           {"c_mktsegment", DataType::kString},
                           {"c_name", DataType::kString}}));
   for (int64_t i = 0; i < n_customer; ++i) {
-    (void)customer->AppendRow(
+    QCFE_CHECK_OK(customer->AppendRow(
         {Value(i), Value(rng.UniformInt(0, 24)),
          Value(rng.Uniform(-999.0, 9999.0)),
          Value(std::string(kSegments[rng.UniformInt(0, 4)])),
-         Value("Customer#" + std::to_string(i))});
+         Value("Customer#" + std::to_string(i))}));
   }
-  (void)customer->BuildIndex("c_custkey");
-  (void)db->catalog()->AddTable(std::move(customer));
+  QCFE_CHECK_OK(customer->BuildIndex("c_custkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(customer)));
 
   // part.
   int64_t n_part = count(2000);
@@ -107,15 +108,15 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
   for (int64_t i = 0; i < n_part; ++i) {
     std::string brand = std::string(kBrandRoots[rng.UniformInt(0, 4)]) +
                         std::to_string(rng.UniformInt(1, 5));
-    (void)part->AppendRow(
+    QCFE_CHECK_OK(part->AppendRow(
         {Value(i), Value(rng.UniformInt(1, 50)),
          Value(rng.Uniform(900.0, 2100.0)), Value(brand),
          Value(std::string(kTypes[rng.UniformInt(0, 5)])),
          Value(std::string(kContainers[rng.UniformInt(0, 7)])),
-         Value("part_" + rng.RandomString(8))});
+         Value("part_" + rng.RandomString(8))}));
   }
-  (void)part->BuildIndex("p_partkey");
-  (void)db->catalog()->AddTable(std::move(part));
+  QCFE_CHECK_OK(part->BuildIndex("p_partkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(part)));
 
   // partsupp: 4 suppliers per part.
   auto partsupp = std::make_unique<Table>(
@@ -125,13 +126,13 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
                           {"ps_supplycost", DataType::kFloat64}}));
   for (int64_t p = 0; p < n_part; ++p) {
     for (int64_t s = 0; s < 4; ++s) {
-      (void)partsupp->AppendRow(
+      QCFE_CHECK_OK(partsupp->AppendRow(
           {Value(p), Value(rng.UniformInt(0, n_supplier - 1)),
-           Value(rng.UniformInt(1, 9999)), Value(rng.Uniform(1.0, 1000.0))});
+           Value(rng.UniformInt(1, 9999)), Value(rng.Uniform(1.0, 1000.0))}));
     }
   }
-  (void)partsupp->BuildIndex("ps_partkey");
-  (void)db->catalog()->AddTable(std::move(partsupp));
+  QCFE_CHECK_OK(partsupp->BuildIndex("ps_partkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(partsupp)));
 
   // orders + lineitem with correlated dates.
   int64_t n_orders = count(15000);
@@ -170,7 +171,7 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
       int64_t commitdate = orderdate + rng.UniformInt(30, 90);
       int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
       bool shipped_past = shipdate <= kDateHi - 400;
-      (void)lineitem->AppendRow(
+      QCFE_CHECK_OK(lineitem->AppendRow(
           {Value(o), Value(rng.UniformInt(0, n_part - 1)),
            Value(rng.UniformInt(0, n_supplier - 1)), Value(l + 1),
            Value(quantity), Value(price), Value(rng.Uniform(0.0, 0.1)),
@@ -179,20 +180,20 @@ std::unique_ptr<Database> TpchBenchmark::BuildDatabase(double scale_factor,
            Value(std::string(shipped_past ? kReturnFlags[rng.UniformInt(0, 2)]
                                           : "N")),
            Value(std::string(kLineStatuses[shipped_past ? 0 : 1])),
-           Value(std::string(kShipModes[rng.UniformInt(0, 6)]))});
+           Value(std::string(kShipModes[rng.UniformInt(0, 6)]))}));
     }
-    (void)orders->AppendRow(
+    QCFE_CHECK_OK(orders->AppendRow(
         {Value(o), Value(rng.UniformInt(0, n_customer - 1)), Value(total),
          Value(orderdate), Value(rng.UniformInt(0, 1)),
          Value(std::string(kStatuses[rng.UniformInt(0, 2)])),
-         Value(std::string(kPriorities[rng.UniformInt(0, 4)]))});
+         Value(std::string(kPriorities[rng.UniformInt(0, 4)]))}));
   }
-  (void)orders->BuildIndex("o_orderkey");
-  (void)orders->BuildIndex("o_custkey");
-  (void)lineitem->BuildIndex("l_orderkey");
-  (void)lineitem->BuildIndex("l_partkey");
-  (void)db->catalog()->AddTable(std::move(orders));
-  (void)db->catalog()->AddTable(std::move(lineitem));
+  QCFE_CHECK_OK(orders->BuildIndex("o_orderkey"));
+  QCFE_CHECK_OK(orders->BuildIndex("o_custkey"));
+  QCFE_CHECK_OK(lineitem->BuildIndex("l_orderkey"));
+  QCFE_CHECK_OK(lineitem->BuildIndex("l_partkey"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(orders)));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(lineitem)));
 
   db->Analyze();
   return db;

@@ -1,0 +1,37 @@
+// Contract-macro semantics (util/check.h), release half.
+//
+// This TU forces QCFE_ENABLE_DCHECKS off before including check.h —
+// regardless of build type — and proves the release guarantee: a disabled
+// QCFE_DCHECK evaluates nothing (so it is free in kernel inner loops),
+// while QCFE_CHECK stays live everywhere.
+#undef QCFE_ENABLE_DCHECKS
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace qcfe {
+namespace {
+
+TEST(CheckReleaseTest, DisabledDcheckEvaluatesNothing) {
+  EXPECT_EQ(QCFE_DCHECKS_ENABLED, 0);
+  int evals = 0;
+  QCFE_DCHECK(++evals > 0, "must not run");
+  QCFE_DCHECK(false, "must not abort");
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(CheckReleaseTest, DisabledDcheckStillTypeChecks) {
+  // Compile-time proof: the dead branch still parses its operands, so a
+  // dcheck referencing a renamed symbol breaks the build instead of
+  // silently rotting. (Nothing to assert at runtime.)
+  const bool flag = true;
+  QCFE_DCHECK(flag, "type-checked, not evaluated");
+}
+
+TEST(CheckReleaseDeathTest, CheckStaysLiveWithoutDchecks) {
+  EXPECT_DEATH(QCFE_CHECK(false, "always on"), "always on");
+}
+
+}  // namespace
+}  // namespace qcfe

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "engine/database.h"
+#include "util/check.h"
 #include "sql/data_abstract.h"
 #include "sql/parser.h"
 #include "sql/simplified_templates.h"
@@ -27,20 +28,20 @@ std::unique_ptr<Database> MakeDb() {
                         {"o_status", DataType::kString}}));
   const char* statuses[] = {"open", "done", "hold"};
   for (int64_t i = 0; i < 500; ++i) {
-    (void)t->AppendRow({Value(i), Value(i % 50), Value(rng.Uniform(1.0, 900.0)),
-                        Value(std::string(statuses[i % 3]))});
+    QCFE_CHECK_OK(t->AppendRow({Value(i), Value(i % 50), Value(rng.Uniform(1.0, 900.0)),
+                        Value(std::string(statuses[i % 3]))}));
   }
-  (void)t->BuildIndex("o_id");
-  (void)db->catalog()->AddTable(std::move(t));
+  QCFE_CHECK_OK(t->BuildIndex("o_id"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(t)));
 
   auto c = std::make_unique<Table>(
       "cust", Schema({{"c_id", DataType::kInt64},
                       {"c_name", DataType::kString}}));
   for (int64_t i = 0; i < 50; ++i) {
-    (void)c->AppendRow({Value(i), Value("name" + std::to_string(i))});
+    QCFE_CHECK_OK(c->AppendRow({Value(i), Value("name" + std::to_string(i))}));
   }
-  (void)c->BuildIndex("c_id");
-  (void)db->catalog()->AddTable(std::move(c));
+  QCFE_CHECK_OK(c->BuildIndex("c_id"));
+  QCFE_CHECK_OK(db->catalog()->AddTable(std::move(c)));
   db->Analyze();
   return db;
 }

@@ -169,8 +169,8 @@ TEST(RngTest, ForkStreamsAreIndependent) {
 
 TEST(RngTest, SplitDoesNotAdvanceParent) {
   Rng a(41), b(41);
-  (void)a.Split(0);
-  (void)a.Split(7);
+  (void)a.Split(0);  // child discarded: only a's own stream is under test
+  (void)a.Split(7);  // child discarded: only a's own stream is under test
   // a's own stream is untouched by splitting.
   for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
 }

@@ -1,0 +1,48 @@
+// lint-as: src/engine/seeded_violations.cc
+// Positive corpus for no-naked-new (scoped to src/).
+#include <memory>
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* Leaky() {
+  Widget* w = new Widget();  // expect-lint: no-naked-new
+  return w;
+}
+
+void Free(Widget* w) {
+  delete w;  // expect-lint: no-naked-new
+}
+
+void FreeArray(int* xs) {
+  delete[] xs;  // expect-lint: no-naked-new
+}
+
+int* LeakyArray() {
+  return new int[16];  // expect-lint: no-naked-new
+}
+
+// Tolerated: ownership captured in the same expression (the only way to
+// heap-construct a class with a factory-private constructor).
+std::unique_ptr<Widget> Factory() {
+  return std::unique_ptr<Widget>(new Widget());
+}
+
+// Suppressed: pimpl pattern where the destructor is the delete site.
+struct Holder {
+  Widget* impl_;
+  // qcfe-lint: allow(no-naked-new) — pimpl, deleted in ~Holder
+  Holder() : impl_(new Widget()) {}
+  // qcfe-lint: allow(no-naked-new) — pimpl owner
+  ~Holder() { delete impl_; }
+};
+
+// Not violations: deleted functions, placement new, comments, identifiers.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+void Placement(void* buf) { new (buf) Widget(); }  // placement-controlled
+int new_count = 0;       // identifier containing "new"
+// a new queue head starts the flush timer (prose "new" in a comment)

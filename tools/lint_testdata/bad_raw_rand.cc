@@ -1,0 +1,23 @@
+// lint-as: src/models/seeded_violations.cc
+// Positive corpus for no-raw-rand: every marked line must be flagged.
+// This file is lint-test data only — it is never compiled.
+#include <cstdlib>
+#include <random>
+
+int RawRand() {
+  std::srand(42);                       // expect-lint: no-raw-rand
+  int a = std::rand();                  // expect-lint: no-raw-rand
+  int b = rand();                       // expect-lint: no-raw-rand
+  std::random_device rd;                // expect-lint: no-raw-rand
+  std::mt19937 gen(rd());               // expect-lint: no-raw-rand
+  std::mt19937_64 gen64(7);             // expect-lint: no-raw-rand
+  return a + b + static_cast<int>(gen()) + static_cast<int>(gen64());
+}
+
+// Suppressed: carries an allow with a reason, so it must NOT be flagged.
+// qcfe-lint: allow(no-raw-rand) — corpus: proves the escape hatch works
+int Suppressed() { return rand(); }
+
+// Words containing "rand" and comments must not trip the rule:
+int operand_count = 0;  // "std::rand" in a comment is fine
+int MyRandHelper();     // identifier containing rand

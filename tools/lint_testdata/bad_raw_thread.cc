@@ -1,0 +1,24 @@
+// lint-as: src/core/seeded_violations.cc
+// Positive corpus for no-raw-thread (scoped to src/, exempting the
+// concurrency layer itself — util/thread_pool, serve/async_server).
+#include <future>
+#include <thread>
+
+void SpawnRaw() {
+  std::thread t([] {});  // expect-lint: no-raw-thread
+  t.join();
+}
+
+void AsyncRaw() {
+  auto f = std::async([] { return 1; });  // expect-lint: no-raw-thread
+  f.get();
+}
+
+// Suppressed with a reason.
+void Suppressed() {
+  // qcfe-lint: allow(no-raw-thread) — corpus: proves the escape hatch
+  std::thread t([] {});
+  t.join();
+}
+
+// Comments must not trip: "std::thread is banned here" is prose.

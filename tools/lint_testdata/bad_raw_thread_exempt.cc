@@ -1,0 +1,9 @@
+// lint-as: src/util/thread_pool.cc
+// Negative corpus: the concurrency layer itself may own raw threads —
+// nothing here may be flagged.
+#include <thread>
+#include <vector>
+
+std::vector<std::thread> workers;
+
+void Spawn() { workers.emplace_back([] {}); }

@@ -1,0 +1,33 @@
+// lint-as: tests/seeded_violations_test.cc
+// Positive corpus for no-sleep-in-tests (scoped to tests/). The PR-5
+// concurrency suite is sleep-free by construction; sleeps need a NOLINT.
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+void FlakyWait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // expect-lint: no-sleep-in-tests
+}
+
+void FlakyWaitUntil(std::chrono::milliseconds deadline) {
+  std::this_thread::sleep_until(deadline);  // expect-lint: no-sleep-in-tests
+}
+
+void PosixSleeps() {
+  sleep(1);       // expect-lint: no-sleep-in-tests
+  usleep(1000);   // expect-lint: no-sleep-in-tests
+}
+
+// NOLINT-ed sleep: allowed, the marker is the justification hook.
+void Tolerated() {
+  std::this_thread::sleep_for(  // NOLINT — stress scaffolding, not an assertion
+      std::chrono::milliseconds(1));
+}
+
+// The allow() escape hatch works here too.
+void AlsoTolerated() {
+  usleep(10);  // qcfe-lint: allow(no-sleep-in-tests) — corpus escape hatch
+}
+
+// Identifiers containing "sleep" must not trip: no flag on the next line.
+void sleep_free_suite() {}

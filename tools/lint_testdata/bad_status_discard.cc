@@ -1,0 +1,31 @@
+// lint-as: src/core/seeded_violations.cc
+// Positive corpus for unannotated-status-discard: a `(void)` cast on a
+// call needs a same-line or preceding-line reason comment.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoThing();
+Status helper(int x);
+
+void Swallows() {
+  (void)DoThing();  // expect-lint: unannotated-status-discard
+}
+
+void SwallowsMember() {
+  (void)helper(3);  // expect-lint: unannotated-status-discard
+}
+
+void Annotated() {
+  (void)DoThing();  // best-effort cache warm-up; a miss only costs latency
+}
+
+void AnnotatedAbove() {
+  // Registration failure means the name is taken, which the caller probes.
+  (void)helper(7);
+}
+
+void NotACall() {
+  int unused = 3;
+  (void)unused;  // plain variable silences -Wunused, not a Status
+}

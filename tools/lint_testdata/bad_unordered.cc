@@ -1,0 +1,22 @@
+// lint-as: src/core/seeded_violations.cc
+// Positive corpus for no-unordered-containers (scoped to src/core,
+// src/models, src/nn — see bad_unordered_out_of_scope.cc for the
+// complement).
+#include <string>
+#include <unordered_map>  // expect-lint: no-unordered-containers
+#include <unordered_set>  // expect-lint: no-unordered-containers
+
+std::unordered_map<int, double> scores;  // expect-lint: no-unordered-containers
+std::unordered_set<std::string> names;   // expect-lint: no-unordered-containers
+
+double SumScores() {
+  double total = 0.0;
+  // Iteration over a hash map: order is implementation-defined, so this
+  // reduction is not bit-reproducible across standard libraries.
+  for (const auto& [k, v] : scores) total += v;
+  return total;
+}
+
+// Suppressed: build-time-only lookup structure, never reduced over.
+// qcfe-lint: allow(no-unordered-containers) — lookup only, no iteration
+std::unordered_map<int, int> build_cache;

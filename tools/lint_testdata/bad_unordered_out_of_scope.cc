@@ -1,0 +1,9 @@
+// lint-as: src/engine/hash_ok_here.cc
+// Negative corpus: no-unordered-containers is scoped to the determinism-
+// critical layers (src/core, src/models, src/nn). The engine simulates a
+// database and may hash freely — nothing here may be flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, double> exec_cache;
+std::unordered_set<int> seen_ids;

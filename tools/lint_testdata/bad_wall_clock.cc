@@ -1,0 +1,37 @@
+// lint-as: src/serve/seeded_violations.cc
+// Positive corpus for no-wall-clock.
+#include <chrono>
+#include <ctime>
+
+long Now1() {
+  auto t = std::chrono::steady_clock::now();  // expect-lint: no-wall-clock
+  return t.time_since_epoch().count();
+}
+
+long Now2() {
+  auto t = std::chrono::system_clock::now();  // expect-lint: no-wall-clock
+  return t.time_since_epoch().count();
+}
+
+long Now3() {
+  using namespace std::chrono;
+  return high_resolution_clock::now().time_since_epoch().count();  // expect-lint: no-wall-clock
+}
+
+long Now4() { return time(nullptr); }  // expect-lint: no-wall-clock
+long Now5() { return time(NULL); }     // expect-lint: no-wall-clock
+
+long Now6() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // expect-lint: no-wall-clock
+  return ts.tv_sec;
+}
+
+// Suppressed with a reason: one-shot startup banner, never in results.
+long Banner() {
+  return time(nullptr);  // qcfe-lint: allow(no-wall-clock) — startup log only
+}
+
+// Comments mentioning steady_clock must not trip the rule, nor must
+// identifiers like `my_time(nullptr_tag)` or `runtime(x)`.
+long runtime(long x) { return x; }  // "system_clock semantics" in prose
