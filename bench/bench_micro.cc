@@ -16,12 +16,24 @@
 /// BENCH_parallel.json, so partial reruns never erase other sweeps.
 ///
 /// `bench_micro --smoke` skips benchmarking and instead runs the kernel
-/// parity sweep end to end (every kernel, every dispatch mode, edge and
-/// real layer shapes, plus a short two-mode training loop), exiting
-/// non-zero on any bit mismatch — the CI gate for the kernel layer.
+/// parity sweep end to end, once per ISA tier available on this machine:
+/// under the scalar tier every kernel/dispatch-mode combination must match
+/// the reference loops bit for bit (plus a short two-mode training loop);
+/// under each SIMD tier the same sweep is gated at kSimdRelTolerance and
+/// the per-tier max relative error is reported, plus a three-mode training
+/// loop proving dispatch is bit-invisible *within* the tier. Exits
+/// non-zero on any violation — the CI gate for the kernel layer. (The
+/// QCFE_KERNEL_ISA pin selects the tier used by ordinary dispatch; the
+/// smoke gate still sweeps every tier the hardware and build provide.)
+///
+/// The *KernelIsa benchmarks measure the scalar tier against the detected
+/// SIMD tier (dense GEMM at the real layer shapes, plus whole-model train
+/// and batched serving) and are written to the `kernels_simd` section of
+/// BENCH_parallel.json together with the autotuned dispatch thresholds.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -329,6 +341,31 @@ struct ParallelBenchRecorder {
     if (!inserted && seconds < it->second) it->second = seconds;
   }
 
+  /// SIMD-tier before/after records: tier 0 = scalar ISA pin, 1 = the
+  /// detected SIMD tier. All single-threaded, dense dispatch — the
+  /// vectorization win in isolation.
+  void RecordSimdGemm(int shape_index, int tier, double ns) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(shape_index, tier);
+    auto [it, inserted] = simd_gemm_ns.emplace(key, ns);
+    if (!inserted && ns < it->second) it->second = ns;
+  }
+
+  void RecordSimdTrain(const std::string& model, int tier, double seconds) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, tier);
+    auto [it, inserted] = simd_train.emplace(key, seconds);
+    if (!inserted && seconds < it->second) it->second = seconds;
+  }
+
+  void RecordSimdServe(const std::string& model, int tier,
+                       double plans_per_sec) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(model, tier);
+    auto [it, inserted] = simd_serve.emplace(key, plans_per_sec);
+    if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
+  }
+
   /// Async serving sweep: mode 0 = 8 callers doing one-at-a-time PredictMs,
   /// mode 1 = the same callers submitting through an AsyncServer.
   void RecordAsync(const std::string& model, int mode, size_t callers,
@@ -344,7 +381,8 @@ struct ParallelBenchRecorder {
     std::lock_guard<std::mutex> lock(mu);
     return fit_seconds.empty() && serve.empty() && train_seconds.empty() &&
            kernel_gemm_ns.empty() && kernel_train.empty() &&
-           kernel_serve.empty() && kernel_fit.empty() && async_pps.empty();
+           kernel_serve.empty() && kernel_fit.empty() && async_pps.empty() &&
+           simd_gemm_ns.empty() && simd_train.empty() && simd_serve.empty();
   }
 
   /// Extracts the raw text of `"key": <value>` from a previous dump (our
@@ -452,6 +490,13 @@ struct ParallelBenchRecorder {
     } else {
       WriteKernelsSection(&os);
     }
+    os << ",\n  \"kernels_simd\": ";
+    if (simd_gemm_ns.empty() && simd_train.empty() && simd_serve.empty() &&
+        !carry("kernels_simd").empty()) {
+      os << carry("kernels_simd");
+    } else {
+      WriteKernelsSimdSection(&os);
+    }
     os << ",\n  \"async\": ";
     // Rows are keyed by the async (mode 1) measurements; a rerun that only
     // recorded the direct baseline (mode 0) must keep the carried section
@@ -485,6 +530,7 @@ struct ParallelBenchRecorder {
   }
 
   void WriteKernelsSection(std::ofstream* out);
+  void WriteKernelsSimdSection(std::ofstream* out);
 
   std::mutex mu;
   std::map<int, double> fit_seconds;
@@ -497,6 +543,9 @@ struct ParallelBenchRecorder {
   std::map<int, double> kernel_fit;
   std::map<std::pair<std::string, int>, double> async_pps;
   size_t async_callers = 0;
+  std::map<std::pair<int, int>, double> simd_gemm_ns;
+  std::map<std::pair<std::string, int>, double> simd_train;
+  std::map<std::pair<std::string, int>, double> simd_serve;
 };
 
 // ------------------------------------------------------- kernel sweeps
@@ -531,8 +580,13 @@ constexpr int kNumKernelShapes =
 Matrix RandomWithSparsity(size_t rows, size_t cols, double sparsity,
                           Rng* rng) {
   Matrix m(rows, cols);
-  for (double& v : m.data()) {
-    v = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+  // Row-wise on purpose: a flat walk over data() would also fill the
+  // alignment pad columns, which must stay exactly zero.
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = m.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+    }
   }
   return m;
 }
@@ -594,6 +648,64 @@ void ParallelBenchRecorder::WriteKernelsSection(std::ofstream* out) {
   os << "\n  }";
 }
 
+void ParallelBenchRecorder::WriteKernelsSimdSection(std::ofstream* out) {
+  std::ofstream& os = *out;
+  const kernels::KernelIsa detected = kernels::DetectKernelIsa();
+  kernels::KernelTuning tuning;
+  {
+    // Tuning() reports the active tier's thresholds; read the detected one.
+    kernels::ScopedKernelIsa pin(detected);
+    tuning = kernels::Tuning();
+  }
+  os << "{\n    \"isa\": \"" << kernels::KernelIsaName(detected)
+     << "\",\n    \"tuning\": {\"dense_min_rows\": "
+     << (tuning.dense_min_rows == SIZE_MAX
+             ? -1
+             : static_cast<long long>(tuning.dense_min_rows))
+     << ", \"sparse_dispatch_threshold\": " << tuning.sparse_dispatch_threshold
+     << ", \"probed_gemm_speedup\": " << tuning.simd_gemm_speedup
+     << ", \"autotuned\": " << (tuning.autotuned ? "true" : "false")
+     << "},\n    \"gemm\": [";
+  bool first = true;
+  for (int s = 0; s < kNumKernelShapes; ++s) {
+    if (!simd_gemm_ns.count({s, 0}) && !simd_gemm_ns.count({s, 1})) continue;
+    const KernelShape& shape = kKernelShapes[s];
+    double ref = simd_gemm_ns.count({s, 0}) ? simd_gemm_ns.at({s, 0}) : 0;
+    double opt = simd_gemm_ns.count({s, 1}) ? simd_gemm_ns.at({s, 1}) : 0;
+    os << (first ? "" : ",") << "\n      {\"variant\": \"" << shape.variant
+       << "\", \"m\": " << shape.m << ", \"k\": " << shape.k
+       << ", \"n\": " << shape.n << ", \"sparsity\": " << shape.sparsity
+       << ", \"scalar_ns\": " << ref << ", \"simd_ns\": " << opt
+       << ", \"speedup\": " << (ref > 0 && opt > 0 ? ref / opt : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ],\n    \"train\": [";
+  first = true;
+  for (const auto& [key, seconds] : simd_train) {
+    if (key.second != 1) continue;
+    double ref =
+        simd_train.count({key.first, 0}) ? simd_train.at({key.first, 0}) : 0.0;
+    os << (first ? "" : ",") << "\n      {\"model\": \"" << key.first
+       << "\", \"scalar_seconds\": " << ref
+       << ", \"simd_seconds\": " << seconds << ", \"speedup\": "
+       << (ref > 0 && seconds > 0 ? ref / seconds : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ],\n    \"predict_batch\": [";
+  first = true;
+  for (const auto& [key, pps] : simd_serve) {
+    if (key.second != 1) continue;
+    double ref =
+        simd_serve.count({key.first, 0}) ? simd_serve.at({key.first, 0}) : 0.0;
+    os << (first ? "" : ",") << "\n      {\"model\": \"" << key.first
+       << "\", \"batch\": 256, \"scalar_plans_per_sec\": " << ref
+       << ", \"simd_plans_per_sec\": " << pps << ", \"speedup\": "
+       << (ref > 0 && pps > 0 ? pps / ref : 0.0) << "}";
+    first = false;
+  }
+  os << "\n    ]\n  }";
+}
+
 /// One kernel invocation per iteration at the shape table entry
 /// state.range(0), under reference (range(1) == 0) or auto dispatch.
 void BM_KernelGemm(benchmark::State& state) {
@@ -639,6 +751,89 @@ void BM_KernelGemm(benchmark::State& state) {
 BENCHMARK(BM_KernelGemm)
     ->ArgsProduct({benchmark::CreateDenseRange(0, kNumKernelShapes - 1, 1),
                    {0, 1}});
+
+/// Scalar tier vs the detected SIMD tier on dense GemmNN at the real layer
+/// shapes (the first six table entries are the "nn" variants). Dispatch is
+/// pinned dense so the sweep times the panel kernels themselves; on a
+/// machine with no SIMD tier both pins resolve to scalar and the recorded
+/// speedup is ~1.
+void BM_KernelIsaGemm(benchmark::State& state) {
+  const KernelShape& shape = kKernelShapes[state.range(0)];
+  const int tier = static_cast<int>(state.range(1));
+  kernels::ScopedKernelIsa pin_isa(tier == 0 ? kernels::KernelIsa::kScalar
+                                             : kernels::DetectKernelIsa());
+  kernels::ScopedKernelMode pin_mode(kernels::KernelMode::kDense);
+  Rng rng(43);
+  Matrix a = RandomWithSparsity(shape.m, shape.k, shape.sparsity, &rng);
+  Matrix b = RandomWithSparsity(shape.k, shape.n, 0.0, &rng);
+  Matrix out;
+  WallTimer timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    kernels::GemmNN(a, b, &out);
+    benchmark::DoNotOptimize(out.data().data());
+    ++iters;
+  }
+  if (iters > 0) {
+    ParallelBenchRecorder::Get().RecordSimdGemm(
+        static_cast<int>(state.range(0)), tier,
+        timer.Seconds() * 1e9 / static_cast<double>(iters));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(iters) *
+                          static_cast<int64_t>(shape.m * shape.k * shape.n));
+}
+BENCHMARK(BM_KernelIsaGemm)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 5, 1), {0, 1}});
+
+/// Whole-model training under the scalar tier (range(0) == 0) vs the
+/// detected SIMD tier, production dispatch — the end-to-end vectorization
+/// win BENCH_parallel.json records as the kernels_simd train delta.
+template <const char* kModel>
+void BM_TrainKernelIsa(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int tier = static_cast<int>(state.range(0));
+  kernels::ScopedKernelIsa pin(tier == 0 ? kernels::KernelIsa::kScalar
+                                         : kernels::DetectKernelIsa());
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = EstimatorRegistry::Global()
+                     .Create(kModel, {f.ctx->db->catalog(),
+                                      f.featurizer.get(), 3})
+                     .value();
+    state.ResumeTiming();
+    WallTimer timer;
+    benchmark::DoNotOptimize(model->Train(f.train, cfg, nullptr).ok());
+    ParallelBenchRecorder::Get().RecordSimdTrain(kModel, tier,
+                                                 timer.Seconds());
+  }
+}
+
+/// Single-thread batched serving at batch 256 under the scalar tier vs the
+/// detected SIMD tier.
+template <const char* kModel>
+void BM_PredictBatchKernelIsa(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const int tier = static_cast<int>(state.range(0));
+  kernels::ScopedKernelIsa pin(tier == 0 ? kernels::KernelIsa::kScalar
+                                         : kernels::DetectKernelIsa());
+  const CostModel* model =
+      std::string(kModel) == "qppnet" ? f.qpp.get() : f.mscn.get();
+  std::vector<PlanSample> batch = f.BatchOf(256);
+  for (auto _ : state) {
+    WallTimer timer;
+    auto p = model->PredictBatchMs(batch, nullptr);
+    double seconds = timer.Seconds();
+    benchmark::DoNotOptimize(p.ok());
+    if (seconds > 0.0) {
+      ParallelBenchRecorder::Get().RecordSimdServe(
+          kModel, tier, static_cast<double>(batch.size()) / seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
 
 /// Before/after single-thread training: the same estimator trained under
 /// the reference kernel replay (mode 0: historical loops, temporary
@@ -838,6 +1033,24 @@ BENCHMARK_TEMPLATE(BM_PredictBatchKernelMode, kMscnName)
     ->Name("BM_MscnPredictBatchKernelMode")
     ->Arg(0)
     ->Arg(1);
+BENCHMARK_TEMPLATE(BM_TrainKernelIsa, kQppName)
+    ->Name("BM_QppNetTrainKernelIsa")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_TrainKernelIsa, kMscnName)
+    ->Name("BM_MscnTrainKernelIsa")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_PredictBatchKernelIsa, kQppName)
+    ->Name("BM_QppNetPredictBatchKernelIsa")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_TEMPLATE(BM_PredictBatchKernelIsa, kMscnName)
+    ->Name("BM_MscnPredictBatchKernelIsa")
+    ->Arg(0)
+    ->Arg(1);
 
 // ----------------------------------------------------- async serving sweep
 
@@ -964,6 +1177,7 @@ BENCHMARK(BM_DiffPropReduction)->Arg(16)->Arg(64);
 /// shapes, and a short two-mode training loop. Returns false on the first
 /// bit mismatch. This is what CI runs as `bench_micro --smoke`.
 bool RunKernelSmoke() {
+  using kernels::KernelIsa;
   using kernels::KernelMode;
   size_t checks = 0;
   size_t failures = 0;
@@ -984,6 +1198,34 @@ bool RunKernelSmoke() {
       }
     }
   };
+  // The SIMD-tier gate: per-element error relative to max(|want|, 1), at
+  // the documented cross-tier tolerance; tracks the tier's worst element.
+  auto expect_close = [&](const Matrix& want, const Matrix& got,
+                          const char* what, double* worst) {
+    ++checks;
+    if (want.rows() != got.rows() || want.cols() != got.cols()) {
+      std::cerr << "smoke: " << what << " shape mismatch\n";
+      ++failures;
+      return;
+    }
+    double rel = 0.0;
+    for (size_t r = 0; r < want.rows(); ++r) {
+      for (size_t c = 0; c < want.cols(); ++c) {
+        const double w = want.At(r, c);
+        const double g = got.At(r, c);
+        const double denom = std::abs(w) > 1.0 ? std::abs(w) : 1.0;
+        const double e = std::abs(g - w) / denom;
+        if (e > rel) rel = e;
+      }
+    }
+    if (rel > kernels::kSimdRelTolerance) {
+      std::cerr << "smoke: " << what << " relative error " << rel
+                << " exceeds tolerance " << kernels::kSimdRelTolerance << "\n";
+      ++failures;
+      return;
+    }
+    if (rel > *worst) *worst = rel;
+  };
 
   struct EdgeShape {
     size_t m, k, n;
@@ -997,33 +1239,42 @@ bool RunKernelSmoke() {
   }
   const KernelMode modes[] = {KernelMode::kAuto, KernelMode::kDense,
                               KernelMode::kSparse};
-  Rng rng(53);
-  for (const EdgeShape& s : shapes) {
-    Matrix a = RandomWithSparsity(s.m, s.k, s.sparsity, &rng);
-    Matrix b = RandomWithSparsity(s.k, s.n, 0.0, &rng);
-    Matrix bias = RandomWithSparsity(1, s.n, 0.0, &rng);
-    Matrix at_a = RandomWithSparsity(s.k, s.m, s.sparsity, &rng);
-    Matrix bt_b = RandomWithSparsity(s.n, s.k, 0.0, &rng);
-    Matrix acc_seed = RandomWithSparsity(s.m, s.n, 0.0, &rng);
-    Matrix want_nn, want_relu, want_bt, want_at, got;
-    kernels::reference::GemmNNBias(a, b, bias, &want_nn);
-    kernels::reference::GemmNNBiasRelu(a, b, bias, &want_relu);
-    kernels::reference::GemmBT(a, bt_b, &want_bt);
-    Matrix want_acc = acc_seed;
-    kernels::reference::GemmATAccumulate(at_a, b, &want_acc);
-    for (KernelMode mode : modes) {
-      kernels::ScopedKernelMode pin(mode);
-      kernels::GemmNNBias(a, b, bias, &got);
-      expect_equal(want_nn, got, "GemmNNBias");
-      kernels::GemmNNBiasRelu(a, b, bias, &got);
-      expect_equal(want_relu, got, "GemmNNBiasRelu");
-      kernels::GemmBT(a, bt_b, &got);
-      expect_equal(want_bt, got, "GemmBT");
-      Matrix acc = acc_seed;
-      kernels::GemmATAccumulate(at_a, b, &acc);
-      expect_equal(want_acc, acc, "GemmATAccumulate");
+  // Full kernel/mode sweep against the reference loops under whatever ISA
+  // tier is currently pinned: bit gate when `worst` is null (scalar tier),
+  // tolerance gate otherwise.
+  auto sweep = [&](double* worst) {
+    Rng rng(53);
+    for (const EdgeShape& s : shapes) {
+      Matrix a = RandomWithSparsity(s.m, s.k, s.sparsity, &rng);
+      Matrix b = RandomWithSparsity(s.k, s.n, 0.0, &rng);
+      Matrix bias = RandomWithSparsity(1, s.n, 0.0, &rng);
+      Matrix at_a = RandomWithSparsity(s.k, s.m, s.sparsity, &rng);
+      Matrix bt_b = RandomWithSparsity(s.n, s.k, 0.0, &rng);
+      Matrix acc_seed = RandomWithSparsity(s.m, s.n, 0.0, &rng);
+      Matrix want_nn, want_relu, want_bt, got;
+      kernels::reference::GemmNNBias(a, b, bias, &want_nn);
+      kernels::reference::GemmNNBiasRelu(a, b, bias, &want_relu);
+      kernels::reference::GemmBT(a, bt_b, &want_bt);
+      Matrix want_acc = acc_seed;
+      kernels::reference::GemmATAccumulate(at_a, b, &want_acc);
+      for (KernelMode mode : modes) {
+        kernels::ScopedKernelMode pin(mode);
+        kernels::GemmNNBias(a, b, bias, &got);
+        worst ? expect_close(want_nn, got, "GemmNNBias", worst)
+              : expect_equal(want_nn, got, "GemmNNBias");
+        kernels::GemmNNBiasRelu(a, b, bias, &got);
+        worst ? expect_close(want_relu, got, "GemmNNBiasRelu", worst)
+              : expect_equal(want_relu, got, "GemmNNBiasRelu");
+        kernels::GemmBT(a, bt_b, &got);
+        worst ? expect_close(want_bt, got, "GemmBT", worst)
+              : expect_equal(want_bt, got, "GemmBT");
+        Matrix acc = acc_seed;
+        kernels::GemmATAccumulate(at_a, b, &acc);
+        worst ? expect_close(want_acc, acc, "GemmATAccumulate", worst)
+              : expect_equal(want_acc, acc, "GemmATAccumulate");
+      }
     }
-  }
+  };
 
   // Two-mode training loop: byte-identical weights after 10 Adam steps.
   auto train_flat = [](kernels::KernelMode mode) {
@@ -1053,12 +1304,40 @@ bool RunKernelSmoke() {
     }
     return flat;
   };
-  std::vector<double> ref = train_flat(KernelMode::kReference);
-  std::vector<double> opt = train_flat(KernelMode::kAuto);
-  ++checks;
-  if (ref != opt) {
-    std::cerr << "smoke: two-mode training produced different weights\n";
-    ++failures;
+  // Scalar tier: everything must match the reference loops bit for bit,
+  // including a reference-vs-dispatch training run.
+  {
+    kernels::ScopedKernelIsa tier(KernelIsa::kScalar);
+    sweep(nullptr);
+    std::vector<double> ref = train_flat(KernelMode::kReference);
+    std::vector<double> opt = train_flat(KernelMode::kAuto);
+    ++checks;
+    if (ref != opt) {
+      std::cerr << "smoke: two-mode training produced different weights\n";
+      ++failures;
+    }
+    std::cout << "kernel smoke [scalar]: bit-exact against reference\n";
+  }
+
+  // Each available SIMD tier: the same sweep gated at kSimdRelTolerance,
+  // plus within-tier dispatch invisibility — training under auto/dense/
+  // sparse dispatch must produce bit-identical weights inside one tier.
+  for (KernelIsa isa : {KernelIsa::kAvx2, KernelIsa::kNeon}) {
+    if (!kernels::KernelIsaAvailable(isa)) continue;
+    kernels::ScopedKernelIsa tier(isa);
+    double worst = 0.0;
+    sweep(&worst);
+    std::vector<double> auto_w = train_flat(KernelMode::kAuto);
+    ++checks;
+    if (auto_w != train_flat(KernelMode::kDense) ||
+        auto_w != train_flat(KernelMode::kSparse)) {
+      std::cerr << "smoke: dispatch modes diverged within the "
+                << kernels::KernelIsaName(isa) << " tier\n";
+      ++failures;
+    }
+    std::cout << "kernel smoke [" << kernels::KernelIsaName(isa)
+              << "]: max relative error " << worst << " (tolerance "
+              << kernels::kSimdRelTolerance << ")\n";
   }
 
   std::cout << "kernel smoke: " << (checks - failures) << "/" << checks

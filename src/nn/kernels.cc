@@ -1,16 +1,24 @@
 #include "nn/kernels.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
+#include "nn/kernels_internal.h"
 #include "util/check.h"
+#include "util/env_config.h"
+#include "util/rng.h"
 
 namespace qcfe {
 namespace kernels {
 
 namespace {
+
+using internal::Epilogue;
+using internal::KernelTable;
 
 /// Initial mode honours QCFE_KERNEL_MODE (auto|reference|dense|sparse) so
 /// deployments and benchmarks can pin a path without a rebuild.
@@ -31,278 +39,156 @@ int InitialMode() {
 
 std::atomic<int> g_mode{InitialMode()};
 
-/// Register-panel sizes: a kMr x kNr output tile is held in registers while
-/// the contraction dimension streams past. 4x8 doubles fills the vector
-/// register budget on AVX2-class hardware without spilling and still fits
-/// comfortably on anything narrower.
-constexpr size_t kMr = 4;
-constexpr size_t kNr = 8;
-
-/// Epilogue selector for the NN-family kernels.
-enum class Epilogue { kNone, kBias, kBiasRelu };
-
-/// The historical sparse row-skip product: i-k-j order, streaming over
-/// contiguous rows of b, skipping zero entries of a. Accumulates in the
-/// output memory (zero-seeded, ascending k per element). Cost is
-/// proportional to the non-zeros of a, which wins on plan feature rows.
-void SparseNN(const Matrix& a, const Matrix& b, Matrix* out) {
-  QCFE_CHECK(a.cols() == b.rows(), "GemmNN: a.cols() must equal b.rows()");
-  QCFE_CHECK(out != &a && out != &b, "GemmNN: out must not alias an input");
-  out->ResetShape(a.rows(), b.cols());
-  const size_t m = a.rows();
-  const size_t kk = a.cols();
-  const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* __restrict orow = out->RowPtr(i);
-    for (size_t k = 0; k < kk; ++k) {
-      double av = arow[k];
-      if (av == 0.0) continue;
-      const double* __restrict brow = b.RowPtr(k);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+/// True when the running CPU executes `isa` (compile-in is checked
+/// separately via the tier table pointers).
+bool CpuSupportsIsa(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case KernelIsa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
   }
+  return false;
 }
 
-/// Separate bias / ReLU passes for paths that accumulate in memory (the
-/// sparse product and the reference replay): identical per-element
-/// arithmetic to the fused epilogues.
-void BiasPass(const Matrix& bias, Matrix* out) {
-  QCFE_CHECK(bias.rows() == 1 && bias.cols() == out->cols(),
-             "bias must be a 1 x out-cols row vector");
-  const double* src = bias.RowPtr(0);
-  for (size_t r = 0; r < out->rows(); ++r) {
-    double* dst = out->RowPtr(r);
-    for (size_t c = 0; c < out->cols(); ++c) dst[c] += src[c];
-  }
-}
-
-void ReluPass(Matrix* out) {
-  for (double& x : out->data()) x = x > 0.0 ? x : 0.0;
-}
-
-/// Register-blocked dense product with optional fused bias / bias+ReLU
-/// epilogue. Every output element owns one accumulator, zero-seeded,
-/// streaming k in ascending order — the same addition chain as the sparse
-/// path (zero products cannot change the accumulator bits), so dispatch
-/// never changes results. The fixed-trip full-panel inner loop is what the
-/// compiler vectorises; ragged edges take the bounded generic loop.
-template <Epilogue kEpilogue>
-void DenseNN(const Matrix& a, const Matrix& b, const Matrix* bias,
-             Matrix* out) {
-  QCFE_CHECK(a.cols() == b.rows(), "GemmNN: a.cols() must equal b.rows()");
-  QCFE_CHECK(out != &a && out != &b, "GemmNN: out must not alias an input");
-  QCFE_DCHECK(kEpilogue == Epilogue::kNone ||
-                  (bias != nullptr && bias->rows() == 1 &&
-                   bias->cols() == b.cols()),
-              "fused epilogue requires a 1 x n bias row");
-  out->ResetShapeUninitialized(a.rows(), b.cols());
-  const size_t m = a.rows();
-  const size_t kk = a.cols();
-  const size_t n = b.cols();
-  const double* __restrict ap = a.data().data();
-  const double* __restrict bp = b.data().data();
-  const double* biasp =
-      kEpilogue == Epilogue::kNone ? nullptr : bias->RowPtr(0);
-  for (size_t i0 = 0; i0 < m; i0 += kMr) {
-    const size_t mr = std::min(kMr, m - i0);
-    for (size_t j0 = 0; j0 < n; j0 += kNr) {
-      const size_t nr = std::min(kNr, n - j0);
-      double acc[kMr][kNr] = {{0.0}};
-      if (mr == kMr && nr == kNr) {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* __restrict brow = bp + k * n + j0;
-          for (size_t ii = 0; ii < kMr; ++ii) {
-            const double av = ap[(i0 + ii) * kk + k];
-            for (size_t jj = 0; jj < kNr; ++jj) acc[ii][jj] += av * brow[jj];
-          }
-        }
-      } else {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* __restrict brow = bp + k * n + j0;
-          for (size_t ii = 0; ii < mr; ++ii) {
-            const double av = ap[(i0 + ii) * kk + k];
-            for (size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * brow[jj];
-          }
-        }
-      }
-      for (size_t ii = 0; ii < mr; ++ii) {
-        double* dst = out->RowPtr(i0 + ii) + j0;
-        for (size_t jj = 0; jj < nr; ++jj) {
-          double v = acc[ii][jj];
-          if (kEpilogue != Epilogue::kNone) v += biasp[j0 + jj];
-          if (kEpilogue == Epilogue::kBiasRelu) v = v > 0.0 ? v : 0.0;
-          dst[jj] = v;
-        }
-      }
-    }
-  }
-}
-
-/// Register-blocked a^T * b: an (a.cols x b.cols) output panel accumulates
-/// while the shared row dimension streams past; rows whose a-panel entries
-/// are all exactly zero are skipped (their products are ±0.0 and cannot
-/// change the accumulators). With accumulate=true the finished panel is
-/// added onto the destination in one pass — the register-resident
-/// replacement for "materialise a^T * b, then Add()".
-template <bool kAccumulate>
-void DenseAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  QCFE_CHECK(a.rows() == b.rows(), "GemmAT: a.rows() must equal b.rows()");
-  QCFE_CHECK(out != &a && out != &b, "GemmAT: out must not alias an input");
-  if (!kAccumulate) {
-    out->ResetShapeUninitialized(a.cols(), b.cols());
+/// Initial ISA honours QCFE_KERNEL_ISA (scalar|avx2|neon|auto), clamping
+/// unavailable pins to the scalar tier; unset/auto takes the best detected.
+int InitialIsa() {
+  const char* env = std::getenv("QCFE_KERNEL_ISA");
+  KernelIsa isa;
+  if (env == nullptr || std::strcmp(env, "auto") == 0) {
+    isa = DetectKernelIsa();
+  } else if (std::strcmp(env, "scalar") == 0) {
+    isa = KernelIsa::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    isa = KernelIsa::kAvx2;
+  } else if (std::strcmp(env, "neon") == 0) {
+    isa = KernelIsa::kNeon;
   } else {
-    QCFE_CHECK(out->rows() == a.cols() && out->cols() == b.cols(),
-               "GemmATAccumulate: acc must be pre-shaped to a.cols x b.cols");
+    isa = DetectKernelIsa();
   }
-  const size_t rows = a.rows();
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  for (size_t i0 = 0; i0 < m; i0 += kMr) {
-    const size_t mr = std::min(kMr, m - i0);
-    for (size_t j0 = 0; j0 < n; j0 += kNr) {
-      const size_t nr = std::min(kNr, n - j0);
-      double acc[kMr][kNr] = {{0.0}};
-      if (mr == kMr && nr == kNr) {
-        // Fixed trip counts keep the accumulator panel in registers.
-        for (size_t r = 0; r < rows; ++r) {
-          const double* __restrict arow = a.RowPtr(r) + i0;
-          const double* __restrict brow = b.RowPtr(r) + j0;
-          double av[kMr];
-          bool any = false;
-          for (size_t ii = 0; ii < kMr; ++ii) {
-            av[ii] = arow[ii];
-            any = any || av[ii] != 0.0;
-          }
-          if (!any) continue;
-          for (size_t ii = 0; ii < kMr; ++ii) {
-            for (size_t jj = 0; jj < kNr; ++jj) {
-              acc[ii][jj] += av[ii] * brow[jj];
-            }
-          }
-        }
-      } else {
-        for (size_t r = 0; r < rows; ++r) {
-          const double* __restrict arow = a.RowPtr(r) + i0;
-          const double* __restrict brow = b.RowPtr(r) + j0;
-          for (size_t ii = 0; ii < mr; ++ii) {
-            const double av = arow[ii];
-            if (av == 0.0) continue;
-            for (size_t jj = 0; jj < nr; ++jj) acc[ii][jj] += av * brow[jj];
-          }
-        }
-      }
-      for (size_t ii = 0; ii < mr; ++ii) {
-        double* dst = out->RowPtr(i0 + ii) + j0;
-        for (size_t jj = 0; jj < nr; ++jj) {
-          if (kAccumulate) {
-            dst[jj] += acc[ii][jj];
-          } else {
-            dst[jj] = acc[ii][jj];
-          }
-        }
-      }
-    }
-  }
+  if (!KernelIsaAvailable(isa)) isa = KernelIsa::kScalar;
+  return static_cast<int>(isa);
 }
 
-/// Sparse-aware a^T * b accumulate for multi-row contractions: replays the
-/// historical "zero-skip product into a temporary, then Add()" chains with
-/// a thread-local temporary, so warm steady-state calls never allocate.
-/// The zero-skip makes cost proportional to a's non-zeros — the winning
-/// shape for one-hot feature inputs — while the full-sum-then-add order
-/// keeps results bit-identical to the reference.
-void SparseTempATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
-  thread_local Matrix tmp;
-  tmp.ResetShape(a.cols(), b.cols());
-  const size_t rows = a.rows();
-  const size_t n = b.cols();
+std::atomic<int> g_isa{InitialIsa()};
+
+/// The dispatch table for a tier (the tier must be available).
+const KernelTable& TableFor(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAvx2: {
+      const KernelTable* t = internal::Avx2Table();
+      QCFE_DCHECK(t != nullptr, "AVX2 tier selected but not compiled in");
+      return *t;
+    }
+    case KernelIsa::kNeon: {
+      const KernelTable* t = internal::NeonTable();
+      QCFE_DCHECK(t != nullptr, "NEON tier selected but not compiled in");
+      return *t;
+    }
+    case KernelIsa::kScalar:
+      break;
+  }
+  return internal::ScalarTable();
+}
+
+const KernelTable& ActiveTable() { return TableFor(GetKernelIsa()); }
+
+/// Compiled-default minimum row count before the kAuto NN dispatch
+/// considers the blocked kernel (the pre-autotuner measured value).
+constexpr size_t kDefaultDenseMinRows = 32;
+
+KernelTuning DefaultTuning(KernelIsa isa) {
+  KernelTuning t;
+  t.isa = isa;
+  t.dense_min_rows = kDefaultDenseMinRows;
+  t.sparse_dispatch_threshold = kSparseDispatchThreshold;
+  t.simd_gemm_speedup = 1.0;
+  t.autotuned = false;
+  return t;
+}
+
+bool AutotuneEnabled() {
+  const char* env = std::getenv("QCFE_KERNEL_AUTOTUNE");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Deterministic probe input: Gaussian entries with an (approximately)
+/// fixed fraction zeroed. Timing inputs only steer thresholds — dispatch
+/// is bit-safe within a tier — so the Bernoulli approximation is fine.
+Matrix ProbeMatrix(Rng* rng, size_t rows, size_t cols, double zero_fraction) {
+  Matrix m(rows, cols);
   for (size_t r = 0; r < rows; ++r) {
-    const double* arow = a.RowPtr(r);
-    const double* __restrict brow = b.RowPtr(r);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* __restrict trow = tmp.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) trow[j] += av * brow[j];
+    double* dst = m.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const double v = rng->Gaussian(0.0, 1.0);
+      dst[c] = rng->Bernoulli(zero_fraction) ? 0.0 : v;
     }
   }
-  acc->Add(tmp);
+  return m;
 }
 
-/// Register-blocked a * b^T: for each row of a, kNr dot products build
-/// concurrently — kNr independent ascending-k accumulator chains (the
-/// reference loop's exact chains, but with the FMA-latency serialisation of
-/// a lone dot product hidden behind kNr-way ILP, and each a-row's streamed
-/// read amortised over kNr b-rows).
-void DenseBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  QCFE_CHECK(a.cols() == b.cols(), "GemmBT: a.cols() must equal b.cols()");
-  QCFE_CHECK(out != &a && out != &b, "GemmBT: out must not alias an input");
-  out->ResetShapeUninitialized(a.rows(), b.rows());
-  const size_t m = a.rows();
-  const size_t n = b.rows();
-  const size_t kk = a.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const double* __restrict arow = a.RowPtr(i);
-    double* __restrict orow = out->RowPtr(i);
-    size_t j0 = 0;
-    for (; j0 + kNr <= n; j0 += kNr) {
-      const double* __restrict bp[kNr];
-      for (size_t jj = 0; jj < kNr; ++jj) bp[jj] = b.RowPtr(j0 + jj);
-      double acc[kNr] = {0.0};
-      for (size_t k = 0; k < kk; ++k) {
-        const double av = arow[k];
-        for (size_t jj = 0; jj < kNr; ++jj) acc[jj] += av * bp[jj][k];
+/// Best-of-three nanoseconds per call (min filters scheduler noise).
+template <typename Fn>
+double BestNsPerCall(size_t iters, Fn&& fn) {
+  double best_ns = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer timer;
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double ns = timer.Seconds() * 1e9 / static_cast<double>(iters);
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  // Probe timings must stay strictly positive for SelectTuning's validity
+  // checks; clamp pathological zero readings (coarse clocks).
+  return best_ns > 0.0 ? best_ns : 1e-3;
+}
+
+/// Per-tier tunings, computed once per process on first use. Probing calls
+/// the tier tables directly (never the dispatched entry points), so the
+/// lazy initialisation cannot recurse into itself.
+const std::array<KernelTuning, 3>& AllTunings() {
+  static const std::array<KernelTuning, 3> tunings = [] {
+    std::array<KernelTuning, 3> out{};
+    const bool enabled = AutotuneEnabled();
+    const KernelIsa all[] = {KernelIsa::kScalar, KernelIsa::kAvx2,
+                             KernelIsa::kNeon};
+    for (KernelIsa isa : all) {
+      KernelTuning t = DefaultTuning(isa);
+      if (enabled && KernelIsaAvailable(isa)) {
+        t = SelectTuning(isa, MeasureProbes(isa));
       }
-      for (size_t jj = 0; jj < kNr; ++jj) orow[j0 + jj] = acc[jj];
+      out[static_cast<size_t>(isa)] = t;
     }
-    for (; j0 < n; ++j0) {
-      const double* __restrict brow = b.RowPtr(j0);
-      double acc = 0.0;
-      for (size_t k = 0; k < kk; ++k) acc += arow[k] * brow[k];
-      orow[j0] = acc;
-    }
-  }
+    return out;
+  }();
+  return tunings;
 }
-
-/// Rank-1 a^T * b accumulate (a and b both single rows): dst(i, :) +=
-/// a(0, i) * b(0, :), skipping zero a entries. With one contraction term
-/// per element, "sum in a register, then add" and "add the product" are
-/// the same single addition, so this stays bit-identical to the reference
-/// temporary+Add — while touching only the rows a actually activates
-/// (plan-structured training backprops one node row at a time, so this is
-/// the dW kernel QPPNet runs almost exclusively).
-void Rank1ATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
-  const double* arow = a.RowPtr(0);
-  const double* __restrict brow = b.RowPtr(0);
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const double av = arow[i];
-    if (av == 0.0) continue;
-    double* __restrict dst = acc->RowPtr(i);
-    for (size_t j = 0; j < n; ++j) dst[j] += av * brow[j];
-  }
-}
-
-/// Minimum row count before the kAuto NN dispatch considers the blocked
-/// kernel: below this the panel's per-tile b re-reads and ragged tails eat
-/// the register-reuse win on real layer shapes (measured on QPPNet wave
-/// buckets), so skinny batches keep the streaming loop.
-constexpr size_t kDenseMinRows = 32;
 
 /// Picks the sparse row-skip path for the NN family: explicit mode pins
 /// win; kAuto routes skinny batches to the streaming loop and samples the
-/// left operand's density for real batches.
+/// left operand's density for real batches, against the autotuned
+/// thresholds.
 bool DispatchSparseNN(const Matrix& a) {
   switch (GetKernelMode()) {
     case KernelMode::kSparse:
       return true;
     case KernelMode::kDense:
       return false;
-    default:
-      return a.rows() < kDenseMinRows ||
-             ZeroFraction(a) >= kSparseDispatchThreshold;
+    default: {
+      const KernelTuning& t = Tuning();
+      return a.rows() < t.dense_min_rows ||
+             ZeroFraction(a) >= t.sparse_dispatch_threshold;
+    }
   }
 }
 
@@ -315,7 +201,7 @@ bool DispatchBlocked(size_t rows) {
     case KernelMode::kDense:
       return true;
     default:
-      return rows >= kMr;
+      return rows >= internal::kMr;
   }
 }
 
@@ -329,88 +215,268 @@ KernelMode GetKernelMode() {
   return static_cast<KernelMode>(g_mode.load(std::memory_order_relaxed));
 }
 
+bool KernelIsaAvailable(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+      return internal::Avx2Table() != nullptr && CpuSupportsIsa(isa);
+    case KernelIsa::kNeon:
+      return internal::NeonTable() != nullptr && CpuSupportsIsa(isa);
+  }
+  return false;
+}
+
+KernelIsa DetectKernelIsa() {
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  if (KernelIsaAvailable(KernelIsa::kNeon)) return KernelIsa::kNeon;
+  return KernelIsa::kScalar;
+}
+
+void SetKernelIsa(KernelIsa isa) {
+  if (!KernelIsaAvailable(isa)) isa = KernelIsa::kScalar;
+  g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+KernelIsa GetKernelIsa() {
+  return static_cast<KernelIsa>(g_isa.load(std::memory_order_relaxed));
+}
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
 double ZeroFraction(const Matrix& m) {
-  const std::vector<double>& d = m.data();
-  const size_t n = d.size();
+  const size_t cols = m.cols();
+  const size_t n = m.rows() * cols;
   if (n == 0) return 0.0;
   // A small strided sample keeps the dispatch decision far cheaper than
   // the product it steers while staying deterministic for a given matrix.
+  // Sampling walks logical indices (row, col), never the row padding —
+  // the always-zero pad columns would otherwise inflate the fraction.
   constexpr size_t kMaxProbes = 256;
   const size_t stride = n > kMaxProbes ? n / kMaxProbes : 1;
   size_t zeros = 0;
   size_t probes = 0;
   for (size_t i = 0; i < n; i += stride) {
-    zeros += d[i] == 0.0 ? 1 : 0;
+    zeros += m.At(i / cols, i % cols) == 0.0 ? 1 : 0;
     ++probes;
   }
   return static_cast<double>(zeros) / static_cast<double>(probes);
 }
 
+// ------------------------------------------------------------ autotuning
+
+ProbeMeasurements MeasureProbes(KernelIsa isa) {
+  QCFE_CHECK(KernelIsaAvailable(isa),
+             "MeasureProbes: ISA tier is not available on this machine");
+  const KernelTable& table = TableFor(isa);
+  const KernelTable& scalar = internal::ScalarTable();
+  ProbeMeasurements pm;
+  Rng rng(0x9CFE5EEDULL);
+  // Shapes mirror the deployed layer geometry: 48-wide hidden layers and
+  // 66-wide plan-feature inputs (the bench_micro kernel shapes).
+  constexpr size_t kHidden = 48;
+  constexpr size_t kFeat = 66;
+  Matrix out;
+
+  // Dense-vs-streaming NN crossover over batch row counts, fully dense
+  // input (the activation case the row threshold exists for).
+  const Matrix bh = ProbeMatrix(&rng, kHidden, kHidden, 0.0);
+  for (size_t rows : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    const Matrix a = ProbeMatrix(&rng, rows, kHidden, 0.0);
+    const size_t iters = std::max<size_t>(2, 512 / rows);
+    pm.rows.push_back(rows);
+    pm.sparse_ns.push_back(
+        BestNsPerCall(iters, [&] { table.sparse_nn(a, bh, &out); }));
+    pm.dense_ns.push_back(BestNsPerCall(
+        iters, [&] { table.dense_nn(a, bh, nullptr, &out, Epilogue::kNone); }));
+  }
+
+  // Sparse-vs-dense crossover over zero fractions at the plan-feature
+  // shape (batched feature rows entering the first layer).
+  const Matrix bf = ProbeMatrix(&rng, kFeat, kHidden, 0.0);
+  for (double zf : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    const Matrix a = ProbeMatrix(&rng, 64, kFeat, zf);
+    pm.zero_fractions.push_back(zf);
+    pm.sparse_zf_ns.push_back(
+        BestNsPerCall(8, [&] { table.sparse_nn(a, bf, &out); }));
+    pm.dense_zf_ns.push_back(BestNsPerCall(
+        8, [&] { table.dense_nn(a, bf, nullptr, &out, Epilogue::kNone); }));
+  }
+
+  // Scalar-vs-tier dense GEMM on a real training batch shape. The scalar
+  // tier's "speedup" over itself is 1.0 by definition, not something to
+  // measure (two timings of the same loop only report noise).
+  if (isa != KernelIsa::kScalar) {
+    const Matrix ag = ProbeMatrix(&rng, 64, kHidden, 0.0);
+    pm.scalar_gemm_ns = BestNsPerCall(
+        8, [&] { scalar.dense_nn(ag, bh, nullptr, &out, Epilogue::kNone); });
+    pm.simd_gemm_ns = BestNsPerCall(
+        8, [&] { table.dense_nn(ag, bh, nullptr, &out, Epilogue::kNone); });
+  }
+  return pm;
+}
+
+KernelTuning SelectTuning(KernelIsa isa, const ProbeMeasurements& probes) {
+  KernelTuning t = DefaultTuning(isa);
+  const size_t nr = probes.rows.size();
+  const size_t nz = probes.zero_fractions.size();
+  const auto all_positive = [](const std::vector<double>& v) {
+    for (double x : v) {
+      if (!(x > 0.0)) return false;
+    }
+    return true;
+  };
+  bool ok = nr > 0 && probes.sparse_ns.size() == nr &&
+            probes.dense_ns.size() == nr && nz > 0 &&
+            probes.sparse_zf_ns.size() == nz && probes.dense_zf_ns.size() == nz;
+  ok = ok && all_positive(probes.sparse_ns) && all_positive(probes.dense_ns) &&
+       all_positive(probes.sparse_zf_ns) && all_positive(probes.dense_zf_ns);
+  for (size_t i = 1; ok && i < nr; ++i) ok = probes.rows[i - 1] < probes.rows[i];
+  for (size_t i = 1; ok && i < nz; ++i) {
+    ok = probes.zero_fractions[i - 1] < probes.zero_fractions[i];
+  }
+  if (!ok) return t;  // compiled defaults, autotuned stays false
+
+  // dense_min_rows: the smallest grid row count from which the dense panel
+  // wins for the entire remaining suffix (suffix-wide so one noisy interior
+  // point cannot open a dense window the neighbouring sizes contradict).
+  size_t start = nr;
+  while (start > 0 && probes.dense_ns[start - 1] <= probes.sparse_ns[start - 1]) {
+    --start;
+  }
+  t.dense_min_rows = start == nr ? SIZE_MAX : probes.rows[start];
+
+  // sparse_dispatch_threshold: midpoint between the last dense-winning and
+  // the first suffix-wide sparse-winning zero fraction.
+  size_t zstart = nz;
+  while (zstart > 0 &&
+         probes.sparse_zf_ns[zstart - 1] <= probes.dense_zf_ns[zstart - 1]) {
+    --zstart;
+  }
+  if (zstart == nz) {
+    t.sparse_dispatch_threshold = 1.5;  // sparse never won: disable
+  } else if (zstart == 0) {
+    t.sparse_dispatch_threshold = 0.0;  // sparse always won
+  } else {
+    t.sparse_dispatch_threshold = 0.5 * (probes.zero_fractions[zstart - 1] +
+                                         probes.zero_fractions[zstart]);
+  }
+
+  if (probes.scalar_gemm_ns > 0.0 && probes.simd_gemm_ns > 0.0) {
+    t.simd_gemm_speedup = probes.scalar_gemm_ns / probes.simd_gemm_ns;
+  }
+  t.autotuned = true;
+  return t;
+}
+
+const KernelTuning& Tuning() {
+  return AllTunings()[static_cast<size_t>(GetKernelIsa())];
+}
+
+void Autotune() {
+  // Not a discarded status: AllTunings() returns the tuning array, and the
+  // cast only forces its lazy magic-static micro-probe to run now.
+  (void)AllTunings();
+}
+
+// ------------------------------------------------------------- products
+
 void GemmNN(const Matrix& a, const Matrix& b, Matrix* out) {
-  if (GetKernelMode() == KernelMode::kReference || DispatchSparseNN(a)) {
-    SparseNN(a, b, out);
+  if (GetKernelMode() == KernelMode::kReference) {
+    reference::GemmNN(a, b, out);
     return;
   }
-  DenseNN<Epilogue::kNone>(a, b, nullptr, out);
+  const KernelTable& t = ActiveTable();
+  if (DispatchSparseNN(a)) {
+    t.sparse_nn(a, b, out);
+    return;
+  }
+  t.dense_nn(a, b, nullptr, out, Epilogue::kNone);
 }
 
 void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,
                 Matrix* out) {
-  if (GetKernelMode() == KernelMode::kReference || DispatchSparseNN(a)) {
-    SparseNN(a, b, out);
-    BiasPass(bias, out);
+  if (GetKernelMode() == KernelMode::kReference) {
+    reference::GemmNNBias(a, b, bias, out);
     return;
   }
-  DenseNN<Epilogue::kBias>(a, b, &bias, out);
+  const KernelTable& t = ActiveTable();
+  if (DispatchSparseNN(a)) {
+    t.sparse_nn(a, b, out);
+    internal::BiasPass(bias, out);
+    return;
+  }
+  t.dense_nn(a, b, &bias, out, Epilogue::kBias);
 }
 
 void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
                     Matrix* out) {
-  if (GetKernelMode() == KernelMode::kReference || DispatchSparseNN(a)) {
-    SparseNN(a, b, out);
-    BiasPass(bias, out);
-    ReluPass(out);
+  if (GetKernelMode() == KernelMode::kReference) {
+    reference::GemmNNBiasRelu(a, b, bias, out);
     return;
   }
-  DenseNN<Epilogue::kBiasRelu>(a, b, &bias, out);
+  const KernelTable& t = ActiveTable();
+  if (DispatchSparseNN(a)) {
+    t.sparse_nn(a, b, out);
+    internal::BiasPass(bias, out);
+    internal::ReluPass(out);
+    return;
+  }
+  t.dense_nn(a, b, &bias, out, Epilogue::kBiasRelu);
 }
 
 void GemmBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  // The streamed kNr-chain kernel beats the one-dot-at-a-time reference at
-  // every row count (the chains hide FMA latency even for a single a-row),
-  // so BT never dispatches by shape — only the reference pin replays the
-  // historical loop.
+  // The streamed multi-chain kernel beats the one-dot-at-a-time reference
+  // at every row count (the chains hide FMA latency even for a single
+  // a-row), so BT never dispatches by shape — only the reference pin
+  // replays the historical loop.
   if (GetKernelMode() == KernelMode::kReference) {
     reference::GemmBT(a, b, out);
     return;
   }
-  DenseBT(a, b, out);
+  ActiveTable().bt(a, b, out);
 }
 
 void GemmAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  if (GetKernelMode() == KernelMode::kReference || !DispatchBlocked(a.rows())) {
+  if (GetKernelMode() == KernelMode::kReference) {
     reference::GemmAT(a, b, out);
     return;
   }
-  DenseAT<false>(a, b, out);
+  const KernelTable& t = ActiveTable();
+  if (!DispatchBlocked(a.rows())) {
+    t.at_stream(a, b, out);
+    return;
+  }
+  t.at_panel(a, b, out);
 }
 
 void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
   QCFE_CHECK(a.rows() == b.rows(), "GemmATAccumulate: row-count mismatch");
   QCFE_CHECK(acc->rows() == a.cols() && acc->cols() == b.cols(),
              "GemmATAccumulate: acc must be pre-shaped to a.cols x b.cols");
+  const KernelTable& t = ActiveTable();
   switch (GetKernelMode()) {
     case KernelMode::kReference:
       reference::GemmATAccumulate(a, b, acc);
       return;
     case KernelMode::kDense:
-      DenseAT<true>(a, b, acc);
+      t.at_acc_panel(a, b, acc);
       return;
     case KernelMode::kSparse:
       if (a.rows() == 1) {
-        Rank1ATAccumulate(a, b, acc);
+        t.at_acc_rank1(a, b, acc);
       } else {
-        SparseTempATAccumulate(a, b, acc);
+        t.at_acc_sparse(a, b, acc);
       }
       return;
     case KernelMode::kAuto:
@@ -422,14 +488,14 @@ void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
   // register panel (dense inputs) or through a thread-local temporary whose
   // zero-skip walk wins on one-hot feature inputs.
   if (a.rows() == 1) {
-    Rank1ATAccumulate(a, b, acc);
+    t.at_acc_rank1(a, b, acc);
     return;
   }
-  if (ZeroFraction(a) >= kSparseDispatchThreshold) {
-    SparseTempATAccumulate(a, b, acc);
+  if (ZeroFraction(a) >= Tuning().sparse_dispatch_threshold) {
+    t.at_acc_sparse(a, b, acc);
     return;
   }
-  DenseAT<true>(a, b, acc);
+  t.at_acc_panel(a, b, acc);
 }
 
 void ColSumAccumulate(const Matrix& a, Matrix* acc) {
@@ -439,26 +505,14 @@ void ColSumAccumulate(const Matrix& a, Matrix* acc) {
     reference::ColSumAccumulate(a, acc);
     return;
   }
-  // Column-blocked stack buffer: each column's sum is built zero-seeded in
-  // ascending row order, then added to the destination once — the exact
-  // "ColSum() then Add()" chains without the temporary matrix.
-  constexpr size_t kCb = 256;
-  const size_t n = a.cols();
-  double buf[kCb];
-  for (size_t c0 = 0; c0 < n; c0 += kCb) {
-    const size_t cb = std::min(kCb, n - c0);
-    std::fill(buf, buf + cb, 0.0);
-    for (size_t r = 0; r < a.rows(); ++r) {
-      const double* __restrict src = a.RowPtr(r) + c0;
-      for (size_t c = 0; c < cb; ++c) buf[c] += src[c];
-    }
-    double* dst = acc->RowPtr(0) + c0;
-    for (size_t c = 0; c < cb; ++c) dst[c] += buf[c];
-  }
+  ActiveTable().colsum_acc(a, acc);
 }
+
+// ------------------------------------------------------------ epilogues
 
 void ReluForward(const Matrix& in, Matrix* out) {
   if (out != &in) out->ResetShapeUninitialized(in.rows(), in.cols());
+  // Flat over the physical buffer: relu(0) == 0 preserves the pad zeros.
   const double* src = in.data().data();
   double* dst = out->data().data();
   for (size_t i = 0; i < in.size(); ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
@@ -472,6 +526,7 @@ void ReluMaskBackward(const Matrix& grad_out, const Matrix& pre_activation,
   if (grad_in != &grad_out) {
     grad_in->ResetShapeUninitialized(grad_out.rows(), grad_out.cols());
   }
+  // Flat: pad pre-activations are 0 (<= 0), so pad gradients stay 0.
   const double* src = grad_out.data().data();
   const double* pre = pre_activation.data().data();
   double* dst = grad_in->data().data();
@@ -480,68 +535,71 @@ void ReluMaskBackward(const Matrix& grad_out, const Matrix& pre_activation,
   }
 }
 
-namespace reference {
+// ------------------------------------------------------- optimizer steps
+
+void AdamStep(Matrix* p, const Matrix& g, Matrix* m, Matrix* v, double lr,
+              double beta1, double beta2, double eps, double bc1, double bc2) {
+  QCFE_CHECK(p->rows() == g.rows() && p->cols() == g.cols() &&
+                 m->rows() == g.rows() && m->cols() == g.cols() &&
+                 v->rows() == g.rows() && v->cols() == g.cols(),
+             "AdamStep: parameter/gradient/state shapes must match");
+  // Flat over the physical buffer: every operand's pad columns are zero
+  // and an Adam update of all-zero state/gradient is exactly zero, so the
+  // layout invariant survives.
+  ActiveTable().adam_step(p->data().data(), g.data().data(), m->data().data(),
+                          v->data().data(), p->size(), lr, beta1, beta2, eps,
+                          bc1, bc2);
+}
+
+void SgdStep(Matrix* p, const Matrix& g, Matrix* v, double lr,
+             double momentum) {
+  QCFE_CHECK(p->rows() == g.rows() && p->cols() == g.cols() &&
+                 v->rows() == g.rows() && v->cols() == g.cols(),
+             "SgdStep: parameter/gradient/velocity shapes must match");
+  ActiveTable().sgd_step(p->data().data(), g.data().data(), v->data().data(),
+                         p->size(), lr, momentum);
+}
+
+// ------------------------------------------------------------------ simd
+
+namespace simd {
 
 void GemmNN(const Matrix& a, const Matrix& b, Matrix* out) {
-  SparseNN(a, b, out);
+  ActiveTable().dense_nn(a, b, nullptr, out, Epilogue::kNone);
 }
 
 void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,
                 Matrix* out) {
-  SparseNN(a, b, out);
-  BiasPass(bias, out);
+  ActiveTable().dense_nn(a, b, &bias, out, Epilogue::kBias);
 }
 
 void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
                     Matrix* out) {
-  SparseNN(a, b, out);
-  BiasPass(bias, out);
-  ReluPass(out);
+  ActiveTable().dense_nn(a, b, &bias, out, Epilogue::kBiasRelu);
 }
 
 void GemmBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  QCFE_CHECK(a.cols() == b.cols(), "GemmBT: a.cols() must equal b.cols()");
-  out->ResetShape(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out->RowPtr(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
-    }
-  }
+  ActiveTable().bt(a, b, out);
 }
 
 void GemmAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  QCFE_CHECK(a.rows() == b.rows(), "GemmAT: a.rows() must equal b.rows()");
-  out->ResetShape(a.cols(), b.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* arow = a.RowPtr(r);
-    const double* brow = b.RowPtr(r);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out->RowPtr(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
-    }
-  }
+  ActiveTable().at_panel(a, b, out);
 }
 
 void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc) {
-  // The historical path, temporary included: parity tests and the
-  // before/after benchmark both rely on replaying it exactly.
-  Matrix tmp;
-  GemmAT(a, b, &tmp);
-  acc->Add(tmp);
+  QCFE_CHECK(a.rows() == b.rows(), "GemmATAccumulate: row-count mismatch");
+  QCFE_CHECK(acc->rows() == a.cols() && acc->cols() == b.cols(),
+             "GemmATAccumulate: acc must be pre-shaped to a.cols x b.cols");
+  ActiveTable().at_acc_panel(a, b, acc);
 }
 
 void ColSumAccumulate(const Matrix& a, Matrix* acc) {
-  acc->Add(a.ColSum());
+  QCFE_CHECK(acc->rows() == 1 && acc->cols() == a.cols(),
+             "ColSumAccumulate: acc must be a pre-shaped 1 x a.cols row");
+  ActiveTable().colsum_acc(a, acc);
 }
 
-}  // namespace reference
+}  // namespace simd
 
 }  // namespace kernels
 }  // namespace qcfe

@@ -5,36 +5,45 @@
 /// The dedicated NN kernel layer: every forward/backward matrix product in
 /// the training and serving hot paths routes through these entry points.
 ///
-/// Two implementations back each product:
+/// Two axes select an implementation:
 ///
-///  * a register-blocked dense kernel (kMr x kNr output panel held in
-///    registers, streaming over the contraction dimension), and
-///  * the historical sparse row-skip loop (i-k-j order, skipping zero
-///    left-operand entries), which wins when inputs are mostly zeros —
-///    plan feature rows are ~90% zeros while hidden activations are dense.
+///  * **KernelMode** (dispatch path): register-blocked dense panels vs the
+///    historical sparse row-skip loops, chosen density-adaptively under
+///    kAuto; kReference replays the exact pre-kernel-layer code paths.
+///  * **KernelIsa** (instruction tier): the bit-exact scalar tier, the
+///    AVX2+FMA tier, or the AArch64 NEON tier, selected once per process by
+///    runtime CPU detection (overridable via QCFE_KERNEL_ISA).
 ///
-/// Dispatch between them is density-adaptive (a deterministic strided
-/// sample of the left operand) and never changes results:
+/// Determinism contract. Within one ISA tier, every kernel accumulates each
+/// output element's contraction terms in ascending-k order into a single
+/// accumulator seeded with +0.0 (a fused-multiply-add chain on the SIMD
+/// tiers, a plain multiply-add chain on the scalar tier). Skipping an
+/// exactly-zero product term cannot change the accumulator bits, so the
+/// dense path (which includes zero terms) and the sparse path (which skips
+/// them) are bit-identical for finite inputs, at any shape, batch size and
+/// dispatch decision — *within a tier*. The `*Accumulate` forms compute the
+/// full contraction first and add it to the destination with one unfused
+/// store. Across tiers, FMA's single rounding makes contraction results
+/// differ from the scalar tier by a bounded relative error (gated at
+/// kSimdRelTolerance by the parity machinery in tests/kernels_test.cc and
+/// `bench_micro --smoke`); ColSumAccumulate, AdamStep and SgdStep use no
+/// FMA and no reductions, so they are bit-identical across every tier.
 ///
-/// Determinism contract. Every kernel accumulates each output element's
-/// contraction terms in ascending-k order into a single accumulator seeded
-/// with +0.0. Skipping an exactly-zero product term cannot change the
-/// accumulator bits (x + ±0.0 == x for every x a zero-seeded ascending sum
-/// can reach), so the dense path (which includes zero terms) and the sparse
-/// path (which skips them) are bit-identical for finite inputs, at any
-/// shape, batch size and dispatch decision. The `*Accumulate` forms compute
-/// the full contraction in registers first and add it to the destination
-/// with one store, reproducing the historical "materialise a temporary,
-/// then Add()" arithmetic without the temporary. Fused epilogues (bias add,
-/// ReLU, ReLU masking) apply exactly the per-element operations the
-/// historical separate passes applied, in the same order.
+/// Autotuning. The dispatch thresholds (dense-vs-streaming row crossover,
+/// sparse-vs-dense zero-fraction crossover) are measured once per process
+/// by a lazy startup micro-probe over real layer shapes (see Autotune()),
+/// falling back to compiled defaults when QCFE_KERNEL_AUTOTUNE=0. Because
+/// dispatch is bit-safe within a tier, a different tuning never changes
+/// results — only speed.
 ///
-/// KernelMode exists for parity tests and before/after benchmarking:
-/// kReference replays the exact pre-kernel-layer code paths (including
-/// their temporary allocations), so "reference vs auto" measures this
-/// layer's end-to-end win while tests assert the results stay bit-equal.
+/// KernelMode::kReference exists for parity tests and before/after
+/// benchmarking: it replays the exact pre-kernel-layer code paths
+/// (including their temporary allocations), so "reference vs auto"
+/// measures this layer's end-to-end win while tests assert the results
+/// stay bit-equal (under the scalar tier) or within tolerance (SIMD).
 
 #include <cstddef>
+#include <vector>
 
 #include "nn/matrix.h"
 
@@ -71,18 +80,135 @@ class ScopedKernelMode {
   KernelMode saved_;
 };
 
+// ------------------------------------------------------------- ISA tiers
+
+/// Instruction-set tier backing the kernel implementations. kScalar is the
+/// bit-exact reference arithmetic, always available; the SIMD tiers are
+/// available when both compiled in and supported by the running CPU.
+enum class KernelIsa {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+/// True when `isa` is both compiled into this binary and supported by the
+/// running CPU (runtime detection: CPUID on x86, baseline on AArch64).
+bool KernelIsaAvailable(KernelIsa isa);
+
+/// The best available tier on this machine (kAvx2 > kNeon > kScalar).
+KernelIsa DetectKernelIsa();
+
+/// Sets/reads the process-wide kernel ISA tier (atomic; safe to flip
+/// between parallel regions, not during one). Setting an unavailable tier
+/// clamps to kScalar. The initial value honours QCFE_KERNEL_ISA
+/// (scalar|avx2|neon|auto; unavailable pins clamp, auto = detection).
+void SetKernelIsa(KernelIsa isa);
+KernelIsa GetKernelIsa();
+
+/// Lower-case tier name ("scalar", "avx2", "neon") for logs and JSON.
+const char* KernelIsaName(KernelIsa isa);
+
+/// RAII ISA pin for tests and benchmarks.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa) : saved_(GetKernelIsa()) {
+    SetKernelIsa(isa);
+  }
+  ~ScopedKernelIsa() { SetKernelIsa(saved_); }
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  KernelIsa saved_;
+};
+
+/// Documented cross-tier tolerance: SIMD contraction kernels (FMA chains,
+/// and GemmBT's lane-split reduction) may differ from the scalar tier by
+/// this relative error per element. The parity gates in
+/// tests/kernels_test.cc and `bench_micro --smoke` enforce it.
+constexpr double kSimdRelTolerance = 1e-12;
+
+// ------------------------------------------------------------ autotuning
+
+/// The dispatch thresholds one ISA tier runs with. Published into
+/// BENCH_parallel.json by bench_micro so tuned values are visible.
+struct KernelTuning {
+  KernelIsa isa = KernelIsa::kScalar;
+  /// Minimum a.rows() before the kAuto NN dispatch considers the blocked
+  /// dense kernel; below it the streaming row-skip loop wins. SIZE_MAX
+  /// means the probe never saw the panel win (always stream by row count).
+  size_t dense_min_rows = 0;
+  /// Zero-fraction threshold at/above which kAuto dispatch prefers the
+  /// sparse row-skip path. 0.0 = always sparse; > 1.0 = never sparse.
+  double sparse_dispatch_threshold = 0.0;
+  /// Probe-measured dense GemmNN speedup of this tier over the scalar tier
+  /// on a real layer shape (scalar_ns / tier_ns); 1.0 for the scalar tier.
+  double simd_gemm_speedup = 1.0;
+  /// True when the thresholds came from the startup micro-probe; false for
+  /// the compiled defaults (QCFE_KERNEL_AUTOTUNE=0, unavailable tier, or
+  /// malformed probe data).
+  bool autotuned = false;
+};
+
+/// Raw micro-probe timings feeding SelectTuning(). Exposed (and
+/// injectable) so tests can assert threshold selection deterministically
+/// without depending on wall-clock behaviour.
+struct ProbeMeasurements {
+  /// Row-count grid for the dense-vs-streaming NN crossover (ascending),
+  /// with per-point best-of timings for each path on fully dense input.
+  std::vector<size_t> rows;
+  std::vector<double> sparse_ns;
+  std::vector<double> dense_ns;
+  /// Zero-fraction grid for the sparse-vs-dense crossover (ascending),
+  /// with per-point timings at a fixed plan-feature-like shape.
+  std::vector<double> zero_fractions;
+  std::vector<double> sparse_zf_ns;
+  std::vector<double> dense_zf_ns;
+  /// Dense GemmNN on a real layer shape: scalar tier vs the probed tier.
+  double scalar_gemm_ns = 0.0;
+  double simd_gemm_ns = 0.0;
+};
+
+/// Runs the startup micro-probe for `isa` (which must be available):
+/// times the tier's kernels directly over real layer shapes with
+/// deterministic inputs. Timing noise only moves thresholds — dispatch is
+/// bit-safe within a tier, so results never change.
+ProbeMeasurements MeasureProbes(KernelIsa isa);
+
+/// Pure threshold selection from probe data — deterministic and monotone
+/// in the timings (unit-tested with injected measurements):
+///  * dense_min_rows = the smallest grid row count from which the dense
+///    panel wins for the entire remaining suffix (SIZE_MAX when none);
+///  * sparse_dispatch_threshold = the midpoint between the last
+///    dense-winning and first suffix-wide sparse-winning zero fraction
+///    (0.0 when sparse wins everywhere, > 1.0 when nowhere);
+///  * simd_gemm_speedup = scalar_gemm_ns / simd_gemm_ns.
+/// Malformed measurements (empty/mismatched grids, non-positive timings)
+/// yield the compiled defaults with autotuned=false.
+KernelTuning SelectTuning(KernelIsa isa, const ProbeMeasurements& probes);
+
+/// The active tier's tuning. Lazily runs the micro-probe for every
+/// available tier on first use (honouring QCFE_KERNEL_AUTOTUNE=0, which
+/// pins the compiled defaults); the result is fixed for the process.
+const KernelTuning& Tuning();
+
+/// Forces the lazy micro-probe to run now (e.g. before entering a timed
+/// region). Idempotent.
+void Autotune();
+
 /// Fraction of exactly-zero entries in a deterministic strided sample of
-/// `m` (a few hundred probes — see kMaxProbes in kernels.cc). Exposed for
-/// tests; the dispatch heuristic.
+/// `m`'s logical elements (a few hundred probes; the row padding is never
+/// sampled). Exposed for tests; the dispatch heuristic.
 double ZeroFraction(const Matrix& m);
 
-/// Zero-fraction threshold above which dispatch prefers the sparse
-/// row-skip path. The row-skip's saving scales linearly with the zero
-/// fraction while the blocked panel's register-reuse win on fully dense
-/// inputs is bounded (~1.5x measured), so the crossover sits well below
-/// half: plan-feature and one-hot set inputs (>=50% zeros) go sparse,
-/// standardized activations (exactly 0% zeros) go dense, and mildly padded
-/// inputs like wave-batched unit rows (~25% zeros) still favour the skip.
+/// Compiled-default zero-fraction threshold above which dispatch prefers
+/// the sparse row-skip path (used verbatim when autotuning is disabled).
+/// The row-skip's saving scales linearly with the zero fraction while the
+/// blocked panel's register-reuse win on fully dense inputs is bounded, so
+/// the crossover sits well below half: plan-feature and one-hot set inputs
+/// (>=50% zeros) go sparse, standardized activations (exactly 0% zeros) go
+/// dense, and mildly padded inputs like wave-batched unit rows (~25%
+/// zeros) still favour the skip.
 constexpr double kSparseDispatchThreshold = 0.2;
 
 // ------------------------------------------------------------- products
@@ -111,11 +237,12 @@ void GemmAT(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// acc += a^T * b with each output element's contraction summed in a
 /// register before the single add: the dW += X^T * dY backward product,
-/// bit-identical to `acc->Add(MatMulAT(a, b))` without the temporary.
+/// matching `acc->Add(MatMulAT(a, b))` without the temporary.
 void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc);
 
 /// acc (1 x n) += column sums of a: the db += colsum(dY) backward product,
-/// bit-identical to `acc->Add(a.ColSum())` without the temporary.
+/// bit-identical to `acc->Add(a.ColSum())` without the temporary (in every
+/// tier — column sums are vertical and never reduce across lanes).
 void ColSumAccumulate(const Matrix& a, Matrix* acc);
 
 // ------------------------------------------------------------ epilogues
@@ -129,9 +256,44 @@ void ReluForward(const Matrix& in, Matrix* out);
 void ReluMaskBackward(const Matrix& grad_out, const Matrix& pre_activation,
                       Matrix* grad_in);
 
+// ------------------------------------------------------- optimizer steps
+
+/// One Adam update of `p` (with first/second-moment state `m`/`v`) from
+/// gradient `g`; bc1/bc2 are the precomputed bias corrections 1 - beta^t.
+/// All four matrices must share one shape. Vectorized on the SIMD tiers
+/// with single-rounding lane ops only, so the update is bit-identical
+/// across every tier.
+void AdamStep(Matrix* p, const Matrix& g, Matrix* m, Matrix* v, double lr,
+              double beta1, double beta2, double eps, double bc1, double bc2);
+
+/// One SGD+momentum update of `p` (velocity `v`) from gradient `g`.
+/// Bit-identical across tiers for the same reason.
+void SgdStep(Matrix* p, const Matrix& g, Matrix* v, double lr,
+             double momentum);
+
+// ------------------------------------------------------------------ simd
+// Direct entry points into the active ISA tier's dense register-panel
+// kernels: no KernelMode consultation, no density dispatch. Benchmarks and
+// the per-tier parity gates use these to measure/validate one tier's
+// vectorized path in isolation; production code should call the dispatched
+// forms above.
+namespace simd {
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out);
+void GemmNNBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* out);
+void GemmBT(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmAT(const Matrix& a, const Matrix& b, Matrix* out);
+void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix* acc);
+void ColSumAccumulate(const Matrix& a, Matrix* acc);
+}  // namespace simd
+
 // ------------------------------------------------------------- reference
-// The historical unblocked loops, self-contained (no dispatch). Parity
-// tests compare every blocked/sparse kernel against these bit for bit.
+// The historical unblocked loops, self-contained (no dispatch, scalar
+// arithmetic). Parity tests compare every blocked/sparse kernel against
+// these bit for bit under the scalar tier, and within kSimdRelTolerance
+// under the SIMD tiers.
 namespace reference {
 void GemmNN(const Matrix& a, const Matrix& b, Matrix* out);
 void GemmNNBias(const Matrix& a, const Matrix& b, const Matrix& bias,

@@ -72,8 +72,8 @@ void ReluLayer::BackwardInto(const Matrix& grad_output, const Matrix& input,
 }
 
 Matrix SigmoidLayer::Forward(const Matrix& input) const {
-  Matrix out = input;
-  for (double& x : out.data()) x = 1.0 / (1.0 + std::exp(-x));
+  Matrix out;
+  ForwardInto(input, &out);
   return out;
 }
 
@@ -81,10 +81,14 @@ void SigmoidLayer::ForwardInto(const Matrix& input, Matrix* output) const {
   if (output != &input) {
     output->ResetShapeUninitialized(input.rows(), input.cols());
   }
-  const double* src = input.data().data();
-  double* dst = output->data().data();
-  for (size_t i = 0; i < input.size(); ++i) {
-    dst[i] = 1.0 / (1.0 + std::exp(-src[i]));
+  // Row-wise, not flat: sigmoid(0) == 0.5, so a flat pass would write into
+  // the always-zero pad columns (see matrix.h storage contract).
+  for (size_t r = 0; r < input.rows(); ++r) {
+    const double* src = input.RowPtr(r);
+    double* dst = output->RowPtr(r);
+    for (size_t c = 0; c < input.cols(); ++c) {
+      dst[c] = 1.0 / (1.0 + std::exp(-src[c]));
+    }
   }
 }
 

@@ -9,7 +9,20 @@
 namespace qcfe {
 
 void Matrix::Fill(double v) {
-  for (double& x : data_) x = v;
+  // Row-wise, not flat: a flat fill would write v into the pad columns and
+  // break the padding-is-zero layout invariant for any v != 0.
+  for (size_t r = 0; r < rows_; ++r) {
+    double* dst = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = v;
+  }
+}
+
+void Matrix::ZeroPadColumns() {
+  if (ld_ == cols_) return;
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * ld_;
+    std::fill(row + cols_, row + ld_, 0.0);
+  }
 }
 
 std::vector<double> Matrix::Row(size_t r) const {
@@ -55,11 +68,23 @@ void Matrix::ResetShape(size_t rows, size_t cols) {
 }
 
 void Matrix::ResetShapeUninitialized(size_t rows, size_t cols) {
+  const size_t ld = LeadingDim(cols);
+  // Steady-layout fast path: same physical shape means the pad columns are
+  // already zero (the invariant every mutator maintains), so nothing at all
+  // needs touching.
+  if (ld == ld_ && cols == cols_ && rows * ld == data_.size()) {
+    rows_ = rows;
+    return;
+  }
   rows_ = rows;
   cols_ = cols;
+  ld_ = ld;
   // resize (not assign) keeps existing elements on the same-size path and
-  // never reallocates while the new size fits the current capacity.
-  data_.resize(rows * cols);
+  // never reallocates while the new size fits the current capacity. A
+  // layout change can expose stale buffer contents in the new pad region,
+  // so re-establish the zeros there.
+  data_.resize(rows * ld);
+  ZeroPadColumns();
 }
 
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
@@ -154,7 +179,12 @@ Matrix Matrix::ColMean() const {
 }
 
 void Matrix::RandomizeGaussian(Rng* rng, double stddev) {
-  for (double& x : data_) x = rng->Gaussian(0.0, stddev);
+  // Row-wise: the pad columns must stay zero (and the draw sequence must
+  // cover exactly the logical elements, independent of the padded layout).
+  for (size_t r = 0; r < rows_; ++r) {
+    double* dst = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = rng->Gaussian(0.0, stddev);
+  }
 }
 
 double Matrix::Norm() const {

@@ -209,9 +209,19 @@ Status Mlp::Save(std::ostream& os) const {
     if (layer->kind() == LayerKind::kLinear) {
       const auto* lin = static_cast<const LinearLayer*>(layer.get());
       os << " " << lin->in_dim() << " " << lin->out_dim() << "\n";
-      for (double v : lin->weights().data()) os << v << " ";
+      // Logical elements only, row by row: the serialized format is exactly
+      // rows*cols values, independent of the padded storage layout.
+      const Matrix& w = lin->weights();
+      for (size_t r = 0; r < w.rows(); ++r) {
+        const double* row = w.RowPtr(r);
+        for (size_t c = 0; c < w.cols(); ++c) os << row[c] << " ";
+      }
       os << "\n";
-      for (double v : lin->bias().data()) os << v << " ";
+      const Matrix& b = lin->bias();
+      for (size_t r = 0; r < b.rows(); ++r) {
+        const double* row = b.RowPtr(r);
+        for (size_t c = 0; c < b.cols(); ++c) os << row[c] << " ";
+      }
     }
     os << "\n";
   }
@@ -238,8 +248,18 @@ Status Mlp::Load(std::istream& is) {
         size_t in = 0, out = 0;
         is >> in >> out;
         auto lin = std::make_unique<LinearLayer>(in, out, &dummy);
-        for (double& v : lin->weights().data()) is >> v;
-        for (double& v : lin->bias().data()) is >> v;
+        // Mirror of Save: read exactly rows*cols logical values per matrix,
+        // leaving the storage pad columns untouched (zero).
+        Matrix& w = lin->weights();
+        for (size_t r = 0; r < w.rows(); ++r) {
+          double* row = w.RowPtr(r);
+          for (size_t c = 0; c < w.cols(); ++c) is >> row[c];
+        }
+        Matrix& b = lin->bias();
+        for (size_t r = 0; r < b.rows(); ++r) {
+          double* row = b.RowPtr(r);
+          for (size_t c = 0; c < b.cols(); ++c) is >> row[c];
+        }
         layers_.push_back(std::move(lin));
         break;
       }

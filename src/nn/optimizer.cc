@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace qcfe {
 
 void GradSink::InitLike(const std::vector<Matrix*>& grads) {
@@ -33,15 +35,10 @@ SgdOptimizer::SgdOptimizer(std::vector<Matrix*> params,
 }
 
 void SgdOptimizer::Step() {
+  // The update runs in the active kernel ISA tier; lane arithmetic is
+  // single-rounding only, so every tier produces bit-identical parameters.
   for (size_t i = 0; i < params_.size(); ++i) {
-    const size_t n = params_[i]->data().size();
-    double* __restrict p = params_[i]->data().data();
-    const double* __restrict g = grads_[i]->data().data();
-    double* __restrict v = velocity_[i].data().data();
-    for (size_t k = 0; k < n; ++k) {
-      v[k] = momentum_ * v[k] - lr_ * g[k];
-      p[k] += v[k];
-    }
+    kernels::SgdStep(params_[i], *grads_[i], &velocity_[i], lr_, momentum_);
   }
 }
 
@@ -77,24 +74,13 @@ void AdamOptimizer::Step() {
   ++t_;
   double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  // Raw __restrict pointers let the elementwise update vectorise (sqrt and
-  // divide included — lane arithmetic is IEEE-exact, so the update stays
-  // bit-identical to the scalar loop). The Step share of small-model
-  // training is large enough that this matters.
+  // The update runs in the active kernel ISA tier (sqrt and divide
+  // included — lane arithmetic is IEEE-exact, so every tier produces
+  // bit-identical parameters). The Step share of small-model training is
+  // large enough that the vectorized tiers matter.
   for (size_t i = 0; i < params_.size(); ++i) {
-    const size_t n = params_[i]->data().size();
-    double* __restrict p = params_[i]->data().data();
-    const double* __restrict g = grads_[i]->data().data();
-    double* __restrict m = m_[i].data().data();
-    double* __restrict v = v_[i].data().data();
-    for (size_t k = 0; k < n; ++k) {
-      double gk = g[k];
-      m[k] = beta1_ * m[k] + (1.0 - beta1_) * gk;
-      v[k] = beta2_ * v[k] + (1.0 - beta2_) * gk * gk;
-      double mhat = m[k] / bc1;
-      double vhat = v[k] / bc2;
-      p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    kernels::AdamStep(params_[i], *grads_[i], &m_[i], &v_[i], lr_, beta1_,
+                      beta2_, eps_, bc1, bc2);
   }
 }
 

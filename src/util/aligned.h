@@ -1,0 +1,67 @@
+#ifndef QCFE_UTIL_ALIGNED_H_
+#define QCFE_UTIL_ALIGNED_H_
+
+/// \file aligned.h
+/// Minimal over-aligned allocator for the numeric containers. The SIMD
+/// kernel tiers (nn/kernels_simd_*.cc) want every matrix row to start on a
+/// cache-line boundary so vector loads never straddle lines; std::vector's
+/// default allocator only guarantees alignof(std::max_align_t) (16 on
+/// x86-64). C++17 aligned operator new/delete provide the stronger
+/// guarantee without a platform-specific posix_memalign path.
+
+#include <cstddef>
+// The header name trips the naked-new pattern; nothing is allocated here.
+#include <new>  // qcfe-lint: allow(no-naked-new)
+
+namespace qcfe {
+
+/// std::allocator drop-in whose allocations are kAlign-byte aligned.
+/// kAlign must be a power of two and at least alignof(T).
+template <typename T, std::size_t kAlign>
+class AlignedAllocator {
+ public:
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be a power of 2");
+  static_assert(kAlign >= alignof(T), "alignment weaker than the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, kAlign>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, kAlign>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlign)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    // Raw aligned operator delete is the only way to release memory from
+    // the matching aligned operator new above; ownership never escapes
+    // this allocator. qcfe-lint: allow(no-naked-new)
+    ::operator delete(p, std::align_val_t(kAlign));
+  }
+};
+
+template <typename T, typename U, std::size_t kAlign>
+bool operator==(const AlignedAllocator<T, kAlign>&,
+                const AlignedAllocator<U, kAlign>&) {
+  return true;
+}
+
+template <typename T, typename U, std::size_t kAlign>
+bool operator!=(const AlignedAllocator<T, kAlign>&,
+                const AlignedAllocator<U, kAlign>&) {
+  return false;
+}
+
+/// The kernel tiers' row alignment: one x86 cache line / AVX-512 vector.
+constexpr std::size_t kMatrixAlignBytes = 64;
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_ALIGNED_H_

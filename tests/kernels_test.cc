@@ -1,12 +1,23 @@
-/// Bitwise parity suite for the NN kernel layer (nn/kernels.h): every
-/// blocked / sparse / fused kernel must produce exactly the bits of the
-/// historical reference loops, across edge shapes (0-row, 1-row, odd and
-/// prime dims, all-zero rows, fully dense) and at every dispatch pin. On
-/// top of the kernel-level checks, whole-model parity: an Mlp trained step
-/// by step under each kernel mode must end with byte-identical weights.
+/// Parity suite for the NN kernel layer (nn/kernels.h).
+///
+/// Under the scalar ISA tier, every blocked / sparse / fused kernel must
+/// produce exactly the bits of the historical reference loops, across edge
+/// shapes (0-row, 1-row, odd and prime dims, all-zero rows, fully dense)
+/// and at every dispatch pin — those tests pin ScopedKernelIsa(kScalar).
+/// The SIMD tiers (AVX2/NEON, when available) are gated against the
+/// reference at kSimdRelTolerance instead (FMA's single rounding legally
+/// changes contraction bits), and must be *bit*-consistent within
+/// themselves: batched vs row-by-row execution, every dispatch pin, and
+/// the optimizer/colsum kernels (which use no FMA) stay bit-identical to
+/// scalar on every tier. On top of the kernel-level checks, whole-model
+/// parity: an Mlp trained step by step under each kernel mode must end
+/// with byte-identical weights. The autotuner's pure threshold selection
+/// (SelectTuning) is unit-tested with injected timings.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "models/cost_model.h"
@@ -20,7 +31,9 @@
 namespace qcfe {
 namespace {
 
+using kernels::KernelIsa;
 using kernels::KernelMode;
+using kernels::ScopedKernelIsa;
 using kernels::ScopedKernelMode;
 
 /// (rows, cols) of the left operand x inner/right dims, plus the zero
@@ -47,8 +60,13 @@ const GemmCase kCases[] = {
 
 Matrix RandomMatrix(size_t rows, size_t cols, double sparsity, Rng* rng) {
   Matrix m(rows, cols);
-  for (double& v : m.data()) {
-    v = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+  // Row-wise: the padded storage's pad columns must stay zero, and the
+  // draw sequence must cover exactly the logical elements.
+  for (size_t r = 0; r < rows; ++r) {
+    double* dst = m.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      dst[c] = rng->Uniform(0.0, 1.0) < sparsity ? 0.0 : rng->Gaussian(0.0, 1.0);
+    }
   }
   return m;
 }
@@ -65,6 +83,9 @@ const KernelMode kAllModes[] = {KernelMode::kAuto, KernelMode::kDense,
                                 KernelMode::kSparse};
 
 TEST(KernelParityTest, GemmNNMatchesReferenceAcrossShapesAndModes) {
+  // Bit-exactness against the reference holds in the scalar tier; the SIMD
+  // tiers are gated at kSimdRelTolerance by SimdTierTest below.
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   Rng rng(11);
   for (const GemmCase& c : kCases) {
     Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
@@ -81,6 +102,7 @@ TEST(KernelParityTest, GemmNNMatchesReferenceAcrossShapesAndModes) {
 }
 
 TEST(KernelParityTest, FusedBiasAndReluEpiloguesMatchSeparatePasses) {
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   Rng rng(12);
   for (const GemmCase& c : kCases) {
     Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
@@ -101,6 +123,7 @@ TEST(KernelParityTest, FusedBiasAndReluEpiloguesMatchSeparatePasses) {
 }
 
 TEST(KernelParityTest, GemmBTMatchesReferenceAcrossShapesAndModes) {
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   Rng rng(13);
   for (const GemmCase& c : kCases) {
     // BT contracts over columns: a is (m x k), b is (n x k).
@@ -118,6 +141,7 @@ TEST(KernelParityTest, GemmBTMatchesReferenceAcrossShapesAndModes) {
 }
 
 TEST(KernelParityTest, GemmATMatchesReferenceAcrossShapesAndModes) {
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   Rng rng(14);
   for (const GemmCase& c : kCases) {
     // AT contracts over rows: a is (k x m), b is (k x n).
@@ -135,6 +159,7 @@ TEST(KernelParityTest, GemmATMatchesReferenceAcrossShapesAndModes) {
 }
 
 TEST(KernelParityTest, GemmATAccumulateMatchesTemporaryPlusAdd) {
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   Rng rng(15);
   for (const GemmCase& c : kCases) {
     Matrix a = RandomMatrix(c.k, c.m, c.sparsity, &rng);
@@ -154,6 +179,9 @@ TEST(KernelParityTest, GemmATAccumulateMatchesTemporaryPlusAdd) {
 }
 
 TEST(KernelParityTest, ColSumAccumulateMatchesColSumPlusAdd) {
+  // Deliberately NOT pinned to the scalar tier: column sums are vertical
+  // (no FMA, no lane reductions), so every ISA tier must reproduce the
+  // reference bits exactly.
   Rng rng(16);
   for (const GemmCase& c : kCases) {
     Matrix a = RandomMatrix(c.m, c.n, c.sparsity, &rng);
@@ -219,6 +247,9 @@ TEST(MatrixKernelTest, ColMeanMatchesColSumScaled) {
 /// Trains a small Mlp for a few Adam steps under `mode`; returns the final
 /// flattened parameters.
 std::vector<double> TrainUnderMode(KernelMode mode) {
+  // Scalar tier: the reference replay is scalar arithmetic, so bit-equal
+  // whole-model training across modes is only promised there.
+  ScopedKernelIsa tier(KernelIsa::kScalar);
   ScopedKernelMode pin(mode);
   Rng rng(77);
   Mlp net({9, 16, 16, 1}, Activation::kRelu, &rng);
@@ -299,6 +330,318 @@ TEST(KernelModelParityTest, TapeReuseDoesNotChangeForwardBackward) {
       EXPECT_EQ(gin_fresh.data()[i], gin_reused.data()[i]);
     }
   }
+}
+
+// ---------------------------------------------------------- SIMD tiers
+
+/// The SIMD tiers available on this machine/build (empty on plain builds:
+/// the tier tests then validate nothing, and the scalar suite above is the
+/// whole contract).
+std::vector<KernelIsa> AvailableSimdTiers() {
+  std::vector<KernelIsa> tiers;
+  if (kernels::KernelIsaAvailable(KernelIsa::kAvx2)) {
+    tiers.push_back(KernelIsa::kAvx2);
+  }
+  if (kernels::KernelIsaAvailable(KernelIsa::kNeon)) {
+    tiers.push_back(KernelIsa::kNeon);
+  }
+  return tiers;
+}
+
+/// Per-element gate at the documented cross-tier tolerance, relative to
+/// max(|want|, 1) so near-cancelled elements don't demand absurd absolute
+/// precision.
+void ExpectWithinRelTol(const Matrix& want, const Matrix& got,
+                        const char* what) {
+  ASSERT_EQ(want.rows(), got.rows()) << what;
+  ASSERT_EQ(want.cols(), got.cols()) << what;
+  for (size_t r = 0; r < want.rows(); ++r) {
+    for (size_t c = 0; c < want.cols(); ++c) {
+      const double w = want.At(r, c);
+      const double g = got.At(r, c);
+      const double denom = std::abs(w) > 1.0 ? std::abs(w) : 1.0;
+      EXPECT_LE(std::abs(g - w), kernels::kSimdRelTolerance * denom)
+          << what << " at (" << r << ", " << c << "): want " << w << " got "
+          << g;
+    }
+  }
+}
+
+TEST(SimdTierTest, ProductsMatchReferenceWithinToleranceOnEdgeShapes) {
+  // The satellite edge-shape sweep: 0-row, 1x1, prime dims, all-zero left
+  // operands and tail columns not divisible by the vector width all live
+  // in kCases. Every dispatch pin must stay inside the documented
+  // tolerance on every available SIMD tier.
+  for (KernelIsa isa : AvailableSimdTiers()) {
+    ScopedKernelIsa tier(isa);
+    Rng rng(21);
+    for (const GemmCase& c : kCases) {
+      Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
+      Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+      Matrix bias = RandomMatrix(1, c.n, 0.0, &rng);
+      Matrix want, got;
+      kernels::reference::GemmNN(a, b, &want);
+      for (KernelMode mode : kAllModes) {
+        ScopedKernelMode pin(mode);
+        kernels::GemmNN(a, b, &got);
+        ExpectWithinRelTol(want, got, "simd GemmNN");
+      }
+      kernels::reference::GemmNNBiasRelu(a, b, bias, &want);
+      kernels::simd::GemmNNBiasRelu(a, b, bias, &got);
+      ExpectWithinRelTol(want, got, "simd GemmNNBiasRelu");
+      Matrix bt = RandomMatrix(c.n, c.k, 0.0, &rng);
+      kernels::reference::GemmBT(a, bt, &want);
+      kernels::simd::GemmBT(a, bt, &got);
+      ExpectWithinRelTol(want, got, "simd GemmBT");
+      Matrix at_a = RandomMatrix(c.k, c.m, c.sparsity, &rng);
+      Matrix at_b = RandomMatrix(c.k, c.n, 0.0, &rng);
+      kernels::reference::GemmAT(at_a, at_b, &want);
+      kernels::simd::GemmAT(at_a, at_b, &got);
+      ExpectWithinRelTol(want, got, "simd GemmAT");
+      Matrix seed = RandomMatrix(c.m, c.n, 0.0, &rng);
+      want = seed;
+      got = seed;
+      kernels::reference::GemmATAccumulate(at_a, at_b, &want);
+      kernels::simd::GemmATAccumulate(at_a, at_b, &got);
+      ExpectWithinRelTol(want, got, "simd GemmATAccumulate");
+    }
+  }
+}
+
+TEST(SimdTierTest, DispatchPathsAreBitIdenticalWithinEachTier) {
+  // The within-tier determinism contract: under one pinned tier, dense vs
+  // sparse dispatch and batched vs row-by-row execution must agree bit for
+  // bit (per-element chains depend only on the element's own inputs).
+  std::vector<KernelIsa> tiers = AvailableSimdTiers();
+  tiers.push_back(KernelIsa::kScalar);
+  for (KernelIsa isa : tiers) {
+    ScopedKernelIsa tier(isa);
+    Rng rng(23);
+    for (const GemmCase& c : kCases) {
+      Matrix a = RandomMatrix(c.m, c.k, c.sparsity, &rng);
+      Matrix b = RandomMatrix(c.k, c.n, 0.0, &rng);
+      Matrix dense, sparse;
+      {
+        ScopedKernelMode pin(KernelMode::kDense);
+        kernels::GemmNN(a, b, &dense);
+      }
+      {
+        ScopedKernelMode pin(KernelMode::kSparse);
+        kernels::GemmNN(a, b, &sparse);
+      }
+      ExpectBitEqual(dense, sparse, "dense vs sparse dispatch");
+      // Batched product vs each row alone through the same entry point.
+      for (size_t r = 0; r < c.m; ++r) {
+        Matrix row = a.SelectRows({r});
+        Matrix row_out;
+        kernels::simd::GemmNN(row, b, &row_out);
+        for (size_t j = 0; j < c.n; ++j) {
+          ASSERT_EQ(row_out.At(0, j), dense.At(r, j))
+              << "batched vs row-wise, tier " << kernels::KernelIsaName(isa)
+              << " row " << r << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTierTest, OptimizerAndColSumAreBitIdenticalAcrossTiers) {
+  // AdamStep/SgdStep/ColSumAccumulate use single-rounding lane arithmetic
+  // only (no FMA, no reductions): every tier must produce the scalar bits.
+  for (KernelIsa isa : AvailableSimdTiers()) {
+    Rng rng(25);
+    Matrix p0 = RandomMatrix(13, 11, 0.0, &rng);
+    Matrix g = RandomMatrix(13, 11, 0.3, &rng);
+    Matrix m0 = RandomMatrix(13, 11, 0.0, &rng);
+    Matrix v0 = RandomMatrix(13, 11, 0.0, &rng);
+    v0.Hadamard(v0);  // second moments must be non-negative for sqrt
+    Matrix ps = p0, ms = m0, vs = v0;
+    {
+      ScopedKernelIsa tier(KernelIsa::kScalar);
+      kernels::AdamStep(&ps, g, &ms, &vs, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.01);
+    }
+    Matrix pv = p0, mv = m0, vv = v0;
+    {
+      ScopedKernelIsa tier(isa);
+      kernels::AdamStep(&pv, g, &mv, &vv, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.01);
+    }
+    ExpectBitEqual(ps, pv, "AdamStep params");
+    ExpectBitEqual(ms, mv, "AdamStep first moment");
+    ExpectBitEqual(vs, vv, "AdamStep second moment");
+
+    Matrix sp = p0, sv = m0;
+    {
+      ScopedKernelIsa tier(KernelIsa::kScalar);
+      kernels::SgdStep(&sp, g, &sv, 1e-2, 0.9);
+    }
+    Matrix xp = p0, xv = m0;
+    {
+      ScopedKernelIsa tier(isa);
+      kernels::SgdStep(&xp, g, &xv, 1e-2, 0.9);
+    }
+    ExpectBitEqual(sp, xp, "SgdStep params");
+    ExpectBitEqual(sv, xv, "SgdStep velocity");
+
+    Matrix acc_s = RandomMatrix(1, 11, 0.0, &rng);
+    Matrix acc_v = acc_s;
+    {
+      ScopedKernelIsa tier(KernelIsa::kScalar);
+      kernels::ColSumAccumulate(g, &acc_s);
+    }
+    {
+      ScopedKernelIsa tier(isa);
+      kernels::ColSumAccumulate(g, &acc_v);
+    }
+    ExpectBitEqual(acc_s, acc_v, "ColSumAccumulate");
+  }
+}
+
+TEST(SimdTierTest, IsaStateClampsAndReportsNames) {
+  // An unavailable pin clamps to the scalar tier instead of crashing in a
+  // missing table.
+  const KernelIsa saved = kernels::GetKernelIsa();
+  kernels::SetKernelIsa(KernelIsa::kNeon);
+  if (!kernels::KernelIsaAvailable(KernelIsa::kNeon)) {
+    EXPECT_EQ(kernels::GetKernelIsa(), KernelIsa::kScalar);
+  } else {
+    EXPECT_EQ(kernels::GetKernelIsa(), KernelIsa::kNeon);
+  }
+  kernels::SetKernelIsa(saved);
+  EXPECT_TRUE(kernels::KernelIsaAvailable(KernelIsa::kScalar));
+  EXPECT_TRUE(kernels::KernelIsaAvailable(kernels::DetectKernelIsa()));
+  EXPECT_STREQ(kernels::KernelIsaName(KernelIsa::kScalar), "scalar");
+  EXPECT_STREQ(kernels::KernelIsaName(KernelIsa::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::KernelIsaName(KernelIsa::kNeon), "neon");
+}
+
+// ------------------------------------------------------ matrix alignment
+
+TEST(MatrixLayoutTest, RowsAre64ByteAlignedWithZeroPadColumns) {
+  Rng rng(27);
+  for (size_t cols : {1u, 5u, 8u, 11u, 17u, 48u, 66u}) {
+    Matrix m = RandomMatrix(7, cols, 0.2, &rng);
+    EXPECT_EQ(m.ld() % 8, 0u);
+    EXPECT_GE(m.ld(), cols);
+    EXPECT_LT(m.ld() - cols, 8u);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.RowPtr(r)) % 64, 0u)
+          << "row " << r << " cols " << cols;
+      for (size_t pad = cols; pad < m.ld(); ++pad) {
+        EXPECT_EQ(m.data()[r * m.ld() + pad], 0.0)
+            << "pad column " << pad << " row " << r;
+      }
+    }
+    // Mutators that rewrite whole matrices keep the pads zero.
+    m.Fill(3.5);
+    Matrix t = m.Transposed();
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t pad = cols; pad < m.ld(); ++pad) {
+        EXPECT_EQ(m.data()[r * m.ld() + pad], 0.0);
+      }
+    }
+    for (size_t r = 0; r < t.rows(); ++r) {
+      for (size_t pad = t.cols(); pad < t.ld(); ++pad) {
+        EXPECT_EQ(t.data()[r * t.ld() + pad], 0.0);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- startup autotuning
+
+kernels::ProbeMeasurements FakeProbes() {
+  kernels::ProbeMeasurements pm;
+  pm.rows = {1, 2, 4, 8, 16};
+  // Streaming wins up to 4 rows, the panel wins from 8 on.
+  pm.sparse_ns = {10.0, 20.0, 40.0, 100.0, 220.0};
+  pm.dense_ns = {30.0, 35.0, 45.0, 90.0, 150.0};
+  pm.zero_fractions = {0.0, 0.25, 0.5, 0.75};
+  // Dense wins at zf 0 and 0.25, sparse from 0.5 on.
+  pm.sparse_zf_ns = {120.0, 100.0, 60.0, 30.0};
+  pm.dense_zf_ns = {80.0, 80.0, 80.0, 80.0};
+  pm.scalar_gemm_ns = 300.0;
+  pm.simd_gemm_ns = 100.0;
+  return pm;
+}
+
+TEST(KernelAutotuneTest, SelectTuningIsDeterministicOnInjectedTimings) {
+  const kernels::ProbeMeasurements pm = FakeProbes();
+  const kernels::KernelTuning a = kernels::SelectTuning(KernelIsa::kAvx2, pm);
+  const kernels::KernelTuning b = kernels::SelectTuning(KernelIsa::kAvx2, pm);
+  EXPECT_TRUE(a.autotuned);
+  EXPECT_EQ(a.isa, KernelIsa::kAvx2);
+  EXPECT_EQ(a.dense_min_rows, b.dense_min_rows);
+  EXPECT_EQ(a.sparse_dispatch_threshold, b.sparse_dispatch_threshold);
+  EXPECT_EQ(a.simd_gemm_speedup, b.simd_gemm_speedup);
+  // The suffix-win rules on the injected grid: dense wins from 8 rows on;
+  // sparse wins from zf 0.5, midpoint with the last dense-winning 0.25.
+  EXPECT_EQ(a.dense_min_rows, 8u);
+  EXPECT_DOUBLE_EQ(a.sparse_dispatch_threshold, 0.375);
+  EXPECT_DOUBLE_EQ(a.simd_gemm_speedup, 3.0);
+}
+
+TEST(KernelAutotuneTest, SelectTuningIsMonotoneInTheCrossover) {
+  // Making the streaming path slower can only move the dense threshold
+  // down (never up), and vice versa.
+  kernels::ProbeMeasurements slow_stream = FakeProbes();
+  for (double& ns : slow_stream.sparse_ns) ns *= 4.0;
+  kernels::ProbeMeasurements fast_stream = FakeProbes();
+  for (double& ns : fast_stream.sparse_ns) ns *= 0.25;
+  const size_t base =
+      kernels::SelectTuning(KernelIsa::kScalar, FakeProbes()).dense_min_rows;
+  const size_t lo =
+      kernels::SelectTuning(KernelIsa::kScalar, slow_stream).dense_min_rows;
+  const size_t hi =
+      kernels::SelectTuning(KernelIsa::kScalar, fast_stream).dense_min_rows;
+  EXPECT_LE(lo, base);
+  EXPECT_GE(hi, base);
+  // Extremes: dense winning everywhere selects the smallest grid row;
+  // dense winning nowhere disables the panel (and a sparse path that never
+  // wins disables the zero-fraction dispatch with a > 1 threshold).
+  kernels::ProbeMeasurements always = FakeProbes();
+  for (double& ns : always.sparse_ns) ns = 1e9;
+  for (double& ns : always.sparse_zf_ns) ns = 1e9;
+  const kernels::KernelTuning all_dense =
+      kernels::SelectTuning(KernelIsa::kScalar, always);
+  EXPECT_EQ(all_dense.dense_min_rows, 1u);
+  EXPECT_GT(all_dense.sparse_dispatch_threshold, 1.0);
+  kernels::ProbeMeasurements never = FakeProbes();
+  for (double& ns : never.dense_ns) ns = 1e9;
+  for (double& ns : never.dense_zf_ns) ns = 1e9;
+  const kernels::KernelTuning no_dense =
+      kernels::SelectTuning(KernelIsa::kScalar, never);
+  EXPECT_EQ(no_dense.dense_min_rows, SIZE_MAX);
+  EXPECT_DOUBLE_EQ(no_dense.sparse_dispatch_threshold, 0.0);
+}
+
+TEST(KernelAutotuneTest, MalformedProbesFallBackToCompiledDefaults) {
+  kernels::ProbeMeasurements empty;
+  const kernels::KernelTuning t =
+      kernels::SelectTuning(KernelIsa::kScalar, empty);
+  EXPECT_FALSE(t.autotuned);
+  EXPECT_EQ(t.dense_min_rows, 32u);
+  EXPECT_DOUBLE_EQ(t.sparse_dispatch_threshold,
+                   kernels::kSparseDispatchThreshold);
+  kernels::ProbeMeasurements bad = FakeProbes();
+  bad.dense_ns[2] = 0.0;  // non-positive timing
+  EXPECT_FALSE(kernels::SelectTuning(KernelIsa::kScalar, bad).autotuned);
+  kernels::ProbeMeasurements ragged = FakeProbes();
+  ragged.sparse_ns.pop_back();  // mismatched grid
+  EXPECT_FALSE(kernels::SelectTuning(KernelIsa::kScalar, ragged).autotuned);
+}
+
+TEST(KernelAutotuneTest, ProcessTuningIsLazyFixedAndIsaTagged) {
+  kernels::Autotune();
+  const kernels::KernelTuning& t = kernels::Tuning();
+  EXPECT_EQ(t.isa, kernels::GetKernelIsa());
+  // Fixed for the process: a second read returns the same thresholds.
+  const kernels::KernelTuning& again = kernels::Tuning();
+  EXPECT_EQ(t.dense_min_rows, again.dense_min_rows);
+  EXPECT_EQ(t.sparse_dispatch_threshold, again.sparse_dispatch_threshold);
+  // The scalar tier always reports itself under a scalar pin.
+  ScopedKernelIsa tier(KernelIsa::kScalar);
+  EXPECT_EQ(kernels::Tuning().isa, KernelIsa::kScalar);
+  EXPECT_DOUBLE_EQ(kernels::Tuning().simd_gemm_speedup, 1.0);
 }
 
 // ------------------------------------------------------- chunk autotuning

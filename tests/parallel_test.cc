@@ -317,7 +317,10 @@ TEST_F(ParallelTest, KernelDispatchKeepsModelsBitIdentical) {
   // The register-blocked/fused kernel suite must be invisible to results:
   // training, serving and reduction under the production dispatch (kAuto)
   // must match the historical reference loops (kReference — the pre-kernel
-  // code paths, replayed) bit for bit.
+  // code paths, replayed) bit for bit. The reference loops are scalar by
+  // definition, so the comparison runs under the scalar ISA tier; the SIMD
+  // tiers are parity-gated separately (kernels_test, bench_micro --smoke).
+  kernels::ScopedKernelIsa tier(kernels::KernelIsa::kScalar);
   for (const char* name : {"qppnet", "mscn"}) {
     std::vector<TrainStats> stats(2);
     std::vector<std::unique_ptr<CostModel>> models;

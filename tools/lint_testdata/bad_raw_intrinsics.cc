@@ -1,0 +1,28 @@
+// lint-as: src/nn/mlp.cc
+// Positive corpus for no-raw-intrinsics (tree-wide, exempting only the
+// kernel tier TUs src/nn/kernels_simd_*). This file is lint-test data
+// only — it is never compiled.
+#include <immintrin.h>  // expect-lint: no-raw-intrinsics
+#include <arm_neon.h>   // expect-lint: no-raw-intrinsics
+
+void VectorizedInPlace(double* x, const double* y) {
+  __m256d a = _mm256_loadu_pd(x);             // expect-lint: no-raw-intrinsics
+  __m256d b = _mm256_loadu_pd(y);             // expect-lint: no-raw-intrinsics
+  _mm256_storeu_pd(x, _mm256_add_pd(a, b));   // expect-lint: no-raw-intrinsics
+}
+
+void NeonInPlace(double* x, const double* y) {
+  float64x2_t a = vld1q_f64(x);  // expect-lint: no-raw-intrinsics
+  // The type alone trips the rule even without a call on the line.
+  float64x2_t b = a;        // expect-lint: no-raw-intrinsics
+  vst1q_f64(x, vfmaq_f64(a, b, vld1q_f64(y)));  // expect-lint: no-raw-intrinsics
+}
+
+// Negative cases: ordinary identifiers that merely resemble vector names.
+int vget_count = 0;
+double min_f64(double a, double b) { return a < b ? a : b; }
+
+// Suppression must work like every other rule (with a reason).
+// A hypothetical one-off prefetch kept outside the tier on purpose:
+// qcfe-lint: allow(no-raw-intrinsics)
+void Prefetch(const double* p) { _mm_prefetch(p, 0); }

@@ -1,0 +1,10 @@
+// lint-as: src/nn/kernels_simd_avx2.cc
+// Negative corpus for no-raw-intrinsics: the kernel tier TUs are the one
+// place vendor intrinsics are allowed — no line here may be flagged.
+#include <immintrin.h>
+
+void TierKernel(double* x, const double* y) {
+  __m256d a = _mm256_loadu_pd(x);
+  __m256d b = _mm256_loadu_pd(y);
+  _mm256_storeu_pd(x, _mm256_fmadd_pd(a, b, _mm256_setzero_pd()));
+}

@@ -256,6 +256,23 @@ RULES = [
         dirs=("tests/",),
         fix_hint="drive time with FakeClock::Advance",
     ),
+    Rule(
+        "no-raw-intrinsics",
+        "vendor SIMD intrinsics outside the kernel tier TUs fragment the "
+        "ISA dispatch seam: every vector instruction belongs in "
+        "src/nn/kernels_simd_*.cc behind the KernelIsa runtime-detection "
+        "tables, where the per-element determinism contract and the "
+        "parity gates (kernels_test, bench_micro --smoke) cover it",
+        [r"#\s*include\s*<\s*(immintrin|x86intrin|emmintrin|xmmintrin|"
+         r"avxintrin|arm_neon|arm_sve)\.h\s*>",
+         r"\b_mm\d*_\w+\s*\(", r"\b__m(64|128|256|512)[dih]*\b",
+         r"\bv(ld|st|fma|mla|add|sub|mul|div|sqrt|abs|neg|max|min|get|set|"
+         r"dup|mov|cvt|rnd|ext|zip|pad)\w*q?_[fsu](8|16|32|64)\b",
+         r"\b(float|int|uint|poly)(8|16|32|64)x\d+(x\d+)?_t\b"],
+        exempt_files=("src/nn/kernels_simd_",),
+        fix_hint="add the vector path to the matching kernels_simd_*.cc "
+                 "tier (or extend the KernelTable with a new slot)",
+    ),
     StatusDiscardRule(
         "unannotated-status-discard",
         "a `(void)` cast on a call silently swallows its Status/Result; "
