@@ -40,7 +40,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +56,7 @@
 #include "serve/async_server.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace qcfe {
@@ -290,14 +290,14 @@ struct ParallelBenchRecorder {
   }
 
   void RecordFit(int threads, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto [it, inserted] = fit_seconds.emplace(threads, seconds);
     if (!inserted && seconds < it->second) it->second = seconds;
   }
 
   void RecordServe(const std::string& model, int threads, size_t batch,
                    double plans_per_sec) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, threads);
     auto [it, inserted] = serve.emplace(key, plans_per_sec);
     if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
@@ -305,7 +305,7 @@ struct ParallelBenchRecorder {
   }
 
   void RecordTrain(const std::string& model, int threads, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, threads);
     auto [it, inserted] = train_seconds.emplace(key, seconds);
     if (!inserted && seconds < it->second) it->second = seconds;
@@ -314,14 +314,14 @@ struct ParallelBenchRecorder {
   /// Kernel before/after records: mode 0 = reference replay, 1 = auto
   /// dispatch. All single-threaded (the kernel layer's own win).
   void RecordKernelGemm(int shape_index, int mode, double ns) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(shape_index, mode);
     auto [it, inserted] = kernel_gemm_ns.emplace(key, ns);
     if (!inserted && ns < it->second) it->second = ns;
   }
 
   void RecordKernelTrain(const std::string& model, int mode, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, mode);
     auto [it, inserted] = kernel_train.emplace(key, seconds);
     if (!inserted && seconds < it->second) it->second = seconds;
@@ -329,14 +329,14 @@ struct ParallelBenchRecorder {
 
   void RecordKernelServe(const std::string& model, int mode,
                          double plans_per_sec) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, mode);
     auto [it, inserted] = kernel_serve.emplace(key, plans_per_sec);
     if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
   }
 
   void RecordKernelFit(int mode, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto [it, inserted] = kernel_fit.emplace(mode, seconds);
     if (!inserted && seconds < it->second) it->second = seconds;
   }
@@ -345,14 +345,14 @@ struct ParallelBenchRecorder {
   /// detected SIMD tier. All single-threaded, dense dispatch — the
   /// vectorization win in isolation.
   void RecordSimdGemm(int shape_index, int tier, double ns) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(shape_index, tier);
     auto [it, inserted] = simd_gemm_ns.emplace(key, ns);
     if (!inserted && ns < it->second) it->second = ns;
   }
 
   void RecordSimdTrain(const std::string& model, int tier, double seconds) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, tier);
     auto [it, inserted] = simd_train.emplace(key, seconds);
     if (!inserted && seconds < it->second) it->second = seconds;
@@ -360,7 +360,7 @@ struct ParallelBenchRecorder {
 
   void RecordSimdServe(const std::string& model, int tier,
                        double plans_per_sec) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, tier);
     auto [it, inserted] = simd_serve.emplace(key, plans_per_sec);
     if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
@@ -370,7 +370,7 @@ struct ParallelBenchRecorder {
   /// mode 1 = the same callers submitting through an AsyncServer.
   void RecordAsync(const std::string& model, int mode, size_t callers,
                    double plans_per_sec) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto key = std::make_pair(model, mode);
     auto [it, inserted] = async_pps.emplace(key, plans_per_sec);
     if (!inserted && plans_per_sec > it->second) it->second = plans_per_sec;
@@ -378,7 +378,7 @@ struct ParallelBenchRecorder {
   }
 
   bool empty() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     return fit_seconds.empty() && serve.empty() && train_seconds.empty() &&
            kernel_gemm_ns.empty() && kernel_train.empty() &&
            kernel_serve.empty() && kernel_fit.empty() && async_pps.empty() &&
@@ -417,7 +417,7 @@ struct ParallelBenchRecorder {
   /// (historically a Fit/Train-only rerun silently emptied the
   /// predict_batch section).
   void WriteJson(const std::string& path) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     std::string previous;
     {
       std::ifstream is(path);
@@ -529,23 +529,28 @@ struct ParallelBenchRecorder {
     std::cout << "wrote " << path << "\n";
   }
 
-  void WriteKernelsSection(std::ofstream* out);
-  void WriteKernelsSimdSection(std::ofstream* out);
+  void WriteKernelsSection(std::ofstream* out) QCFE_REQUIRES(mu);
+  void WriteKernelsSimdSection(std::ofstream* out) QCFE_REQUIRES(mu);
 
-  std::mutex mu;
-  std::map<int, double> fit_seconds;
-  std::map<std::pair<std::string, int>, double> train_seconds;
-  std::map<std::pair<std::string, int>, double> serve;
-  size_t serve_batch = 0;
-  std::map<std::pair<int, int>, double> kernel_gemm_ns;
-  std::map<std::pair<std::string, int>, double> kernel_train;
-  std::map<std::pair<std::string, int>, double> kernel_serve;
-  std::map<int, double> kernel_fit;
-  std::map<std::pair<std::string, int>, double> async_pps;
-  size_t async_callers = 0;
-  std::map<std::pair<int, int>, double> simd_gemm_ns;
-  std::map<std::pair<std::string, int>, double> simd_train;
-  std::map<std::pair<std::string, int>, double> simd_serve;
+  Mutex mu;
+  std::map<int, double> fit_seconds QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> train_seconds
+      QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> serve QCFE_GUARDED_BY(mu);
+  size_t serve_batch QCFE_GUARDED_BY(mu) = 0;
+  std::map<std::pair<int, int>, double> kernel_gemm_ns QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> kernel_train
+      QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> kernel_serve
+      QCFE_GUARDED_BY(mu);
+  std::map<int, double> kernel_fit QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> async_pps QCFE_GUARDED_BY(mu);
+  size_t async_callers QCFE_GUARDED_BY(mu) = 0;
+  std::map<std::pair<int, int>, double> simd_gemm_ns QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> simd_train
+      QCFE_GUARDED_BY(mu);
+  std::map<std::pair<std::string, int>, double> simd_serve
+      QCFE_GUARDED_BY(mu);
 };
 
 // ------------------------------------------------------- kernel sweeps

@@ -30,7 +30,7 @@ Result<QueryRunResult> Database::Run(const QuerySpec& query,
   size_t result_rows = 0;
   std::shared_ptr<const std::vector<NodeExecRecord>> cached;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    ReaderMutexLock lock(&cache_mu_);
     auto it = exec_cache_.find(key);
     // Copying the shared_ptr under the lock keeps the records alive through
     // the replay even if another thread clears the cache meanwhile.
@@ -60,7 +60,7 @@ Result<QueryRunResult> Database::Run(const QuerySpec& query,
       records->push_back(NodeExecRecord{node->actual_rows, node->input_card,
                                         node->input_card2, node->work});
     });
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    WriterMutexLock lock(&cache_mu_);
     exec_cache_.emplace(key, std::move(records));
   }
 

@@ -10,7 +10,6 @@
 /// environment.
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "engine/planner.h"
 #include "engine/query.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace qcfe {
 
@@ -70,11 +70,11 @@ class Database {
                                     QueryRunResult* run);
 
   size_t execution_cache_size() const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    ReaderMutexLock lock(&cache_mu_);
     return exec_cache_.size();
   }
   void ClearExecutionCache() {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    WriterMutexLock lock(&cache_mu_);
     exec_cache_.clear();
   }
 
@@ -92,14 +92,17 @@ class Database {
 
   std::string name_;
   Catalog catalog_;
-  /// Guards the cache map structure only. Entries are shared_ptrs to
-  /// immutable record vectors: readers copy the pointer under the lock and
-  /// replay outside it, so a concurrent ClearExecutionCache() merely drops
-  /// the map's reference while in-flight replays keep theirs alive.
-  mutable std::mutex cache_mu_;
+  /// Guards the cache map structure only (read-mostly once warm, hence the
+  /// reader/writer lock). Entries are shared_ptrs to immutable record
+  /// vectors: readers copy the pointer under a shared hold and replay
+  /// outside it — now a machine-checked fact (exec_cache_ is guarded, the
+  /// replay loop touches only the copied shared_ptr) — so a concurrent
+  /// ClearExecutionCache() merely drops the map's reference while
+  /// in-flight replays keep theirs alive.
+  mutable SharedMutex cache_mu_{lock_rank::kDatabaseCache};
   std::unordered_map<std::string,
                      std::shared_ptr<const std::vector<NodeExecRecord>>>
-      exec_cache_;
+      exec_cache_ QCFE_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace qcfe

@@ -20,7 +20,7 @@ Status EstimatorRegistry::Register(EstimatorInfo info, Factory factory) {
   if (factory == nullptr) {
     return Status::InvalidArgument("estimator factory must not be null");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   // Copy the key before moving `info` into the entry: evaluation order of
   // the emplace arguments is unspecified.
   std::string name = info.name;
@@ -37,7 +37,7 @@ Result<std::unique_ptr<CostModel>> EstimatorRegistry::Create(
     const std::string& name, const EstimatorContext& context) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
       std::vector<std::string> names;
@@ -54,7 +54,7 @@ Result<std::unique_ptr<CostModel>> EstimatorRegistry::Create(
 }
 
 Result<EstimatorInfo> EstimatorRegistry::Info(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("unknown estimator \"" + name + "\"");
@@ -63,13 +63,13 @@ Result<EstimatorInfo> EstimatorRegistry::Info(const std::string& name) const {
 }
 
 bool EstimatorRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return entries_.count(name) > 0;
 }
 
 std::vector<std::string> EstimatorRegistry::Names() const {
   // entries_ is an ordered map, so the result is already sorted.
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

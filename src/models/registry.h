@@ -12,11 +12,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "models/cost_model.h"
+#include "util/sync.h"
 
 namespace qcfe {
 
@@ -78,8 +78,11 @@ class EstimatorRegistry {
     Factory factory;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  /// Read-mostly after static init: writes happen only through Register
+  /// (static registration at startup plus the occasional test), every other
+  /// call is a shared-mode lookup.
+  mutable SharedMutex mu_{lock_rank::kEstimatorRegistry};
+  std::map<std::string, Entry> entries_ QCFE_GUARDED_BY(mu_);
 };
 
 /// Performs registration from a static initialiser:

@@ -42,7 +42,7 @@ AsyncServer::~AsyncServer() { Shutdown(ShutdownMode::kDrain); }
 std::future<Result<double>> AsyncServer::Submit(const PlanNode& plan,
                                                 int env_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       ++stats_.rejected;
     } else if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
@@ -66,7 +66,7 @@ std::future<Result<double>> AsyncServer::Submit(const PlanNode& plan,
       // Flushers only need to learn about two transitions: a new queue head
       // (its deadline starts the next flush timer) and a full batch.
       if (queue_.size() == 1 || queue_.size() >= config_.max_batch) {
-        cv_.notify_all();
+        cv_.NotifyAll();
       }
       return future;
     }
@@ -75,12 +75,39 @@ std::future<Result<double>> AsyncServer::Submit(const PlanNode& plan,
       Status::Unavailable("async server is shut down; request rejected"));
 }
 
+int64_t AsyncServer::HeadFlushDeadlineLocked() const {
+  const int64_t head_enqueued = queue_.front().enqueued_micros;
+  // Saturating add: a huge max_delay_micros must disable the deadline, not
+  // overflow into signed UB.
+  return head_enqueued > Clock::kNoDeadline - config_.max_delay_micros
+             ? Clock::kNoDeadline
+             : head_enqueued + config_.max_delay_micros;
+}
+
+std::vector<AsyncServer::Pending> AsyncServer::CutBatchLocked() {
+  const size_t take = std::min(queue_.size(), config_.max_batch);
+  // Every caller enters with work to cut: batch-full and deadline imply a
+  // non-empty queue, and the drain path returns before cutting when the
+  // queue is empty.
+  QCFE_DCHECK(take >= 1, "AsyncServer cut an empty batch");
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  // Leftover work (several full batches queued at once): hand it to a
+  // sibling flusher before this thread disappears into the model.
+  if (!queue_.empty()) cv_.NotifyAll();
+  return batch;
+}
+
 void AsyncServer::WorkerLoop() {
   for (;;) {
     std::vector<Pending> batch;
     FlushReason reason = FlushReason::kFull;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (;;) {
         if (queue_.size() >= config_.max_batch) {
           reason = FlushReason::kFull;
@@ -94,18 +121,14 @@ void AsyncServer::WorkerLoop() {
           break;
         }
         if (queue_.empty()) {
-          clock_->WaitUntil(&cv_, &lock, Clock::kNoDeadline,
-                            [&] { return !queue_.empty() || shutdown_; });
+          clock_->WaitUntil(&cv_, &mu_, Clock::kNoDeadline, [this] {
+            QCFE_ASSERT_HELD(mu_);
+            return !queue_.empty() || shutdown_;
+          });
           continue;
         }
         const int64_t head_enqueued = queue_.front().enqueued_micros;
-        // Saturating add: a huge max_delay_micros (a caller's way of asking
-        // for batch-full-only flushing) must disable the deadline, not
-        // overflow into signed UB.
-        const int64_t deadline =
-            head_enqueued > Clock::kNoDeadline - config_.max_delay_micros
-                ? Clock::kNoDeadline
-                : head_enqueued + config_.max_delay_micros;
+        const int64_t deadline = HeadFlushDeadlineLocked();
         if (clock_->NowMicros() >= deadline) {
           reason = FlushReason::kDeadline;
           break;
@@ -113,25 +136,14 @@ void AsyncServer::WorkerLoop() {
         // Wait out the head request's deadline; wake early on a full batch,
         // shutdown, or another worker having cut the head out from under us
         // (its deadline no longer governs).
-        clock_->WaitUntil(&cv_, &lock, deadline, [&] {
+        clock_->WaitUntil(&cv_, &mu_, deadline, [this, head_enqueued] {
+          QCFE_ASSERT_HELD(mu_);
           return queue_.size() >= config_.max_batch || shutdown_ ||
                  queue_.empty() ||
                  queue_.front().enqueued_micros != head_enqueued;
         });
       }
-      const size_t take = std::min(queue_.size(), config_.max_batch);
-      // Every exit from the wait loop above leaves work to cut: batch-full
-      // and deadline imply a non-empty queue, and the drain path returns
-      // before reaching here when the queue is empty.
-      QCFE_DCHECK(take >= 1, "AsyncServer cut an empty batch");
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      // Leftover work (several full batches queued at once): hand it to a
-      // sibling flusher before this thread disappears into the model.
-      if (!queue_.empty()) cv_.notify_all();
+      batch = CutBatchLocked();
     }
     FlushBatch(&batch, reason);
   }
@@ -157,7 +169,7 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
   // Publish counters before fulfilling the futures, so an observer that
   // sees a completed request also sees its flush accounted for.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.batches_flushed;
     stats_.served += batch->size();
     stats_.failed += failures;
@@ -188,7 +200,7 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
 void AsyncServer::Shutdown(ShutdownMode mode) {
   std::vector<Pending> to_cancel;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!shutdown_) {
       shutdown_ = true;
       // Cancel mode empties the queue here; requests already cut into a
@@ -204,7 +216,7 @@ void AsyncServer::Shutdown(ShutdownMode mode) {
       }
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (Pending& p : to_cancel) {
     p.promise.set_value(Result<double>(Status::Unavailable(
         "async server shut down before the request was served")));
@@ -215,7 +227,7 @@ void AsyncServer::Shutdown(ShutdownMode mode) {
 }
 
 AsyncServeStats AsyncServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   AsyncServeStats out = stats_;
   out.mean_occupancy =
       out.batches_flushed > 0

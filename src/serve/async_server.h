@@ -30,8 +30,11 @@
 ///  * Clock-injectable: all waiting goes through a Clock (util/clock.h), so
 ///    tests drive deadline flushes with FakeClock::Advance instead of
 ///    sleeps.
+///  * Lock discipline is compiler-checked: the queue, shutdown flag and
+///    stats are QCFE_GUARDED_BY(mu_), the batch-cut path is a
+///    QCFE_REQUIRES(mu_) helper, and mu_ ranks below the clock's waiter
+///    registry (see lock_rank in util/sync.h).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -42,6 +45,7 @@
 #include "models/cost_model.h"
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace qcfe {
@@ -125,19 +129,30 @@ class AsyncServer {
   };
 
   void WorkerLoop();
+  /// Saturating deadline of the queue head: head enqueue time plus the
+  /// configured max delay, or kNoDeadline when that addition would
+  /// overflow (a huge max_delay_micros is a caller's way of asking for
+  /// batch-full-only flushing).
+  int64_t HeadFlushDeadlineLocked() const QCFE_REQUIRES(mu_);
+  /// Cuts up to max_batch requests off the queue head and hands leftover
+  /// work to a sibling flusher. The queue must be non-empty.
+  std::vector<Pending> CutBatchLocked() QCFE_REQUIRES(mu_);
   /// Serves one cut batch outside the queue lock and fulfils its promises.
-  void FlushBatch(std::vector<Pending>* batch, FlushReason reason);
+  void FlushBatch(std::vector<Pending>* batch, FlushReason reason)
+      QCFE_EXCLUDES(mu_);
 
   const CostModel* model_;
   const AsyncServeConfig config_;
   Clock* clock_;
   ThreadPool* pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool shutdown_ = false;
-  AsyncServeStats stats_;
+  /// Ranked below the clock's waiter registry: WorkerLoop holds mu_ while
+  /// WaitUntil registers with a FakeClock.
+  mutable Mutex mu_{lock_rank::kAsyncServerQueue};
+  CondVar cv_;
+  std::deque<Pending> queue_ QCFE_GUARDED_BY(mu_);
+  bool shutdown_ QCFE_GUARDED_BY(mu_) = false;
+  AsyncServeStats stats_ QCFE_GUARDED_BY(mu_);
 
   std::once_flag join_once_;
   std::vector<std::thread> workers_;

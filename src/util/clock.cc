@@ -1,6 +1,7 @@
 #include "util/clock.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace qcfe {
 
@@ -11,68 +12,107 @@ Clock* Clock::Real() {
   return clock;
 }
 
-RealClock::RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
 
-int64_t RealClock::NowMicros() const {
+int64_t SteadyNowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
+             std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
-bool RealClock::WaitUntil(std::condition_variable* cv,
-                          std::unique_lock<std::mutex>* lock,
-                          int64_t deadline_micros,
+}  // namespace
+
+RealClock::RealClock() : epoch_micros_(SteadyNowMicros()) {}
+
+int64_t RealClock::NowMicros() const { return SteadyNowMicros() - epoch_micros_; }
+
+bool RealClock::WaitUntil(CondVar* cv, Mutex* mu, int64_t deadline_micros,
                           const std::function<bool()>& wake) {
   if (deadline_micros == kNoDeadline) {
-    cv->wait(*lock, wake);
+    cv->Wait(mu, wake);
     return true;
   }
-  // Wait on the remaining duration, capped so that adding an astronomical
-  // deadline (callers saturate toward kNoDeadline to disable timeouts)
-  // cannot overflow the steady_clock time_point arithmetic.
+  // Wait in bounded slices of the remaining duration, capped so that adding
+  // an astronomical deadline (callers saturate toward kNoDeadline to
+  // disable timeouts) cannot overflow the underlying timed wait.
   constexpr int64_t kMaxWaitMicros = int64_t{1} << 50;  // ~35 years
-  const int64_t now = NowMicros();
-  int64_t remaining = deadline_micros > now ? deadline_micros - now : 0;
-  if (remaining > kMaxWaitMicros) remaining = kMaxWaitMicros;
-  return cv->wait_until(
-      *lock,
-      std::chrono::steady_clock::now() + std::chrono::microseconds(remaining),
-      wake);
+  while (!wake()) {
+    const int64_t now = NowMicros();
+    if (now >= deadline_micros) return wake();
+    const int64_t remaining =
+        std::min(deadline_micros - now, kMaxWaitMicros);
+    // Timeout or spurious wake both just re-check predicate and deadline.
+    (void)cv->WaitFor(mu, remaining);  // loop re-evaluates wake and deadline
+  }
+  return true;
 }
 
 FakeClock::FakeClock(int64_t start_micros) : now_micros_(start_micros) {}
+
+FakeClock::~FakeClock() {
+  MutexLock lock(&mu_);
+  QCFE_DCHECK(waiters_.empty(),
+              "FakeClock destroyed while threads are parked in WaitUntil");
+}
 
 int64_t FakeClock::NowMicros() const {
   return now_micros_.load(std::memory_order_acquire);
 }
 
-bool FakeClock::WaitUntil(std::condition_variable* cv,
-                          std::unique_lock<std::mutex>* lock,
-                          int64_t deadline_micros,
+FakeClock::ScopedWaiterRegistration::ScopedWaiterRegistration(FakeClock* clock,
+                                                              CondVar* cv,
+                                                              Mutex* mu)
+    : clock_(clock) {
+  // The caller of WaitUntil already holds `mu`, so the lock order here is
+  // caller-mutex -> clock mu_ (rank kClockWaiters, the tree's highest);
+  // Advance() never holds mu_ while taking a caller mutex, so the order
+  // cannot invert.
+  MutexLock lock(&clock_->mu_);
+  id_ = clock_->next_waiter_id_++;
+  clock_->waiters_.push_back({cv, mu, id_});
+}
+
+FakeClock::ScopedWaiterRegistration::~ScopedWaiterRegistration() {
+  MutexLock lock(&clock_->mu_);
+  const bool erased = clock_->EraseWaiterLocked(id_);
+  QCFE_DCHECK(erased,
+              "FakeClock waiter registration vanished before its WaitUntil "
+              "returned");
+  // No stale entry may survive the unregister: ids are unique, so a second
+  // hit means the registry double-registered this waiter.
+  QCFE_DCHECK(!clock_->ContainsWaiterLocked(id_),
+              "FakeClock waiter registry holds a stale duplicate entry");
+}
+
+bool FakeClock::EraseWaiterLocked(uint64_t id) {
+  auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                         [&](const Waiter& w) { return w.id == id; });
+  if (it == waiters_.end()) return false;
+  waiters_.erase(it);
+  return true;
+}
+
+bool FakeClock::ContainsWaiterLocked(uint64_t id) const {
+  return std::any_of(waiters_.begin(), waiters_.end(),
+                     [&](const Waiter& w) { return w.id == id; });
+}
+
+bool FakeClock::WaitUntil(CondVar* cv, Mutex* mu, int64_t deadline_micros,
                           const std::function<bool()>& wake) {
-  // Register so Advance() can find this waiter. The caller already holds
-  // `lock`, so the lock order here is caller-mutex -> mu_; Advance() never
-  // holds mu_ while taking a caller mutex, so the order cannot invert.
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    waiters_.push_back({cv, lock->mutex()});
-  }
-  cv->wait(*lock, [&] {
+  // Register so Advance() can find this waiter; the scoped registration
+  // unregisters on every exit path (including an exception thrown by the
+  // predicate) and dchecks that its entry — and only its entry — is gone.
+  ScopedWaiterRegistration registration(this, cv, mu);
+  cv->Wait(mu, [&] {
     return wake() || NowMicros() >= deadline_micros;
   });
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    auto it = std::find_if(waiters_.begin(), waiters_.end(),
-                           [&](const Waiter& w) { return w.cv == cv; });
-    if (it != waiters_.end()) waiters_.erase(it);
-  }
   return wake();
 }
 
 void FakeClock::Advance(int64_t micros) {
   std::vector<Waiter> snapshot;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock lock(&mu_);
     now_micros_.fetch_add(micros, std::memory_order_acq_rel);
     snapshot = waiters_;
   }
@@ -80,11 +120,17 @@ void FakeClock::Advance(int64_t micros) {
   // waiter's mutex before notifying closes the lost-wakeup window: a thread
   // that has evaluated its wait predicate against the old time but has not
   // yet blocked still holds its mutex, so by the time we acquire it the
-  // thread is inside cv::wait and will receive the notification.
+  // thread is inside the wait and will receive the notification.
   for (const Waiter& w : snapshot) {
-    { std::lock_guard<std::mutex> wl(*w.mu); }
-    w.cv->notify_all();
+    w.mu->Lock();
+    w.mu->Unlock();
+    w.cv->NotifyAll();
   }
+}
+
+size_t FakeClock::waiter_count_for_test() const {
+  MutexLock lock(&mu_);
+  return waiters_.size();
 }
 
 }  // namespace qcfe

@@ -11,19 +11,19 @@
 ///
 /// The design couples waiting to the clock on purpose: a fake clock that
 /// only answered NowMicros() could not wake a thread blocked in a real
-/// cv::wait_until. WaitUntil hands the clock the caller's condition
-/// variable and lock, so the real clock maps the deadline onto a
-/// steady_clock wait while the fake clock parks the waiter and wakes it
-/// from Advance().
+/// timed wait. WaitUntil hands the clock the caller's CondVar and Mutex
+/// (util/sync.h — the annotated primitives, so the caller's hold is
+/// checked by thread-safety analysis), and the real clock maps the
+/// deadline onto a timed wait while the fake clock parks the waiter and
+/// wakes it from Advance().
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace qcfe {
 
@@ -39,17 +39,18 @@ class Clock {
   /// configured start for FakeClock). Monotonic, never wraps in practice.
   virtual int64_t NowMicros() const = 0;
 
-  /// Blocks the calling thread on `cv` (whose associated mutex `lock` must
-  /// hold) until `wake()` returns true or this clock reaches
-  /// `deadline_micros`, whichever comes first. `wake` is evaluated only
-  /// with the lock held. Returns the final value of `wake()` — false means
-  /// the deadline fired first. Other threads signal state changes by
-  /// notifying `cv` as usual; time-driven wakeups come from the clock
-  /// itself (the real clock's timed wait, or FakeClock::Advance).
-  virtual bool WaitUntil(std::condition_variable* cv,
-                         std::unique_lock<std::mutex>* lock,
-                         int64_t deadline_micros,
-                         const std::function<bool()>& wake) = 0;
+  /// Blocks the calling thread on `cv` until `wake()` returns true or this
+  /// clock reaches `deadline_micros`, whichever comes first. The caller
+  /// must hold `mu` (compile-time checked under clang); `wake` is
+  /// evaluated only with the lock held, so predicates should open with
+  /// QCFE_ASSERT_HELD(*mu) to teach the analysis the same fact. Returns
+  /// the final value of `wake()` — false means the deadline fired first.
+  /// Other threads signal state changes by notifying `cv` as usual;
+  /// time-driven wakeups come from the clock itself (the real clock's
+  /// timed wait, or FakeClock::Advance).
+  virtual bool WaitUntil(CondVar* cv, Mutex* mu, int64_t deadline_micros,
+                         const std::function<bool()>& wake)
+      QCFE_REQUIRES(*mu) = 0;
 
   /// Process-wide real (steady_clock-backed) instance. Never null; callers
   /// that accept an optional Clock* treat null as Real().
@@ -63,12 +64,12 @@ class RealClock : public Clock {
  public:
   RealClock();
   int64_t NowMicros() const override;
-  bool WaitUntil(std::condition_variable* cv,
-                 std::unique_lock<std::mutex>* lock, int64_t deadline_micros,
-                 const std::function<bool()>& wake) override;
+  bool WaitUntil(CondVar* cv, Mutex* mu, int64_t deadline_micros,
+                 const std::function<bool()>& wake)
+      QCFE_REQUIRES(*mu) override;
 
  private:
-  std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_micros_;
 };
 
 /// Manually-stepped clock for tests. Time only moves when Advance() is
@@ -80,30 +81,68 @@ class RealClock : public Clock {
 /// Lifetime contract: Advance() notifies the condition variables of every
 /// thread currently blocked in WaitUntil, so the objects those threads wait
 /// on (their cv and mutex) must stay alive for the duration of any
-/// concurrent Advance() call. Sequencing Advance() before shutdown on the
-/// test thread — the natural test shape — satisfies this trivially.
+/// concurrent Advance() call. Every WaitUntil registers through a scoped
+/// registration whose destructor removes exactly its own entry (keyed by a
+/// unique id, so concurrent waiters on one cv cannot unregister each
+/// other), and the FakeClock destructor dchecks that no waiter outlived
+/// its WaitUntil.
 class FakeClock : public Clock {
  public:
   explicit FakeClock(int64_t start_micros = 0);
+  ~FakeClock() override;
 
   int64_t NowMicros() const override;
-  bool WaitUntil(std::condition_variable* cv,
-                 std::unique_lock<std::mutex>* lock, int64_t deadline_micros,
-                 const std::function<bool()>& wake) override;
+  bool WaitUntil(CondVar* cv, Mutex* mu, int64_t deadline_micros,
+                 const std::function<bool()>& wake)
+      QCFE_REQUIRES(*mu) override;
 
   /// Steps time forward and wakes every parked WaitUntil so it can re-check
-  /// its predicate and deadline against the new time.
-  void Advance(int64_t micros);
+  /// its predicate and deadline against the new time. Takes the waiter
+  /// registry lock itself, so the caller must not hold it.
+  void Advance(int64_t micros) QCFE_EXCLUDES(mu_);
+
+  /// Number of threads currently parked in WaitUntil. Test hook for the
+  /// waiter-registry lifetime regression (tests/util_test.cc).
+  size_t waiter_count_for_test() const QCFE_EXCLUDES(mu_);
 
  private:
   struct Waiter {
-    std::condition_variable* cv;
-    std::mutex* mu;
+    CondVar* cv;
+    Mutex* mu;
+    uint64_t id;  ///< unique per registration; the unregister key
   };
 
+  /// Scoped registry entry: registers in the constructor, removes exactly
+  /// its own entry in the destructor, and dchecks that no stale entry with
+  /// its id survives — closing the lifetime hole where an erase keyed on
+  /// the cv pointer could remove a *different* thread's registration (two
+  /// workers legitimately wait on the same cv) and leave a dangling one
+  /// behind.
+  class ScopedWaiterRegistration {
+   public:
+    ScopedWaiterRegistration(FakeClock* clock, CondVar* cv, Mutex* mu);
+    ~ScopedWaiterRegistration();
+
+    ScopedWaiterRegistration(const ScopedWaiterRegistration&) = delete;
+    ScopedWaiterRegistration& operator=(const ScopedWaiterRegistration&) =
+        delete;
+
+   private:
+    FakeClock* const clock_;
+    uint64_t id_;
+  };
+
+  /// Removes the registration with `id`; returns whether it was present.
+  bool EraseWaiterLocked(uint64_t id) QCFE_REQUIRES(mu_);
+  /// True when a registration with `id` is present (stale-entry dcheck).
+  bool ContainsWaiterLocked(uint64_t id) const QCFE_REQUIRES(mu_);
+
   std::atomic<int64_t> now_micros_;
-  mutable std::mutex mu_;            ///< guards waiters_
-  std::vector<Waiter> waiters_;
+  /// Ranked above every mutex that can be held while entering WaitUntil
+  /// (the registration locks mu_ under the caller's mutex).
+  mutable Mutex mu_{lock_rank::kClockWaiters};
+  std::vector<Waiter> waiters_ QCFE_GUARDED_BY(mu_);
+  uint64_t next_waiter_id_ QCFE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qcfe

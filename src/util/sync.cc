@@ -1,0 +1,88 @@
+#include "util/sync.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace qcfe {
+
+bool LockRankCheckingEnabled() { return QCFE_DCHECKS_ENABLED != 0; }
+
+namespace sync_internal {
+namespace {
+
+/// Ranks of the ranked locks the calling thread currently holds, in
+/// acquisition order. Monotone acquisition is enforced on push, so the
+/// back is always the maximum.
+std::vector<int>& HeldRanks() {
+  thread_local std::vector<int> held;
+  return held;
+}
+
+[[noreturn]] void RankViolation(int held, int acquiring) {
+  std::fprintf(stderr,
+               "QCFE lock-rank violation: acquiring rank %d while holding "
+               "rank %d; ranked mutexes must be acquired in strictly "
+               "increasing rank order (see lock_rank in util/sync.h)\n",
+               acquiring, held);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void RankOnAcquire(int rank) {
+  if (rank == kNoLockRank) return;
+  std::vector<int>& held = HeldRanks();
+  if (!held.empty() && held.back() >= rank) RankViolation(held.back(), rank);
+  held.push_back(rank);
+}
+
+void RankOnRelease(int rank) {
+  if (rank == kNoLockRank) return;
+  std::vector<int>& held = HeldRanks();
+  // Locks may be released out of LIFO order: drop the most recent
+  // occurrence of this rank.
+  auto it = std::find(held.rbegin(), held.rend(), rank);
+  QCFE_CHECK(it != held.rend(),
+             "lock-rank bookkeeping: released a ranked mutex this thread "
+             "does not hold");
+  held.erase(std::next(it).base());
+}
+
+int TopHeldRank() {
+  const std::vector<int>& held = HeldRanks();
+  return held.empty() ? kNoLockRank : held.back();
+}
+
+}  // namespace sync_internal
+
+void CondVar::Wait(Mutex* mu) {
+  mu->PrepareToWait();
+  // Adopt the already-held native mutex for the duration of the wait; the
+  // release() afterwards hands ownership back to the caller's scoped lock
+  // without unlocking.
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mu->ResumeAfterWait();
+}
+
+bool CondVar::WaitFor(Mutex* mu, int64_t timeout_micros) {
+  if (timeout_micros < 0) timeout_micros = 0;
+  mu->PrepareToWait();
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status =
+      cv_.wait_for(lock, std::chrono::microseconds(timeout_micros));
+  lock.release();
+  mu->ResumeAfterWait();
+  return status == std::cv_status::no_timeout;
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace qcfe

@@ -1,11 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace qcfe {
 
@@ -32,18 +32,23 @@ std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
 }
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
+  Mutex mu{lock_rank::kThreadPoolQueue};
+  CondVar cv;
+  std::deque<std::function<void()>> queue QCFE_GUARDED_BY(mu);
+  bool shutting_down QCFE_GUARDED_BY(mu) = false;
+  /// Written only during construction (before any external call can reach
+  /// the pool) and joined in the destructor; not guarded.
   std::vector<std::thread> workers;
-  bool shutting_down = false;
 
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return shutting_down || !queue.empty(); });
+        MutexLock lock(&mu);
+        cv.Wait(&mu, [this] {
+          QCFE_ASSERT_HELD(mu);
+          return shutting_down || !queue.empty();
+        });
         if (queue.empty()) return;  // shutting down and drained
         task = std::move(queue.front());
         queue.pop_front();
@@ -66,10 +71,10 @@ ThreadPool::ThreadPool(int num_threads) : impl_(new Impl()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     impl_->shutting_down = true;
   }
-  impl_->cv.notify_all();
+  impl_->cv.NotifyAll();
   for (auto& worker : impl_->workers) worker.join();
   delete impl_;  // qcfe-lint: allow(no-naked-new) — pimpl counterpart
 }
@@ -86,10 +91,10 @@ bool ThreadPool::InWorkerThread() const {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     impl_->queue.push_back(std::move(task));
   }
-  impl_->cv.notify_one();
+  impl_->cv.NotifyOne();
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
@@ -109,13 +114,18 @@ void ParallelFor(ThreadPool* pool, size_t n,
   size_t num_blocks = blocks.size();
 
   struct Join {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
-    std::vector<std::exception_ptr> errors;
+    Mutex mu{lock_rank::kParallelForJoin};
+    CondVar cv;
+    size_t remaining QCFE_GUARDED_BY(mu) = 0;
+    std::vector<std::exception_ptr> errors QCFE_GUARDED_BY(mu);
   } join;
-  join.remaining = num_blocks;
-  join.errors.assign(num_blocks, nullptr);
+  {
+    // Uncontended (no task has been submitted yet); taken so the guarded
+    // initialisation is lock-consistent for the analysis and TSan alike.
+    MutexLock lock(&join.mu);
+    join.remaining = num_blocks;
+    join.errors.assign(num_blocks, nullptr);
+  }
 
   for (size_t b = 0; b < num_blocks; ++b) {
     size_t begin = blocks[b].first;
@@ -124,24 +134,34 @@ void ParallelFor(ThreadPool* pool, size_t n,
       try {
         for (size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(join.mu);
+        MutexLock lock(&join.mu);
         join.errors[b] = std::current_exception();
       }
       // Notify while holding the lock: once we release it the waiting
       // thread may return and destroy `join`, so no member may be touched
       // after the unlock.
-      std::lock_guard<std::mutex> lock(join.mu);
-      if (--join.remaining == 0) join.cv.notify_one();
+      MutexLock lock(&join.mu);
+      if (--join.remaining == 0) join.cv.NotifyOne();
     });
   }
 
-  std::unique_lock<std::mutex> lock(join.mu);
-  join.cv.wait(lock, [&] { return join.remaining == 0; });
   // Rethrow the first failing block — what a serial loop would have hit
   // first, independent of completion order.
-  for (const std::exception_ptr& err : join.errors) {
-    if (err != nullptr) std::rethrow_exception(err);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(&join.mu);
+    join.cv.Wait(&join.mu, [&join] {
+      QCFE_ASSERT_HELD(join.mu);
+      return join.remaining == 0;
+    });
+    for (const std::exception_ptr& err : join.errors) {
+      if (err != nullptr) {
+        first_error = err;
+        break;
+      }
+    }
   }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace qcfe

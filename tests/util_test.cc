@@ -7,14 +7,13 @@
 
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "util/clock.h"
+#include "util/sync.h"
 #include "util/env_config.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -492,16 +491,15 @@ TEST(ClockTest, FakeClockAdvancesManually) {
 
 TEST(ClockTest, FakeClockWaitUntilWakesOnAdvanceAndOnPredicate) {
   FakeClock clock;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool flag = false;
 
   // Deadline wake: a waiter whose predicate never fires returns false once
   // Advance() carries the clock to its deadline. No sleeps anywhere.
   std::thread deadline_waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    bool woken_by_pred =
-        clock.WaitUntil(&cv, &lock, 1000, [] { return false; });
+    MutexLock lock(&mu);
+    bool woken_by_pred = clock.WaitUntil(&cv, &mu, 1000, [] { return false; });
     EXPECT_FALSE(woken_by_pred);
   });
   clock.Advance(1000);
@@ -510,17 +508,72 @@ TEST(ClockTest, FakeClockWaitUntilWakesOnAdvanceAndOnPredicate) {
   // Predicate wake: an ordinary cv notification delivers through WaitUntil
   // even though time never reaches the deadline.
   std::thread pred_waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    bool woken_by_pred =
-        clock.WaitUntil(&cv, &lock, Clock::kNoDeadline, [&] { return flag; });
+    MutexLock lock(&mu);
+    bool woken_by_pred = clock.WaitUntil(&cv, &mu, Clock::kNoDeadline, [&] {
+      QCFE_ASSERT_HELD(mu);
+      return flag;
+    });
     EXPECT_TRUE(woken_by_pred);
   });
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     flag = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pred_waiter.join();
+}
+
+TEST(ClockTest, FakeClockWaiterRegistryDropsEntriesWhenWaitsReturn) {
+  // Regression test for the waiter-registry lifetime hole: two waiters
+  // sharing one CondVar must each remove exactly their own registry entry.
+  // The historical erase-by-cv cleanup could remove the *other* thread's
+  // entry, leaving a stale Waiter pointing at a stack frame that has
+  // already returned — the next Advance() would then touch freed memory.
+  FakeClock clock;
+  Mutex mu;
+  CondVar cv;
+  bool first_done = false;
+  bool second_done = false;
+  EXPECT_EQ(clock.waiter_count_for_test(), 0u);
+
+  std::thread first([&] {
+    MutexLock lock(&mu);
+    clock.WaitUntil(&cv, &mu, Clock::kNoDeadline, [&] {
+      QCFE_ASSERT_HELD(mu);
+      return first_done;
+    });
+  });
+  std::thread second([&] {
+    MutexLock lock(&mu);
+    clock.WaitUntil(&cv, &mu, Clock::kNoDeadline, [&] {
+      QCFE_ASSERT_HELD(mu);
+      return second_done;
+    });
+  });
+
+  // Wait (in real time) for both threads to park and register.
+  while (clock.waiter_count_for_test() < 2) std::this_thread::yield();
+
+  // Release the first waiter only: exactly one registry entry must go with
+  // it, and the second waiter's entry must survive.
+  {
+    MutexLock lock(&mu);
+    first_done = true;
+  }
+  cv.NotifyAll();
+  first.join();
+  EXPECT_EQ(clock.waiter_count_for_test(), 1u);
+
+  {
+    MutexLock lock(&mu);
+    second_done = true;
+  }
+  cv.NotifyAll();
+  second.join();
+  EXPECT_EQ(clock.waiter_count_for_test(), 0u);
+
+  // A registry empty again means Advance() walks no stale entries.
+  clock.Advance(1);
 }
 
 TEST(ClockTest, RealClockIsMonotonic) {
@@ -530,11 +583,11 @@ TEST(ClockTest, RealClockIsMonotonic) {
   EXPECT_GE(a, 0);
   EXPECT_GE(b, a);
   // A satisfied predicate returns immediately regardless of deadline.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_lock<std::mutex> lock(mu);
-  EXPECT_TRUE(clock->WaitUntil(&cv, &lock, Clock::kNoDeadline,
-                               [] { return true; }));
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_TRUE(
+      clock->WaitUntil(&cv, &mu, Clock::kNoDeadline, [] { return true; }));
 }
 
 }  // namespace

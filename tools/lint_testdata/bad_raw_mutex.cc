@@ -1,0 +1,40 @@
+// lint-as: src/core/seeded_mutex_violations.cc
+// Positive corpus for no-raw-mutex (whole tree, exempting the annotated
+// sync layer itself — src/util/sync.*). Every raw standard-library locking
+// primitive must route through qcfe::Mutex/SharedMutex/CondVar so the
+// clang thread-safety analysis and the debug lock-rank checker see it.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+std::mutex g_mu;                          // expect-lint: no-raw-mutex
+std::shared_mutex g_rw_mu;                // expect-lint: no-raw-mutex
+std::recursive_mutex g_rec_mu;            // expect-lint: no-raw-mutex
+std::timed_mutex g_timed_mu;              // expect-lint: no-raw-mutex
+std::condition_variable g_cv;             // expect-lint: no-raw-mutex
+std::condition_variable_any g_cv_any;     // expect-lint: no-raw-mutex
+
+void Lockers() {
+  std::lock_guard<std::mutex> a(g_mu);    // expect-lint: no-raw-mutex
+  std::unique_lock<std::mutex> b(g_mu);   // expect-lint: no-raw-mutex
+  std::shared_lock<std::shared_mutex> c(g_rw_mu);  // expect-lint: no-raw-mutex
+}
+
+void ScopedLocker() {
+  std::scoped_lock lock(g_mu);            // expect-lint: no-raw-mutex
+}
+
+// Suppressed with a reason.
+void Suppressed() {
+  // qcfe-lint: allow(no-raw-mutex) — corpus: proves the escape hatch
+  std::mutex local_mu;
+  (void)local_mu;  // silences unused-variable, not a status discard
+}
+
+// Comments must not trip: "guard it with a std::mutex" is prose, and a
+// string literal mentioning "std::condition_variable" is data, not code.
+const char* kDoc = "do not use std::condition_variable here";
+
+// std::once_flag / std::call_once stay allowed: one-time init carries no
+// lock-ordering or guarded-member story for the analysis to check.
+std::once_flag g_once;

@@ -1,0 +1,24 @@
+// lint-as: src/util/sync.h
+// Negative corpus: the annotated sync layer itself wraps the raw
+// primitives — nothing here may be flagged.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+class Wrapper {
+ public:
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  std::shared_mutex rw_mu_;
+  std::condition_variable cv_;
+};
+
+void AdoptPattern(Wrapper* w) {
+  // The CondVar implementation re-wraps the raw handle with adopt_lock.
+  std::mutex raw;
+  std::unique_lock<std::mutex> lock(raw, std::adopt_lock);
+  lock.release();
+}

@@ -244,8 +244,26 @@ RULES = [
         [r"\bstd::thread\b", r"\bstd::jthread\b", r"\bstd::async\b",
          r"\bpthread_create\s*\("],
         dirs=("src/",),
-        exempt_files=("src/util/thread_pool.", "src/serve/async_server."),
+        # thread_pool.h is pimpl-clean, so only its .cc owns raw threads;
+        # sync.* reads std::thread::id for debug owner tracking.
+        exempt_files=("src/util/thread_pool.cc", "src/serve/async_server.",
+                      "src/util/sync."),
         fix_hint="use ThreadPool / ParallelFor, or route through AsyncServer",
+    ),
+    Rule(
+        "no-raw-mutex",
+        "raw standard-library locking primitives bypass the annotated "
+        "sync layer (util/sync.h): qcfe::Mutex/SharedMutex/CondVar carry "
+        "the clang thread-safety capability annotations and the debug "
+        "lock-rank checker, so a raw std::mutex is invisible to both "
+        "-Werror=thread-safety and the rank discipline",
+        [r"\bstd::(recursive_|timed_|recursive_timed_|shared_|"
+         r"shared_timed_)?mutex\b",
+         r"\bstd::condition_variable(_any)?\b",
+         r"\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"],
+        exempt_files=("src/util/sync.",),
+        fix_hint="use qcfe::Mutex/SharedMutex + MutexLock/ReaderMutexLock/"
+                 "WriterMutexLock and CondVar from util/sync.h",
     ),
     SleepRule(
         "no-sleep-in-tests",
