@@ -35,7 +35,7 @@
 
 #include <cmath>
 #include <cstring>
-#include <fstream>
+#include <fstream>  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
 #include <future>
 #include <iostream>
 #include <map>
@@ -55,6 +55,7 @@
 #include "nn/optimizer.h"
 #include "serve/async_server.h"
 #include "util/check.h"
+#include "util/fs.h"
 #include "util/rng.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
@@ -420,6 +421,7 @@ struct ParallelBenchRecorder {
     MutexLock lock(&mu);
     std::string previous;
     {
+      // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
       std::ifstream is(path);
       if (is.good()) {
         std::string all((std::istreambuf_iterator<char>(is)),
@@ -431,6 +433,7 @@ struct ParallelBenchRecorder {
       return ExtractSection(previous, key);
     };
 
+    // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
     std::ofstream os(path);
     os << "{\n  \"fit\": ";
     if (fit_seconds.empty() && !carry("fit").empty()) {
@@ -529,7 +532,9 @@ struct ParallelBenchRecorder {
     std::cout << "wrote " << path << "\n";
   }
 
+  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
   void WriteKernelsSection(std::ofstream* out) QCFE_REQUIRES(mu);
+  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
   void WriteKernelsSimdSection(std::ofstream* out) QCFE_REQUIRES(mu);
 
   Mutex mu;
@@ -596,7 +601,9 @@ Matrix RandomWithSparsity(size_t rows, size_t cols, double sparsity,
   return m;
 }
 
+// qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
 void ParallelBenchRecorder::WriteKernelsSection(std::ofstream* out) {
+  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
   std::ofstream& os = *out;
   os << "{\n    \"gemm\": [";
   bool first = true;
@@ -653,7 +660,9 @@ void ParallelBenchRecorder::WriteKernelsSection(std::ofstream* out) {
   os << "\n  }";
 }
 
+// qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
 void ParallelBenchRecorder::WriteKernelsSimdSection(std::ofstream* out) {
+  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
   std::ofstream& os = *out;
   const kernels::KernelIsa detected = kernels::DetectKernelIsa();
   kernels::KernelTuning tuning;
@@ -1350,6 +1359,82 @@ bool RunKernelSmoke() {
   return failures == 0;
 }
 
+// ------------------------------------------------------- persistence gate
+
+/// Save -> Load -> PredictBatch bit-parity on a freshly fitted pipeline,
+/// plus a typed-corruption rejection check. Runs as the second half of
+/// `bench_micro --smoke`, so CI gates the persistence layer in the same
+/// binary that gates kernel parity.
+bool RunPersistSmoke() {
+  HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+  opt.corpus_size = 120;
+  opt.num_envs = 2;
+  auto ctx = BenchmarkContext::Create(opt);
+  if (!ctx.ok()) {
+    std::cerr << "persist smoke: " << ctx.status().ToString() << "\n";
+    return false;
+  }
+  std::vector<PlanSample> train, test;
+  (*ctx)->Split(120, &train, &test);
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.pre_reduction_epochs = 2;
+  cfg.train.epochs = 3;
+  auto pipeline = (*ctx)->FitPipeline(cfg, train);
+  if (!pipeline.ok()) {
+    std::cerr << "persist smoke: " << pipeline.status().ToString() << "\n";
+    return false;
+  }
+
+  Fs* fs = Fs::Default();
+  const std::string path = "/tmp/qcfe_bench_smoke.qcfa";
+  bool ok = true;
+  if (Status s = (*pipeline)->Save(path); !s.ok()) {
+    std::cerr << "persist smoke: " << s.ToString() << "\n";
+    return false;
+  }
+  auto loaded = Pipeline::Load((*ctx)->db.get(), &(*ctx)->envs,
+                               &(*ctx)->templates, path);
+  if (!loaded.ok()) {
+    std::cerr << "persist smoke: " << loaded.status().ToString() << "\n";
+    ok = false;
+  } else {
+    auto want = (*pipeline)->PredictBatch(test);
+    auto got = (*loaded)->PredictBatch(test);
+    if (!want.ok() || !got.ok() || want->size() != got->size() ||
+        std::memcmp(want->data(), got->data(),
+                    want->size() * sizeof(double)) != 0) {
+      std::cerr << "persist smoke: loaded pipeline is not bit-identical\n";
+      ok = false;
+    }
+  }
+
+  // Corruption must be rejected with a typed status, never served.
+  if (auto bytes = fs->ReadFile(path); bytes.ok()) {
+    std::string damaged = *bytes;
+    damaged[damaged.size() / 2] ^= 0x01;
+    QCFE_CHECK_OK(AtomicWriteFile(fs, path, damaged));
+    auto rejected = Pipeline::Load((*ctx)->db.get(), &(*ctx)->envs,
+                                   &(*ctx)->templates, path);
+    if (rejected.ok() ||
+        rejected.status().code() != StatusCode::kDataLoss) {
+      std::cerr << "persist smoke: corrupted artifact not rejected as "
+                   "DataLoss\n";
+      ok = false;
+    }
+  } else {
+    std::cerr << "persist smoke: " << bytes.status().ToString() << "\n";
+    ok = false;
+  }
+  // Best-effort temp cleanup; the gate result is what matters.
+  (void)fs->RemoveFile(path);
+  if (ok) {
+    std::cout << "persist smoke: save/load round trip bit-exact; corrupted "
+                 "artifact rejected (DataLoss)\n";
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace qcfe
 
@@ -1360,7 +1445,9 @@ bool RunKernelSmoke() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
-      return qcfe::RunKernelSmoke() ? 0 : 1;
+      const bool kernels_ok = qcfe::RunKernelSmoke();
+      const bool persist_ok = qcfe::RunPersistSmoke();
+      return kernels_ok && persist_ok ? 0 : 1;
     }
   }
   benchmark::Initialize(&argc, argv);

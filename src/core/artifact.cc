@@ -1,0 +1,160 @@
+#include "core/artifact.h"
+
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace qcfe {
+
+const char kDeterminismNote[] =
+    "scalar kernel tier is bit-exact across runs and thread counts; SIMD "
+    "tiers are per-tier deterministic (see nn/kernels.h)";
+
+uint64_t FeatureSchemaHash(const OperatorFeaturizer& featurizer) {
+  // FNV-1a, 64-bit. Separators between operators, dimensions and name
+  // characters keep e.g. {"ab","c"} distinct from {"a","bc"}.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (OpType op : AllOpTypes()) {
+    mix(0xF0u);
+    mix(static_cast<uint64_t>(op));
+    const FeatureSchema& schema = featurizer.schema(op);
+    mix(0xF1u);
+    mix(schema.size());
+    for (const std::string& name : schema.names()) {
+      mix(0xF2u);
+      for (char c : name) mix(static_cast<unsigned char>(c));
+    }
+  }
+  return h;
+}
+
+namespace artifact {
+
+std::string Encode(const std::vector<Section>& sections) {
+  ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kFormatVersion);
+  w.PutU32(static_cast<uint32_t>(sections.size()));
+  for (const Section& section : sections) {
+    w.PutU32(section.id);
+    w.PutU64(section.payload.size());
+    w.PutBytes(section.payload.data(), section.payload.size());
+    w.PutU32(Crc32(section.payload));
+  }
+  return w.TakeBytes();
+}
+
+Status Decode(const std::string& bytes, std::vector<Section>* out) {
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  if (!r.ReadU32(&magic).ok() || magic != kMagic) {
+    return Status::DataLoss("bad magic: not a QCFE model artifact");
+  }
+  uint32_t version = 0;
+  QCFE_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version != kFormatVersion) {
+    return Status::FailedPrecondition(
+        "unsupported artifact format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  uint32_t count = 0;
+  QCFE_RETURN_IF_ERROR(r.ReadU32(&count));
+  std::vector<Section> sections;
+  for (uint32_t i = 0; i < count; ++i) {
+    Section section;
+    QCFE_RETURN_IF_ERROR(
+        r.ReadU32(&section.id)
+            .WithContext("section " + std::to_string(i) + " header"));
+    uint64_t len = 0;
+    QCFE_RETURN_IF_ERROR(
+        r.ReadU64(&len).WithContext("section " + std::to_string(i) +
+                                    " length"));
+    if (len > r.remaining()) {
+      return Status::DataLoss(
+          "section " + std::to_string(i) + " (id " +
+          std::to_string(section.id) + ") claims " + std::to_string(len) +
+          " payload bytes but only " + std::to_string(r.remaining()) +
+          " remain at offset " + std::to_string(r.offset()));
+    }
+    section.payload.resize(static_cast<size_t>(len));
+    QCFE_RETURN_IF_ERROR(r.ReadBytes(&section.payload[0], section.payload.size()));
+    uint32_t stored_crc = 0;
+    QCFE_RETURN_IF_ERROR(
+        r.ReadU32(&stored_crc)
+            .WithContext("section " + std::to_string(i) + " checksum"));
+    const uint32_t actual_crc = Crc32(section.payload);
+    if (stored_crc != actual_crc) {
+      return Status::DataLoss("section " + std::to_string(i) + " (id " +
+                              std::to_string(section.id) +
+                              ") CRC mismatch: stored " +
+                              std::to_string(stored_crc) + ", computed " +
+                              std::to_string(actual_crc));
+    }
+    for (const Section& seen : sections) {
+      if (seen.id == section.id) {
+        return Status::DataLoss("duplicate section id " +
+                                std::to_string(section.id));
+      }
+    }
+    sections.push_back(std::move(section));
+  }
+  if (r.remaining() != 0) {
+    return Status::DataLoss(std::to_string(r.remaining()) +
+                            " trailing bytes after the last section");
+  }
+  *out = std::move(sections);
+  return Status::OK();
+}
+
+const Section* Find(const std::vector<Section>& sections, uint32_t id) {
+  for (const Section& section : sections) {
+    if (section.id == id) return &section;
+  }
+  return nullptr;
+}
+
+void EncodeFingerprint(const FitFingerprint& fp, ByteWriter* w) {
+  w->PutString(fp.estimator);
+  w->PutU64(fp.schema_hash);
+  w->PutBool(fp.has_snapshot);
+  w->PutU8(static_cast<uint8_t>(fp.granularity));
+  w->PutBool(fp.has_reduction);
+  w->PutU64(fp.env_ids.size());
+  for (int id : fp.env_ids) w->PutI64(id);
+  w->PutString(fp.kernel_isa);
+  w->PutString(fp.determinism_note);
+}
+
+Status DecodeFingerprint(ByteReader* r, FitFingerprint* fp) {
+  QCFE_RETURN_IF_ERROR(r->ReadString(&fp->estimator));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&fp->schema_hash));
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&fp->has_snapshot));
+  uint8_t granularity = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU8(&granularity));
+  if (granularity > static_cast<uint8_t>(SnapshotGranularity::kOperatorTable)) {
+    return Status::DataLoss("invalid fingerprint granularity byte " +
+                            std::to_string(granularity));
+  }
+  fp->granularity = static_cast<SnapshotGranularity>(granularity);
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&fp->has_reduction));
+  uint64_t env_count = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&env_count, sizeof(int64_t)));
+  fp->env_ids.clear();
+  fp->env_ids.reserve(static_cast<size_t>(env_count));
+  for (uint64_t i = 0; i < env_count; ++i) {
+    int64_t id = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadI64(&id));
+    fp->env_ids.push_back(static_cast<int>(id));
+  }
+  QCFE_RETURN_IF_ERROR(r->ReadString(&fp->kernel_isa));
+  QCFE_RETURN_IF_ERROR(r->ReadString(&fp->determinism_note));
+  return Status::OK();
+}
+
+}  // namespace artifact
+
+}  // namespace qcfe

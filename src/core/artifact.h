@@ -1,0 +1,110 @@
+#ifndef QCFE_CORE_ARTIFACT_H_
+#define QCFE_CORE_ARTIFACT_H_
+
+/// \file artifact.h
+/// The on-disk model artifact format behind Pipeline::Save/Load.
+///
+/// An artifact is a chunked, versioned, little-endian container:
+///
+///   u32 magic "QCFA"        (0x41464351 little-endian)
+///   u32 format version      (currently 1)
+///   u32 section count
+///   repeated section:
+///     u32 section id        (SectionId below; unknown ids are skipped)
+///     u64 payload length
+///     bytes payload
+///     u32 CRC-32 of payload
+///
+/// Every failure mode maps to a typed Status: a wrong magic, truncation,
+/// or CRC mismatch is kDataLoss (the bytes are damaged); an unsupported
+/// format version or a fingerprint mismatch is kFailedPrecondition (the
+/// bytes are intact but belong to a different world). Decoding never
+/// aborts or reads out of bounds on hostile input — all payload parsing
+/// goes through the bounds-checked ByteReader.
+///
+/// The fit fingerprint section pins what the model was fit against:
+/// estimator name, a hash of the feature schema (catalog-derived), the
+/// snapshot granularity, the environment-id set, and informational notes
+/// about the kernel tier and determinism contract. Pipeline::Load
+/// recomputes the schema hash and env set from its own arguments and
+/// rejects the artifact on any mismatch — a stale artifact fails loudly
+/// at load, never silently serving garbage (getml's FittedPipeline
+/// fingerprints are the model for this).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/feature_snapshot.h"
+#include "featurize/featurizer.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// What a pipeline was fit against. Everything here is either validated at
+/// load (estimator, schema_hash, granularity, env_ids) or recorded for
+/// humans (kernel_isa at save time; the determinism contract note).
+struct FitFingerprint {
+  std::string estimator;
+  uint64_t schema_hash = 0;
+  bool has_snapshot = false;
+  SnapshotGranularity granularity = SnapshotGranularity::kOperator;
+  bool has_reduction = false;
+  std::vector<int> env_ids;  ///< ascending
+  std::string kernel_isa;    ///< informational, not validated
+  std::string determinism_note;
+};
+
+/// FNV-1a over every operator's feature-schema names (with operator index
+/// and dimension separators), so any catalog or featurizer drift — renamed
+/// column, added table, reordered dimensions — changes the hash. Always
+/// computed over the *base* featurizer: the downstream snapshot/mask stages
+/// are reconstructed from the artifact itself.
+uint64_t FeatureSchemaHash(const OperatorFeaturizer& featurizer);
+
+/// The note stored in every fingerprint. A fixed string (not a runtime
+/// probe) so that re-saving a loaded artifact is byte-identical on any
+/// machine.
+extern const char kDeterminismNote[];
+
+namespace artifact {
+
+inline constexpr uint32_t kMagic = 0x41464351u;  // "QCFA" little-endian
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Section ids. New sections get new ids; readers skip unknown ids, so
+/// additive evolution does not need a format-version bump.
+enum SectionId : uint32_t {
+  kFingerprint = 1,
+  kConfig = 2,
+  kSnapshots = 3,
+  kReduction = 4,
+  kModel = 5,
+  kStats = 6,
+};
+
+struct Section {
+  uint32_t id = 0;
+  std::string payload;
+};
+
+/// Encodes sections into the framed container (header + per-section CRCs).
+std::string Encode(const std::vector<Section>& sections);
+
+/// Decodes a container into sections, verifying magic, version, framing
+/// and every CRC. kDataLoss for damage, kFailedPrecondition for an
+/// unsupported version.
+Status Decode(const std::string& bytes, std::vector<Section>* out);
+
+/// First section with the given id, or nullptr.
+const Section* Find(const std::vector<Section>& sections, uint32_t id);
+
+void EncodeFingerprint(const FitFingerprint& fp, ByteWriter* w);
+Status DecodeFingerprint(ByteReader* r, FitFingerprint* fp);
+
+}  // namespace artifact
+
+}  // namespace qcfe
+
+#endif  // QCFE_CORE_ARTIFACT_H_

@@ -1,8 +1,11 @@
 #include "core/feature_snapshot.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "nn/linalg.h"
+#include "util/serialize.h"
 
 namespace qcfe {
 
@@ -126,6 +129,104 @@ double FeatureSnapshot::PredictMs(OpType op, double n, double n2) const {
   double out = 0.0;
   for (size_t c = 0; c < width; ++c) out += os.coeffs[c] * row[c];
   return out;
+}
+
+namespace {
+
+void WriteOperatorSnapshot(const OperatorSnapshot& os, ByteWriter* w) {
+  for (double c : os.coeffs) w->PutF64(c);
+  w->PutU64(os.num_observations);
+}
+
+Status ReadOperatorSnapshot(ByteReader* r, OperatorSnapshot* os) {
+  for (double& c : os->coeffs) QCFE_RETURN_IF_ERROR(r->ReadF64(&c));
+  uint64_t n = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&n));
+  os->num_observations = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+}  // namespace
+
+void FeatureSnapshot::SaveBinary(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(granularity_));
+  for (const OperatorSnapshot& os : per_op_) WriteOperatorSnapshot(os, w);
+  w->PutU64(fine_.size());
+  for (const auto& [key, os] : fine_) {
+    w->PutString(key);
+    WriteOperatorSnapshot(os, w);
+  }
+}
+
+Status FeatureSnapshot::LoadBinary(ByteReader* r, FeatureSnapshot* out) {
+  uint8_t granularity = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU8(&granularity));
+  if (granularity > static_cast<uint8_t>(SnapshotGranularity::kOperatorTable)) {
+    return Status::DataLoss("invalid snapshot granularity byte " +
+                            std::to_string(granularity));
+  }
+  out->granularity_ = static_cast<SnapshotGranularity>(granularity);
+  for (OperatorSnapshot& os : out->per_op_) {
+    QCFE_RETURN_IF_ERROR(ReadOperatorSnapshot(r, &os));
+  }
+  uint64_t fine_count = 0;
+  // A fine entry is at least key length (8) + 4 coeffs + count.
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&fine_count, 8 + kSnapshotWidth * 8 + 8));
+  out->fine_.clear();
+  for (uint64_t i = 0; i < fine_count; ++i) {
+    std::string key;
+    OperatorSnapshot os;
+    QCFE_RETURN_IF_ERROR(r->ReadString(&key));
+    QCFE_RETURN_IF_ERROR(ReadOperatorSnapshot(r, &os));
+    if (!out->fine_.emplace(std::move(key), os).second) {
+      return Status::DataLoss("duplicate fine snapshot key");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> SnapshotStore::EnvIds() const {
+  std::vector<int> ids;
+  ids.reserve(snapshots_.size());
+  for (const auto& [env_id, snapshot] : snapshots_) ids.push_back(env_id);
+  return ids;
+}
+
+void SnapshotStore::SaveBinary(ByteWriter* w) const {
+  w->PutU64(snapshots_.size());
+  for (const auto& [env_id, snapshot] : snapshots_) {
+    w->PutI64(env_id);
+    snapshot.SaveBinary(w);
+  }
+}
+
+Status SnapshotStore::LoadBinary(ByteReader* r, SnapshotStore* out) {
+  uint64_t count = 0;
+  // A store entry is at least env id (8) + granularity (1) + per-op block.
+  QCFE_RETURN_IF_ERROR(
+      r->ReadCount(&count, 8 + 1 + kNumOpTypes * (kSnapshotWidth * 8 + 8)));
+  std::map<int, FeatureSnapshot> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t env_id = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadI64(&env_id));
+    FeatureSnapshot snapshot;
+    QCFE_RETURN_IF_ERROR(
+        FeatureSnapshot::LoadBinary(r, &snapshot)
+            .WithContext("snapshot for env " + std::to_string(env_id)));
+    // Uniformity validated here with a typed error, not in Put: corrupted
+    // bytes must never reach the fitting contract's QCFE_CHECK abort.
+    if (!loaded.empty() &&
+        snapshot.granularity() != loaded.begin()->second.granularity()) {
+      return Status::DataLoss("snapshot store mixes granularities");
+    }
+    if (!loaded.emplace(static_cast<int>(env_id), std::move(snapshot))
+             .second) {
+      return Status::DataLoss("duplicate snapshot env id " +
+                              std::to_string(env_id));
+    }
+  }
+  out->snapshots_ = std::move(loaded);
+  return Status::OK();
 }
 
 }  // namespace qcfe

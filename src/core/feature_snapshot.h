@@ -26,6 +26,9 @@
 
 namespace qcfe {
 
+class ByteReader;
+class ByteWriter;
+
 /// Width of the padded per-operator coefficient vector (Nested Loop needs 4;
 /// other operators zero-pad).
 constexpr size_t kSnapshotWidth = 4;
@@ -94,6 +97,14 @@ class FeatureSnapshot {
   /// SnapshotStore enforces that one store never mixes granularities).
   SnapshotGranularity granularity() const { return granularity_; }
 
+  /// Binary form for model artifacts (core/artifact.h): granularity,
+  /// per-operator coefficients, and the fine (op, table) map.
+  void SaveBinary(ByteWriter* w) const;
+  /// Decodes a snapshot written by SaveBinary. Hostile bytes fail with
+  /// kDataLoss (including an out-of-range granularity byte) — never the
+  /// QCFE_CHECK abort paths of the fitting API.
+  static Status LoadBinary(ByteReader* r, FeatureSnapshot* out);
+
  private:
   std::array<OperatorSnapshot, kNumOpTypes> per_op_;
   /// Keyed "op_index|table"; populated only at kOperatorTable granularity.
@@ -126,6 +137,17 @@ class SnapshotStore {
     return snapshots_.find(env_id) != snapshots_.end();
   }
   size_t size() const { return snapshots_.size(); }
+
+  /// Environment ids present, in ascending order (fingerprint material for
+  /// artifacts: a loaded store must cover exactly the serving env set).
+  std::vector<int> EnvIds() const;
+
+  /// Binary form for model artifacts (core/artifact.h).
+  void SaveBinary(ByteWriter* w) const;
+  /// Decodes a store written by SaveBinary. Mixed granularities — which a
+  /// legitimate save can never produce — fail with kDataLoss *before* any
+  /// Put, so corrupted bytes can not trip the uniformity QCFE_CHECK.
+  static Status LoadBinary(ByteReader* r, SnapshotStore* out);
 
  private:
   std::map<int, FeatureSnapshot> snapshots_;

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "core/artifact.h"
+#include "nn/kernels.h"
+#include "util/fs.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 
 namespace qcfe {
@@ -100,6 +105,12 @@ Result<std::vector<double>> Pipeline::PredictBatch(
 std::unique_ptr<AsyncServer> Pipeline::ServeAsync(Clock* clock) const {
   return std::make_unique<AsyncServer>(model_.get(), config_.async_serve,
                                        clock, pool_.get());
+}
+
+std::unique_ptr<AsyncServer> Pipeline::ServeAsync(const SwappableModel* models,
+                                                  const AsyncServeConfig& config,
+                                                  Clock* clock) {
+  return std::make_unique<AsyncServer>(models, config, clock);
 }
 
 std::string Pipeline::name() const {
@@ -203,6 +214,413 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
 Status Pipeline::Retrain(const std::vector<PlanSample>& train,
                          const TrainConfig& config, TrainStats* stats) {
   return model_->Train(train, config, stats);
+}
+
+namespace {
+
+/// Serving env-id set, ascending and deduplicated: the load-time identity of
+/// "which environments this pipeline knows about".
+std::vector<int> SortedEnvIds(const std::vector<Environment>& envs) {
+  std::vector<int> ids;
+  ids.reserve(envs.size());
+  for (const Environment& env : envs) ids.push_back(env.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void EncodeTrainStats(const TrainStats& stats, ByteWriter* w) {
+  w->PutF64(stats.train_seconds);
+  w->PutU64(stats.loss_curve.size());
+  for (double loss : stats.loss_curve) w->PutF64(loss);
+  w->PutU64(stats.eval_curve.size());
+  for (const auto& [epoch, q] : stats.eval_curve) {
+    w->PutI64(epoch);
+    w->PutF64(q);
+  }
+}
+
+Status DecodeTrainStats(ByteReader* r, TrainStats* stats) {
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&stats->train_seconds));
+  uint64_t losses = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&losses, sizeof(double)));
+  stats->loss_curve.assign(static_cast<size_t>(losses), 0.0);
+  for (double& loss : stats->loss_curve) QCFE_RETURN_IF_ERROR(r->ReadF64(&loss));
+  uint64_t evals = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&evals, sizeof(int64_t) + sizeof(double)));
+  stats->eval_curve.clear();
+  stats->eval_curve.reserve(static_cast<size_t>(evals));
+  for (uint64_t i = 0; i < evals; ++i) {
+    int64_t epoch = 0;
+    double q = 0.0;
+    QCFE_RETURN_IF_ERROR(r->ReadI64(&epoch));
+    QCFE_RETURN_IF_ERROR(r->ReadF64(&q));
+    stats->eval_curve.emplace_back(static_cast<int>(epoch), q);
+  }
+  return Status::OK();
+}
+
+/// Fit-structure subset of PipelineConfig that Load restores so Explain and
+/// ExtendSnapshots describe the artifact's fit, not the defaults. Runtime
+/// knobs (parallelism, async_serve, reduction tuning) intentionally stay at
+/// their defaults: they do not change what the fitted model computes.
+void EncodeConfig(const PipelineConfig& config, ByteWriter* w) {
+  w->PutString(config.estimator);
+  w->PutBool(config.use_snapshot);
+  w->PutBool(config.snapshot_from_templates);
+  w->PutI64(config.snapshot_scale);
+  w->PutU8(static_cast<uint8_t>(config.snapshot_granularity));
+  w->PutBool(config.use_reduction);
+  w->PutI64(config.pre_reduction_epochs);
+  w->PutI64(config.train.epochs);
+  w->PutU64(config.seed);
+}
+
+Status DecodeConfig(ByteReader* r, PipelineConfig* config) {
+  QCFE_RETURN_IF_ERROR(r->ReadString(&config->estimator));
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&config->use_snapshot));
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&config->snapshot_from_templates));
+  int64_t scale = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadI64(&scale));
+  config->snapshot_scale = static_cast<int>(scale);
+  uint8_t granularity = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU8(&granularity));
+  if (granularity > static_cast<uint8_t>(SnapshotGranularity::kOperatorTable)) {
+    return Status::DataLoss("invalid config granularity byte " +
+                            std::to_string(granularity));
+  }
+  config->snapshot_granularity = static_cast<SnapshotGranularity>(granularity);
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&config->use_reduction));
+  int64_t pre_epochs = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadI64(&pre_epochs));
+  config->pre_reduction_epochs = static_cast<int>(pre_epochs);
+  int64_t epochs = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadI64(&epochs));
+  config->train.epochs = static_cast<int>(epochs);
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&config->seed));
+  return Status::OK();
+}
+
+void EncodeReduction(const ReductionResult& reduction, ByteWriter* w) {
+  w->PutF64(reduction.runtime_seconds);
+  w->PutU64(reduction.per_op.size());
+  for (const auto& [op, result] : reduction.per_op) {
+    w->PutU32(static_cast<uint32_t>(op));
+    w->PutU64(result.original_dim);
+    w->PutU64(result.dropped);
+    w->PutU64(result.scores.size());
+    for (double score : result.scores) w->PutF64(score);
+    w->PutU64(result.kept.size());
+    for (size_t index : result.kept) w->PutU64(index);
+  }
+}
+
+/// `active` is the featurizer the kept indices select from (post-snapshot,
+/// pre-mask). Every index is range-checked against the live dimensionality
+/// *before* any MaskedFeaturizer is built over them — hostile kept sets must
+/// fail typed, not index out of bounds.
+Status DecodeReduction(ByteReader* r, const OperatorFeaturizer& active,
+                       ReductionResult* reduction) {
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&reduction->runtime_seconds));
+  uint64_t op_count = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&op_count, 4 + 8 + 8 + 8 + 8));
+  reduction->per_op.clear();
+  for (uint64_t i = 0; i < op_count; ++i) {
+    uint32_t op_raw = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadU32(&op_raw));
+    if (op_raw >= kNumOpTypes) {
+      return Status::DataLoss("invalid reduction operator index " +
+                              std::to_string(op_raw));
+    }
+    OpType op = static_cast<OpType>(op_raw);
+    OpReductionResult result;
+    uint64_t original_dim = 0;
+    uint64_t dropped = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadU64(&original_dim));
+    QCFE_RETURN_IF_ERROR(r->ReadU64(&dropped));
+    result.original_dim = static_cast<size_t>(original_dim);
+    result.dropped = static_cast<size_t>(dropped);
+    if (result.original_dim != active.dim(op)) {
+      return Status::FailedPrecondition(
+          "reduction for operator " + std::to_string(op_raw) +
+          " was computed over " + std::to_string(result.original_dim) +
+          " feature dims but the live featurizer has " +
+          std::to_string(active.dim(op)));
+    }
+    uint64_t score_count = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadCount(&score_count, sizeof(double)));
+    result.scores.assign(static_cast<size_t>(score_count), 0.0);
+    for (double& score : result.scores) QCFE_RETURN_IF_ERROR(r->ReadF64(&score));
+    uint64_t kept_count = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadCount(&kept_count, sizeof(uint64_t)));
+    result.kept.reserve(static_cast<size_t>(kept_count));
+    for (uint64_t k = 0; k < kept_count; ++k) {
+      uint64_t index = 0;
+      QCFE_RETURN_IF_ERROR(r->ReadU64(&index));
+      if (index >= active.dim(op)) {
+        return Status::DataLoss(
+            "reduction kept index " + std::to_string(index) +
+            " out of range for operator " + std::to_string(op_raw) + " (dim " +
+            std::to_string(active.dim(op)) + ")");
+      }
+      result.kept.push_back(static_cast<size_t>(index));
+    }
+    if (!reduction->per_op.emplace(op, std::move(result)).second) {
+      return Status::DataLoss("duplicate reduction operator " +
+                              std::to_string(op_raw));
+    }
+  }
+  return Status::OK();
+}
+
+/// A section's payload must be consumed exactly: leftover bytes mean the
+/// writer and reader disagree about the layout, which is corruption, not
+/// forward evolution (evolution adds new *sections*, never trailing bytes).
+Status RequireFullyConsumed(const ByteReader& r, const char* what) {
+  if (r.remaining() != 0) {
+    return Status::DataLoss(std::to_string(r.remaining()) +
+                            " unconsumed bytes in " + what + " section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Pipeline::Save(const std::string& path, Fs* fs) const {
+  if (fs == nullptr) fs = Fs::Default();
+
+  FitFingerprint fp;
+  fp.estimator = config_.estimator;
+  fp.schema_hash = FeatureSchemaHash(*base_featurizer_);
+  fp.has_snapshot = snapshot_store_ != nullptr;
+  fp.granularity = config_.snapshot_granularity;
+  fp.has_reduction = masked_featurizer_ != nullptr;
+  fp.env_ids = SortedEnvIds(*envs_);
+  fp.kernel_isa = kernels::KernelIsaName(kernels::GetKernelIsa());
+  fp.determinism_note = kDeterminismNote;
+
+  std::vector<artifact::Section> sections;
+  {
+    ByteWriter w;
+    artifact::EncodeFingerprint(fp, &w);
+    sections.push_back({artifact::kFingerprint, w.TakeBytes()});
+  }
+  {
+    ByteWriter w;
+    EncodeConfig(config_, &w);
+    sections.push_back({artifact::kConfig, w.TakeBytes()});
+  }
+  if (snapshot_store_ != nullptr) {
+    ByteWriter w;
+    snapshot_store_->SaveBinary(&w);
+    sections.push_back({artifact::kSnapshots, w.TakeBytes()});
+  }
+  if (masked_featurizer_ != nullptr) {
+    ByteWriter w;
+    EncodeReduction(reduction_, &w);
+    sections.push_back({artifact::kReduction, w.TakeBytes()});
+  }
+  {
+    ByteWriter w;
+    QCFE_RETURN_IF_ERROR(
+        model_->SaveState(&w).WithContext("serializing model state"));
+    sections.push_back({artifact::kModel, w.TakeBytes()});
+  }
+  {
+    ByteWriter w;
+    w.PutF64(snapshot_collection_ms_);
+    w.PutU64(snapshot_num_queries_);
+    w.PutU64(snapshot_num_templates_);
+    EncodeTrainStats(pre_train_stats_, &w);
+    EncodeTrainStats(train_stats_, &w);
+    sections.push_back({artifact::kStats, w.TakeBytes()});
+  }
+
+  return AtomicWriteFile(fs, path, artifact::Encode(sections))
+      .WithContext("saving pipeline to " + path);
+}
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Load(
+    Database* db, const std::vector<Environment>* envs,
+    const std::vector<QueryTemplate>* templates, const std::string& path,
+    Fs* fs) {
+  if (db == nullptr || envs == nullptr || templates == nullptr) {
+    return Status::InvalidArgument(
+        "Pipeline::Load requires a database, environments and templates");
+  }
+  if (fs == nullptr) fs = Fs::Default();
+
+  Result<std::string> bytes = fs->ReadFile(path);
+  if (!bytes.ok()) {
+    return bytes.status().WithContext("loading pipeline from " + path);
+  }
+  std::vector<artifact::Section> sections;
+  QCFE_RETURN_IF_ERROR(artifact::Decode(*bytes, &sections)
+                           .WithContext("loading pipeline from " + path));
+
+  // Fingerprint first: nothing else is interpreted until the artifact is
+  // known to belong to this world.
+  const artifact::Section* fp_section =
+      artifact::Find(sections, artifact::kFingerprint);
+  if (fp_section == nullptr) {
+    return Status::DataLoss("artifact has no fingerprint section");
+  }
+  FitFingerprint fp;
+  {
+    ByteReader r(fp_section->payload);
+    QCFE_RETURN_IF_ERROR(
+        artifact::DecodeFingerprint(&r, &fp).WithContext("fingerprint"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "fingerprint"));
+  }
+
+  EstimatorRegistry& registry = EstimatorRegistry::Global();
+  Result<EstimatorInfo> info = registry.Info(fp.estimator);
+  if (!info.ok()) {
+    return info.status().WithContext("artifact estimator \"" + fp.estimator +
+                                     "\"");
+  }
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->db_ = db;
+  pipeline->envs_ = envs;
+  pipeline->templates_ = templates;
+  pipeline->info_ = *info;
+
+  const artifact::Section* config_section =
+      artifact::Find(sections, artifact::kConfig);
+  if (config_section == nullptr) {
+    return Status::DataLoss("artifact has no config section");
+  }
+  {
+    ByteReader r(config_section->payload);
+    QCFE_RETURN_IF_ERROR(
+        DecodeConfig(&r, &pipeline->config_).WithContext("config"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "config"));
+  }
+  // The config section must agree with the fingerprint — both are written by
+  // the same Save, so disagreement means tampering or corruption.
+  if (pipeline->config_.estimator != fp.estimator ||
+      pipeline->config_.use_snapshot != fp.has_snapshot ||
+      pipeline->config_.use_reduction != fp.has_reduction ||
+      pipeline->config_.snapshot_granularity != fp.granularity) {
+    return Status::DataLoss("config section disagrees with the fingerprint");
+  }
+
+  // Validate against the live world. The schema hash is recomputed from a
+  // freshly built base featurizer over the caller's catalog, so any drift in
+  // tables, columns or featurizer layout rejects the artifact here.
+  pipeline->base_featurizer_ = std::make_unique<BaseFeaturizer>(db->catalog());
+  const uint64_t live_hash = FeatureSchemaHash(*pipeline->base_featurizer_);
+  if (live_hash != fp.schema_hash) {
+    return Status::FailedPrecondition(
+        "feature-schema hash mismatch: artifact was fit against hash " +
+        std::to_string(fp.schema_hash) + " but this catalog/featurizer hashes " +
+        std::to_string(live_hash));
+  }
+  const std::vector<int> live_envs = SortedEnvIds(*envs);
+  if (live_envs != fp.env_ids) {
+    std::ostringstream os;
+    os << "environment set mismatch: artifact was fit for env ids [";
+    for (size_t i = 0; i < fp.env_ids.size(); ++i) {
+      os << (i == 0 ? "" : " ") << fp.env_ids[i];
+    }
+    os << "] but the caller serves [";
+    for (size_t i = 0; i < live_envs.size(); ++i) {
+      os << (i == 0 ? "" : " ") << live_envs[i];
+    }
+    os << "]";
+    return Status::FailedPrecondition(os.str());
+  }
+
+  const OperatorFeaturizer* active = pipeline->base_featurizer_.get();
+
+  if (fp.has_snapshot) {
+    const artifact::Section* snap_section =
+        artifact::Find(sections, artifact::kSnapshots);
+    if (snap_section == nullptr) {
+      return Status::DataLoss(
+          "fingerprint promises a snapshot store but the section is missing");
+    }
+    pipeline->snapshot_store_ = std::make_unique<SnapshotStore>();
+    ByteReader r(snap_section->payload);
+    QCFE_RETURN_IF_ERROR(
+        SnapshotStore::LoadBinary(&r, pipeline->snapshot_store_.get())
+            .WithContext("snapshot store"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "snapshot"));
+    if (pipeline->snapshot_store_->EnvIds() != fp.env_ids) {
+      return Status::DataLoss(
+          "snapshot store covers a different env set than the fingerprint");
+    }
+    for (int env_id : fp.env_ids) {
+      const FeatureSnapshot* snapshot = pipeline->snapshot_store_->Get(env_id);
+      if (snapshot != nullptr && snapshot->granularity() != fp.granularity) {
+        return Status::DataLoss(
+            "snapshot granularity disagrees with the fingerprint");
+      }
+    }
+    pipeline->snapshot_featurizer_ = std::make_unique<SnapshotFeaturizer>(
+        active, pipeline->snapshot_store_.get(),
+        fp.granularity == SnapshotGranularity::kOperatorTable);
+    active = pipeline->snapshot_featurizer_.get();
+  }
+
+  if (fp.has_reduction) {
+    const artifact::Section* red_section =
+        artifact::Find(sections, artifact::kReduction);
+    if (red_section == nullptr) {
+      return Status::DataLoss(
+          "fingerprint promises a reduction but the section is missing");
+    }
+    ByteReader r(red_section->payload);
+    QCFE_RETURN_IF_ERROR(
+        DecodeReduction(&r, *active, &pipeline->reduction_)
+            .WithContext("reduction"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "reduction"));
+    pipeline->masked_featurizer_ = std::make_unique<MaskedFeaturizer>(
+        active, pipeline->reduction_.KeptMap(info->uniform_feature_width));
+    active = pipeline->masked_featurizer_.get();
+  }
+
+  const artifact::Section* model_section =
+      artifact::Find(sections, artifact::kModel);
+  if (model_section == nullptr) {
+    return Status::DataLoss("artifact has no model section");
+  }
+  // Same construction call as Fit (same seed offset), so the net layout the
+  // weights load into is exactly the layout they were trained in.
+  Result<std::unique_ptr<CostModel>> model = registry.Create(
+      fp.estimator, {db->catalog(), active, pipeline->config_.seed + 2});
+  if (!model.ok()) return model.status();
+  pipeline->model_ = std::move(model.value());
+  {
+    ByteReader r(model_section->payload);
+    QCFE_RETURN_IF_ERROR(
+        pipeline->model_->LoadState(&r).WithContext("model state"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "model"));
+  }
+
+  const artifact::Section* stats_section =
+      artifact::Find(sections, artifact::kStats);
+  if (stats_section == nullptr) {
+    return Status::DataLoss("artifact has no stats section");
+  }
+  {
+    ByteReader r(stats_section->payload);
+    QCFE_RETURN_IF_ERROR(r.ReadF64(&pipeline->snapshot_collection_ms_));
+    uint64_t queries = 0;
+    uint64_t num_templates = 0;
+    QCFE_RETURN_IF_ERROR(r.ReadU64(&queries));
+    QCFE_RETURN_IF_ERROR(r.ReadU64(&num_templates));
+    pipeline->snapshot_num_queries_ = static_cast<size_t>(queries);
+    pipeline->snapshot_num_templates_ = static_cast<size_t>(num_templates);
+    QCFE_RETURN_IF_ERROR(DecodeTrainStats(&r, &pipeline->pre_train_stats_)
+                             .WithContext("pre-train stats"));
+    QCFE_RETURN_IF_ERROR(DecodeTrainStats(&r, &pipeline->train_stats_)
+                             .WithContext("train stats"));
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "stats"));
+  }
+
+  return pipeline;
 }
 
 }  // namespace qcfe

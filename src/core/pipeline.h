@@ -36,6 +36,9 @@
 
 namespace qcfe {
 
+class Fs;
+class SwappableModel;
+
 /// Pipeline configuration. The default is the paper's full QCFE recipe
 /// (FST snapshot + difference-propagation reduction) around QPPNet; setting
 /// use_snapshot/use_reduction to false yields the plain baselines.
@@ -107,6 +110,37 @@ class Pipeline {
   /// be destroyed (or shut down) before the pipeline. `clock` is for tests
   /// (null = real time).
   std::unique_ptr<AsyncServer> ServeAsync(Clock* clock = nullptr) const;
+
+  /// Hot-swappable variant: the returned server resolves the current model
+  /// from `models` once per micro-batch, so LoadAndSwap
+  /// (serve/model_swap.h) can replace the pipeline behind it with zero
+  /// downtime. Static because the server deliberately outlives any single
+  /// pipeline generation; `models` must outlive the server.
+  static std::unique_ptr<AsyncServer> ServeAsync(const SwappableModel* models,
+                                                 const AsyncServeConfig& config,
+                                                 Clock* clock = nullptr);
+
+  /// Serializes the fitted pipeline — fit fingerprint, config, snapshot
+  /// store, reduction kept-set, model weights/optimizer state, stats — as a
+  /// versioned binary artifact (core/artifact.h) published via temp-file →
+  /// fsync → atomic rename, so a crash mid-save never corrupts a
+  /// previously published artifact at `path`. `fs` is the I/O seam (null =
+  /// the real file system; tests inject FaultInjectingFs).
+  Status Save(const std::string& path, Fs* fs = nullptr) const;
+
+  /// Restores a pipeline saved with Save() against live db/envs/templates.
+  /// The artifact's fit fingerprint is validated first: the feature-schema
+  /// hash recomputed from `db`'s catalog, the environment-id set, and the
+  /// estimator name must all match (kFailedPrecondition otherwise), and
+  /// damaged bytes fail with kDataLoss — hostile input never aborts.
+  /// Model weights are rebuilt in place against a freshly constructed
+  /// estimator, so Load → PredictBatch is bit-identical to the original
+  /// in-memory pipeline. Loaded pipelines serve serially (no worker pool);
+  /// runtime knobs like async_serve keep their defaults.
+  static Result<std::unique_ptr<Pipeline>> Load(
+      Database* db, const std::vector<Environment>* envs,
+      const std::vector<QueryTemplate>* templates, const std::string& path,
+      Fs* fs = nullptr);
 
   /// Human-readable description of the fitted chain: estimator, snapshot
   /// provenance and cost, reduction ratio, training stats.

@@ -20,6 +20,9 @@
 
 namespace qcfe {
 
+class ByteReader;
+class ByteWriter;
+
 /// One training/evaluation sample: an executed plan (carrying per-operator
 /// actual latencies used as training signal), the environment it ran under,
 /// and the total ground-truth latency.
@@ -146,6 +149,25 @@ class CostModel {
     (void)op;
     (void)context;
     return Status::FailedPrecondition("model has no operator view");
+  }
+
+  /// Serializes the trained state — weights, scalers, optimizer moments,
+  /// RNG stream position — into `w` as this model's own versioned
+  /// sub-format inside an artifact's model section (core/artifact.h).
+  /// Stateless analytical models write nothing.
+  virtual Status SaveState(ByteWriter* w) const {
+    (void)w;
+    return Status::OK();
+  }
+
+  /// Restores state written by SaveState into a model constructed against
+  /// the same featurizer/catalog/config: weights are overwritten **in
+  /// place** (no layer or moment slot is reallocated, so optimizer
+  /// parameter bindings survive). Wrong model family or architecture is
+  /// kFailedPrecondition; truncated bytes are kDataLoss.
+  virtual Status LoadState(ByteReader* r) {
+    (void)r;
+    return Status::OK();
   }
 
  private:

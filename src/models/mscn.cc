@@ -6,6 +6,7 @@
 
 #include "models/registry.h"
 #include "util/env_config.h"
+#include "util/serialize.h"
 #include "util/stats.h"
 
 namespace qcfe {
@@ -14,6 +15,45 @@ namespace {
 constexpr size_t kMaxTables = 24;   // join-table one-hot slots
 constexpr size_t kMaxColumns = 48;  // predicate-column one-hot slots
 constexpr size_t kNumPredOps = 9;
+/// Model-section sub-format marker; bump on any layout change so an old
+/// binary rejects a new artifact with a clear error instead of misparsing.
+constexpr const char kMscnStateMarker[] = "mscn-state-v1";
+
+void WriteSlotMap(const std::map<std::string, size_t>& slots, ByteWriter* w) {
+  w->PutU64(slots.size());
+  for (const auto& [name, slot] : slots) {
+    w->PutString(name);
+    w->PutU64(slot);
+  }
+}
+
+/// Validates the saved vocabulary against the live catalog-derived one: a
+/// mismatch means the artifact would one-hot encode joins/predicates into
+/// different slots than training did, i.e. silently wrong predictions.
+Status CheckSlotMap(const char* what, const std::map<std::string, size_t>& live,
+                    ByteReader* r) {
+  uint64_t count = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&count, sizeof(uint64_t)));
+  if (count != live.size()) {
+    return Status::FailedPrecondition(
+        std::string(what) + " vocabulary size mismatch: saved " +
+        std::to_string(count) + ", catalog has " +
+        std::to_string(live.size()));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t slot = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadString(&name));
+    QCFE_RETURN_IF_ERROR(r->ReadU64(&slot));
+    auto it = live.find(name);
+    if (it == live.end() || it->second != slot) {
+      return Status::FailedPrecondition(
+          std::string(what) + " vocabulary mismatch at \"" + name +
+          "\": the artifact was fit against a different catalog");
+    }
+  }
+  return Status::OK();
+}
 }  // namespace
 
 Mscn::Mscn(const Catalog* catalog, const OperatorFeaturizer* featurizer,
@@ -614,6 +654,80 @@ Result<Mlp> Mscn::OperatorView(OpType /*op*/,
     view.AppendLayer(Mlp::CloneLayer(*layer));
   }
   return view;
+}
+
+Status Mscn::SaveState(ByteWriter* w) const {
+  w->PutString(kMscnStateMarker);
+  w->PutU64(config_.set_hidden);
+  w->PutU64(config_.op_hidden);
+  w->PutU64(config_.final_hidden);
+  w->PutU64(join_dim_);
+  w->PutU64(pred_dim_);
+  w->PutU64(op_dim_);
+  WriteSlotMap(table_slots_, w);
+  WriteSlotMap(column_slots_, w);
+  w->PutU64(rng_.state());
+  w->PutBool(scalers_fitted_);
+  join_scaler_.SaveBinary(w);
+  pred_scaler_.SaveBinary(w);
+  op_scaler_.SaveBinary(w);
+  label_scaler_.SaveBinary(w);
+  join_net_->SaveBinary(w);
+  pred_net_->SaveBinary(w);
+  op_net_->SaveBinary(w);
+  final_net_->SaveBinary(w);
+  optimizer_->SaveState(w);
+  return Status::OK();
+}
+
+Status Mscn::LoadState(ByteReader* r) {
+  std::string marker;
+  QCFE_RETURN_IF_ERROR(r->ReadString(&marker));
+  if (marker != kMscnStateMarker) {
+    return Status::FailedPrecondition("model state is not " +
+                                      std::string(kMscnStateMarker) +
+                                      " (found \"" + marker + "\")");
+  }
+  uint64_t set_hidden = 0, op_hidden = 0, final_hidden = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&set_hidden));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&op_hidden));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&final_hidden));
+  if (set_hidden != config_.set_hidden || op_hidden != config_.op_hidden ||
+      final_hidden != config_.final_hidden) {
+    return Status::FailedPrecondition(
+        "saved mscn config (set_hidden=" + std::to_string(set_hidden) +
+        ", op_hidden=" + std::to_string(op_hidden) +
+        ", final_hidden=" + std::to_string(final_hidden) +
+        ") does not match this model");
+  }
+  uint64_t join_dim = 0, pred_dim = 0, op_dim = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&join_dim));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&pred_dim));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&op_dim));
+  if (join_dim != join_dim_ || pred_dim != pred_dim_ || op_dim != op_dim_) {
+    return Status::FailedPrecondition(
+        "saved mscn element dims (join=" + std::to_string(join_dim) +
+        ", pred=" + std::to_string(pred_dim) +
+        ", op=" + std::to_string(op_dim) + ") do not match this model (join=" +
+        std::to_string(join_dim_) + ", pred=" + std::to_string(pred_dim_) +
+        ", op=" + std::to_string(op_dim_) + ")");
+  }
+  QCFE_RETURN_IF_ERROR(CheckSlotMap("join-table", table_slots_, r));
+  QCFE_RETURN_IF_ERROR(CheckSlotMap("predicate-column", column_slots_, r));
+  uint64_t rng_state = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&rng_state));
+  rng_.set_state(rng_state);
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&scalers_fitted_));
+  QCFE_RETURN_IF_ERROR(join_scaler_.LoadBinary(r).WithContext("join scaler"));
+  QCFE_RETURN_IF_ERROR(pred_scaler_.LoadBinary(r).WithContext("pred scaler"));
+  QCFE_RETURN_IF_ERROR(op_scaler_.LoadBinary(r).WithContext("op scaler"));
+  QCFE_RETURN_IF_ERROR(label_scaler_.LoadBinary(r).WithContext("label scaler"));
+  QCFE_RETURN_IF_ERROR(join_net_->LoadBinary(r).WithContext("join net"));
+  QCFE_RETURN_IF_ERROR(pred_net_->LoadBinary(r).WithContext("pred net"));
+  QCFE_RETURN_IF_ERROR(op_net_->LoadBinary(r).WithContext("op net"));
+  QCFE_RETURN_IF_ERROR(final_net_->LoadBinary(r).WithContext("final net"));
+  QCFE_RETURN_IF_ERROR(optimizer_->LoadState(r).WithContext("optimizer"));
+  return Status::OK();
 }
 
 namespace {

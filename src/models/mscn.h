@@ -60,6 +60,13 @@ class Mscn : public CostModel {
   Result<Mlp> OperatorView(
       OpType op, const std::vector<PlanSample>& context) const override;
 
+  /// Persists the four module networks, set/label scalers, Adam moments,
+  /// the RNG stream position and the catalog-derived slot maps — the slot
+  /// maps are *validated* on load, so an artifact fit against a different
+  /// catalog vocabulary is rejected instead of silently mis-encoding.
+  Status SaveState(ByteWriter* w) const override;
+  Status LoadState(ByteReader* r) override;
+
   size_t join_dim() const { return join_dim_; }
   size_t pred_dim() const { return pred_dim_; }
   size_t op_dim() const { return op_dim_; }

@@ -5,9 +5,16 @@
 
 #include "models/registry.h"
 #include "util/env_config.h"
+#include "util/serialize.h"
 #include "util/stats.h"
 
 namespace qcfe {
+
+namespace {
+/// Model-section sub-format marker; bump on any layout change so an old
+/// binary rejects a new artifact with a clear error instead of misparsing.
+constexpr const char kQppNetStateMarker[] = "qppnet-state-v1";
+}  // namespace
 
 QppNet::QppNet(const OperatorFeaturizer* featurizer, QppNetConfig config,
                uint64_t seed)
@@ -530,6 +537,60 @@ Result<Mlp> QppNet::OperatorView(
   select->weights().At(0, 0) = 1.0;
   view.AppendLayer(std::move(select));
   return view;
+}
+
+Status QppNet::SaveState(ByteWriter* w) const {
+  w->PutString(kQppNetStateMarker);
+  w->PutU64(config_.hidden);
+  w->PutU64(config_.data_vector_dim);
+  w->PutU64(config_.max_children);
+  w->PutU64(rng_.state());
+  w->PutBool(scalers_fitted_);
+  for (const StandardScaler& scaler : feature_scalers_) scaler.SaveBinary(w);
+  label_scaler_.SaveBinary(w);
+  for (const auto& unit : units_) unit->SaveBinary(w);
+  optimizer_->SaveState(w);
+  return Status::OK();
+}
+
+Status QppNet::LoadState(ByteReader* r) {
+  std::string marker;
+  QCFE_RETURN_IF_ERROR(r->ReadString(&marker));
+  if (marker != kQppNetStateMarker) {
+    return Status::FailedPrecondition("model state is not " +
+                                      std::string(kQppNetStateMarker) +
+                                      " (found \"" + marker + "\")");
+  }
+  uint64_t hidden = 0, dvec = 0, max_children = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&hidden));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&dvec));
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&max_children));
+  if (hidden != config_.hidden || dvec != config_.data_vector_dim ||
+      max_children != config_.max_children) {
+    return Status::FailedPrecondition(
+        "saved qppnet config (hidden=" + std::to_string(hidden) +
+        ", data_vector_dim=" + std::to_string(dvec) +
+        ", max_children=" + std::to_string(max_children) +
+        ") does not match this model (hidden=" +
+        std::to_string(config_.hidden) +
+        ", data_vector_dim=" + std::to_string(config_.data_vector_dim) +
+        ", max_children=" + std::to_string(config_.max_children) + ")");
+  }
+  uint64_t rng_state = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&rng_state));
+  rng_.set_state(rng_state);
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&scalers_fitted_));
+  for (size_t i = 0; i < feature_scalers_.size(); ++i) {
+    QCFE_RETURN_IF_ERROR(feature_scalers_[i].LoadBinary(r).WithContext(
+        "feature scaler for op " + std::to_string(i)));
+  }
+  QCFE_RETURN_IF_ERROR(label_scaler_.LoadBinary(r).WithContext("label scaler"));
+  for (size_t i = 0; i < units_.size(); ++i) {
+    QCFE_RETURN_IF_ERROR(units_[i]->LoadBinary(r).WithContext(
+        "neural unit for op " + std::to_string(i)));
+  }
+  QCFE_RETURN_IF_ERROR(optimizer_->LoadState(r).WithContext("optimizer"));
+  return Status::OK();
 }
 
 namespace {

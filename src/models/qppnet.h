@@ -60,6 +60,13 @@ class QppNet : public CostModel {
   Result<Mlp> OperatorView(
       OpType op, const std::vector<PlanSample>& context) const override;
 
+  /// Persists units, per-op feature scalers, label scaler, Adam moments and
+  /// the RNG stream position (core/artifact.h model section). A loaded
+  /// model predicts — and, warm-started, trains — bit-identically to the
+  /// original.
+  Status SaveState(ByteWriter* w) const override;
+  Status LoadState(ByteReader* r) override;
+
   const Mlp& unit(OpType op) const { return *units_[static_cast<size_t>(op)]; }
 
   /// Flat trainable-parameter / optimizer-bound gradient lists across all

@@ -1,0 +1,57 @@
+#include "nn/matrix_io.h"
+
+#include <string>
+
+namespace qcfe {
+
+void WriteMatrix(const Matrix& m, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(m.rows()));
+  w->PutU32(static_cast<uint32_t>(m.cols()));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) w->PutF64(row[c]);
+  }
+}
+
+Status ReadMatrixInto(ByteReader* r, Matrix* m) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU32(&rows));
+  QCFE_RETURN_IF_ERROR(r->ReadU32(&cols));
+  if (rows != m->rows() || cols != m->cols()) {
+    return Status::FailedPrecondition(
+        "matrix shape mismatch: saved " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", expected " + std::to_string(m->rows()) +
+        "x" + std::to_string(m->cols()));
+  }
+  // Bulk bounds check up front so a truncated payload fails before any
+  // element is overwritten (loads are all-or-nothing per matrix).
+  const uint64_t need = static_cast<uint64_t>(rows) * cols * sizeof(double);
+  if (need > r->remaining()) {
+    return Status::DataLoss("matrix payload needs " + std::to_string(need) +
+                            " bytes, have " + std::to_string(r->remaining()) +
+                            " at offset " + std::to_string(r->offset()));
+  }
+  for (size_t row = 0; row < m->rows(); ++row) {
+    double* dst = m->RowPtr(row);
+    for (size_t c = 0; c < m->cols(); ++c) {
+      QCFE_RETURN_IF_ERROR(r->ReadF64(&dst[c]));
+    }
+  }
+  return Status::OK();
+}
+
+void WriteDoubles(const std::vector<double>& v, ByteWriter* w) {
+  w->PutU64(v.size());
+  for (double x : v) w->PutF64(x);
+}
+
+Status ReadDoubles(ByteReader* r, std::vector<double>* v) {
+  uint64_t count = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadCount(&count, sizeof(double)));
+  v->resize(static_cast<size_t>(count));
+  for (double& x : *v) QCFE_RETURN_IF_ERROR(r->ReadF64(&x));
+  return Status::OK();
+}
+
+}  // namespace qcfe

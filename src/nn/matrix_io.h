@@ -1,0 +1,36 @@
+#ifndef QCFE_NN_MATRIX_IO_H_
+#define QCFE_NN_MATRIX_IO_H_
+
+/// \file matrix_io.h
+/// Binary (de)serialization of Matrix for the artifact layer
+/// (core/artifact.h). The wire format is logical: u32 rows, u32 cols, then
+/// rows*cols doubles in row-major order as raw bit patterns — the padded
+/// leading dimension (matrix.h) is a memory-layout detail and never hits
+/// disk, so artifacts are stable even if the SIMD padding contract changes.
+
+#include "nn/matrix.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace qcfe {
+
+/// Appends `m` to `w` (u32 rows, u32 cols, rows*cols F64 values).
+void WriteMatrix(const Matrix& m, ByteWriter* w);
+
+/// Reads a matrix written by WriteMatrix into `m`, which must already have
+/// the expected shape — weights are restored *in place* so pointers bound at
+/// construction (optimizer slots, tape views) stay valid. A shape mismatch
+/// is kFailedPrecondition (well-formed bytes for a different architecture);
+/// truncation is kDataLoss from the underlying reader.
+Status ReadMatrixInto(ByteReader* r, Matrix* m);
+
+/// Writes a vector<double> as u64 count + F64 values.
+void WriteDoubles(const std::vector<double>& v, ByteWriter* w);
+
+/// Reads a vector written by WriteDoubles (count validated against the
+/// remaining bytes before allocation).
+Status ReadDoubles(ByteReader* r, std::vector<double>* v);
+
+}  // namespace qcfe
+
+#endif  // QCFE_NN_MATRIX_IO_H_

@@ -5,9 +5,11 @@
 #include <ostream>
 
 #include "nn/kernels.h"
+#include "nn/matrix_io.h"
 #include "nn/optimizer.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace qcfe {
 
@@ -276,6 +278,59 @@ Status Mlp::Load(std::istream& is) {
         return Status::ParseError("unknown layer kind");
     }
     if (!is.good() && !is.eof()) return Status::ParseError("truncated mlp");
+  }
+  return Status::OK();
+}
+
+void Mlp::SaveBinary(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(in_dim_));
+  w->PutU32(static_cast<uint32_t>(out_dim_));
+  w->PutU8(static_cast<uint8_t>(act_));
+  w->PutU32(static_cast<uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    w->PutU8(static_cast<uint8_t>(layer->kind()));
+    if (layer->kind() == LayerKind::kLinear) {
+      const auto* lin = static_cast<const LinearLayer*>(layer.get());
+      WriteMatrix(lin->weights(), w);
+      WriteMatrix(lin->bias(), w);
+    }
+  }
+}
+
+Status Mlp::LoadBinary(ByteReader* r) {
+  uint32_t in = 0, out = 0, n_layers = 0;
+  uint8_t act = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU32(&in));
+  QCFE_RETURN_IF_ERROR(r->ReadU32(&out));
+  QCFE_RETURN_IF_ERROR(r->ReadU8(&act));
+  QCFE_RETURN_IF_ERROR(r->ReadU32(&n_layers));
+  if (in != in_dim_ || out != out_dim_ ||
+      act != static_cast<uint8_t>(act_) || n_layers != layers_.size()) {
+    return Status::FailedPrecondition(
+        "mlp architecture mismatch: saved " + std::to_string(in) + "->" +
+        std::to_string(out) + " (" + std::to_string(n_layers) +
+        " layers), this network is " + std::to_string(in_dim_) + "->" +
+        std::to_string(out_dim_) + " (" + std::to_string(layers_.size()) +
+        " layers)");
+  }
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    uint8_t kind = 0;
+    QCFE_RETURN_IF_ERROR(r->ReadU8(&kind));
+    if (kind != static_cast<uint8_t>(layers_[i]->kind())) {
+      return Status::FailedPrecondition(
+          "mlp layer " + std::to_string(i) + " kind mismatch: saved kind " +
+          std::to_string(kind) + ", this network has kind " +
+          std::to_string(static_cast<int>(layers_[i]->kind())));
+    }
+    if (layers_[i]->kind() == LayerKind::kLinear) {
+      auto* lin = static_cast<LinearLayer*>(layers_[i].get());
+      QCFE_RETURN_IF_ERROR(
+          ReadMatrixInto(r, &lin->weights())
+              .WithContext("layer " + std::to_string(i) + " weights"));
+      QCFE_RETURN_IF_ERROR(
+          ReadMatrixInto(r, &lin->bias())
+              .WithContext("layer " + std::to_string(i) + " bias"));
+    }
   }
   return Status::OK();
 }

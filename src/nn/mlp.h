@@ -18,6 +18,8 @@
 
 namespace qcfe {
 
+class ByteReader;
+class ByteWriter;
 class GradSink;
 class Rng;
 
@@ -119,6 +121,18 @@ class Mlp {
   Status Save(std::ostream& os) const;
   /// Restores a network saved with Save().
   Status Load(std::istream& is);
+
+  /// Appends architecture + weights to `w` in the exact little-endian binary
+  /// form used by model artifacts (core/artifact.h) — doubles as bit
+  /// patterns, so a round trip is bit-identical.
+  void SaveBinary(ByteWriter* w) const;
+  /// Restores weights saved with SaveBinary **in place**: the saved
+  /// architecture (layer count, kinds, dims, activation) must match this
+  /// already-constructed network exactly — weights are overwritten but no
+  /// layer is reallocated, so parameter pointers handed to an optimizer at
+  /// construction stay bound. Architecture mismatch is kFailedPrecondition;
+  /// truncated bytes are kDataLoss.
+  Status LoadBinary(ByteReader* r);
 
   /// Deep copy (fresh caches, same weights).
   Mlp Clone() const;

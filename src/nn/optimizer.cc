@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "nn/kernels.h"
+#include "nn/matrix_io.h"
+#include "util/serialize.h"
 
 namespace qcfe {
 
@@ -82,6 +85,44 @@ void AdamOptimizer::Step() {
     kernels::AdamStep(params_[i], *grads_[i], &m_[i], &v_[i], lr_, beta1_,
                       beta2_, eps_, bc1, bc2);
   }
+}
+
+void AdamOptimizer::SaveState(ByteWriter* w) const {
+  w->PutF64(lr_);
+  w->PutF64(beta1_);
+  w->PutF64(beta2_);
+  w->PutF64(eps_);
+  w->PutF64(clip_norm_);
+  w->PutI64(t_);
+  w->PutU64(m_.size());
+  for (const Matrix& m : m_) WriteMatrix(m, w);
+  for (const Matrix& v : v_) WriteMatrix(v, w);
+}
+
+Status AdamOptimizer::LoadState(ByteReader* r) {
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&lr_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&beta1_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&beta2_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&eps_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&clip_norm_));
+  QCFE_RETURN_IF_ERROR(r->ReadI64(&t_));
+  uint64_t slots = 0;
+  QCFE_RETURN_IF_ERROR(r->ReadU64(&slots));
+  if (slots != m_.size()) {
+    return Status::FailedPrecondition(
+        "adam state has " + std::to_string(slots) +
+        " moment slots, this optimizer is bound to " +
+        std::to_string(m_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    QCFE_RETURN_IF_ERROR(ReadMatrixInto(r, &m_[i]).WithContext(
+        "adam first-moment slot " + std::to_string(i)));
+  }
+  for (size_t i = 0; i < v_.size(); ++i) {
+    QCFE_RETURN_IF_ERROR(ReadMatrixInto(r, &v_[i]).WithContext(
+        "adam second-moment slot " + std::to_string(i)));
+  }
+  return Status::OK();
 }
 
 }  // namespace qcfe

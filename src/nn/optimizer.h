@@ -11,8 +11,12 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "util/status.h"
 
 namespace qcfe {
+
+class ByteReader;
+class ByteWriter;
 
 /// A caller-owned set of parameter-gradient accumulators, shaped like some
 /// network's Grads() list. Tape-based Mlp::Backward adds into a sink
@@ -97,6 +101,16 @@ class AdamOptimizer : public Optimizer {
   /// Global-norm gradient clipping (0 disables). Stabilises the
   /// plan-structured training where rare deep plans can spike gradients.
   void set_clip_norm(double clip) { clip_norm_ = clip; }
+
+  /// Serializes hyperparameters, step count and first/second-moment slots
+  /// for model artifacts (core/artifact.h), so a loaded model's next Step()
+  /// is bit-identical to the never-persisted original's (warm-start
+  /// retraining resumes mid-schedule, not from scratch).
+  void SaveState(ByteWriter* w) const;
+  /// Restores state saved by SaveState into an optimizer bound to the same
+  /// parameter shapes. Slot-count or shape mismatch is kFailedPrecondition;
+  /// truncated bytes are kDataLoss.
+  Status LoadState(ByteReader* r);
 
  private:
   double lr_;

@@ -5,6 +5,9 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/matrix_io.h"
+#include "util/serialize.h"
+
 namespace qcfe {
 
 namespace {
@@ -157,6 +160,39 @@ Status LogTargetScaler::Load(std::istream& is) {
     return Status::ParseError("bad logscaler");
   }
   fitted_ = true;
+  return Status::OK();
+}
+
+void StandardScaler::SaveBinary(ByteWriter* w) const {
+  WriteDoubles(mean_, w);
+  WriteDoubles(std_, w);
+}
+
+Status StandardScaler::LoadBinary(ByteReader* r) {
+  QCFE_RETURN_IF_ERROR(ReadDoubles(r, &mean_));
+  QCFE_RETURN_IF_ERROR(ReadDoubles(r, &std_));
+  if (mean_.size() != std_.size()) {
+    return Status::DataLoss("standard scaler mean/std dimension mismatch (" +
+                            std::to_string(mean_.size()) + " vs " +
+                            std::to_string(std_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+void LogTargetScaler::SaveBinary(ByteWriter* w) const {
+  w->PutBool(fitted_);
+  w->PutF64(mean_);
+  w->PutF64(std_);
+  w->PutF64(t_min_);
+  w->PutF64(t_max_);
+}
+
+Status LogTargetScaler::LoadBinary(ByteReader* r) {
+  QCFE_RETURN_IF_ERROR(r->ReadBool(&fitted_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&mean_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&std_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&t_min_));
+  QCFE_RETURN_IF_ERROR(r->ReadF64(&t_max_));
   return Status::OK();
 }
 

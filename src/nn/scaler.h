@@ -14,6 +14,9 @@
 
 namespace qcfe {
 
+class ByteReader;
+class ByteWriter;
+
 /// Per-column z-score standardiser: x' = (x - mean) / std, with std floored
 /// so constant columns map to exactly zero rather than NaN.
 class StandardScaler {
@@ -38,6 +41,10 @@ class StandardScaler {
 
   Status Save(std::ostream& os) const;
   Status Load(std::istream& is);
+
+  /// Binary form for model artifacts (core/artifact.h): bit-exact doubles.
+  void SaveBinary(ByteWriter* w) const;
+  Status LoadBinary(ByteReader* r);
 
  private:
   std::vector<double> mean_;
@@ -74,6 +81,10 @@ class LogTargetScaler {
 
   Status Save(std::ostream& os) const;
   Status Load(std::istream& is);
+
+  /// Binary form for model artifacts (core/artifact.h): bit-exact doubles.
+  void SaveBinary(ByteWriter* w) const;
+  Status LoadBinary(ByteReader* r);
 
  private:
   bool fitted_ = false;

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/model_swap.h"
 #include "util/check.h"
 
 namespace qcfe {
@@ -17,20 +18,37 @@ std::future<Result<double>> ReadyError(Status status) {
   return future;
 }
 
+AsyncServeConfig Normalize(const AsyncServeConfig& config) {
+  AsyncServeConfig c = config;
+  if (c.max_batch == 0) c.max_batch = 1;
+  if (c.num_workers == 0) c.num_workers = 1;
+  if (c.max_delay_micros < 0) c.max_delay_micros = 0;
+  return c;
+}
+
 }  // namespace
 
 AsyncServer::AsyncServer(const CostModel* model, const AsyncServeConfig& config,
                          Clock* clock, ThreadPool* pool)
     : model_(model),
-      config_([&] {
-        AsyncServeConfig c = config;
-        if (c.max_batch == 0) c.max_batch = 1;
-        if (c.num_workers == 0) c.num_workers = 1;
-        if (c.max_delay_micros < 0) c.max_delay_micros = 0;
-        return c;
-      }()),
+      swappable_(nullptr),
+      config_(Normalize(config)),
       clock_(clock != nullptr ? clock : Clock::Real()),
       pool_(pool) {
+  StartWorkers();
+}
+
+AsyncServer::AsyncServer(const SwappableModel* models,
+                         const AsyncServeConfig& config, Clock* clock)
+    : model_(nullptr),
+      swappable_(models),
+      config_(Normalize(config)),
+      clock_(clock != nullptr ? clock : Clock::Real()),
+      pool_(nullptr) {
+  StartWorkers();
+}
+
+void AsyncServer::StartWorkers() {
   workers_.reserve(config_.num_workers);
   for (size_t i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -154,8 +172,44 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
   samples.reserve(batch->size());
   for (const Pending& p : *batch) samples.push_back(p.sample);
 
+  // Resolve the model exactly once per cut batch, before taking mu_. The
+  // handle pins the resolved pipeline generation for the whole flush, so a
+  // concurrent Publish can neither tear this batch across versions nor
+  // destroy the model under it.
+  const CostModel* model = model_;
+  std::shared_ptr<const CostModel> held;
+  uint64_t version = 0;
+  if (swappable_ != nullptr) {
+    held = swappable_->CurrentModel(&version);
+    model = held.get();
+  }
+  if (model == nullptr) {
+    {
+      MutexLock lock(&mu_);
+      ++stats_.batches_flushed;
+      stats_.served += batch->size();
+      stats_.failed += batch->size();
+      switch (reason) {
+        case FlushReason::kFull:
+          ++stats_.full_flushes;
+          break;
+        case FlushReason::kDeadline:
+          ++stats_.deadline_flushes;
+          break;
+        case FlushReason::kDrain:
+          ++stats_.drain_flushes;
+          break;
+      }
+    }
+    for (Pending& p : *batch) {
+      p.promise.set_value(Result<double>(Status::FailedPrecondition(
+          "no model version has been published to this server yet")));
+    }
+    return;
+  }
+
   std::vector<CostModel::BatchPrediction> results =
-      model_->PredictBatchEach(samples, pool_);
+      model->PredictBatchEach(samples, pool_);
   // The promise-fulfilment loop below indexes results positionally; a model
   // returning a short/long vector would fulfil the wrong futures.
   QCFE_CHECK(results.size() == batch->size(),
@@ -173,6 +227,7 @@ void AsyncServer::FlushBatch(std::vector<Pending>* batch, FlushReason reason) {
     ++stats_.batches_flushed;
     stats_.served += batch->size();
     stats_.failed += failures;
+    if (swappable_ != nullptr) stats_.model_version = version;
     // Counter conservation: every served or cancelled request was admitted.
     QCFE_DCHECK(stats_.served + stats_.cancelled <= stats_.submitted,
                 "AsyncServer served/cancelled more requests than submitted");
@@ -224,6 +279,17 @@ void AsyncServer::Shutdown(ShutdownMode mode) {
   std::call_once(join_once_, [this] {
     for (std::thread& worker : workers_) worker.join();
   });
+}
+
+void AsyncServer::RecordSwapPublished(uint64_t version) {
+  MutexLock lock(&mu_);
+  ++stats_.swaps_published;
+  stats_.model_version = version;
+}
+
+void AsyncServer::RecordSwapRejected() {
+  MutexLock lock(&mu_);
+  ++stats_.swaps_rejected;
 }
 
 AsyncServeStats AsyncServer::stats() const {

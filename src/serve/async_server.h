@@ -50,6 +50,8 @@
 
 namespace qcfe {
 
+class SwappableModel;
+
 /// Micro-batcher tuning knobs (PipelineConfig::async_serve carries these).
 struct AsyncServeConfig {
   /// Flush as soon as this many requests are queued.
@@ -67,7 +69,8 @@ struct AsyncServeConfig {
   size_t max_queue = 4096;
 };
 
-/// Serving counters, all monotonically increasing except mean_occupancy.
+/// Serving counters, all monotonically increasing except mean_occupancy
+/// and model_version (which tracks the published version).
 struct AsyncServeStats {
   uint64_t submitted = 0;         ///< requests accepted into the queue
   uint64_t rejected = 0;          ///< refused at admission (or post-shutdown)
@@ -79,6 +82,11 @@ struct AsyncServeStats {
   uint64_t deadline_flushes = 0;  ///< flush reason: max_delay deadline
   uint64_t drain_flushes = 0;     ///< flush reason: shutdown drain
   double mean_occupancy = 0.0;    ///< served / batches_flushed
+  // Hot-swap counters (serve/model_swap.h); all zero for fixed-model
+  // servers.
+  uint64_t swaps_published = 0;   ///< successful LoadAndSwap publishes
+  uint64_t swaps_rejected = 0;    ///< LoadAndSwap failures (old model kept)
+  uint64_t model_version = 0;     ///< version of the last publish/flush seen
 };
 
 /// Request-queue front end over one CostModel. Thread-safe: any number of
@@ -92,6 +100,15 @@ class AsyncServer {
   /// PredictBatchMs(batch, pool).
   AsyncServer(const CostModel* model, const AsyncServeConfig& config,
               Clock* clock = nullptr, ThreadPool* pool = nullptr);
+  /// Hot-swappable variant: every cut batch is served by the model version
+  /// current at flush time, resolved once per batch — a concurrent Publish
+  /// never tears a batch across versions, and each request is answered by
+  /// exactly one version. `models` must outlive the server. While no
+  /// version is published yet, requests fail with kFailedPrecondition.
+  /// No worker pool: the pool belongs to a pipeline generation, which a
+  /// swap may retire while this server is still running.
+  AsyncServer(const SwappableModel* models, const AsyncServeConfig& config,
+              Clock* clock = nullptr);
   /// Drains outstanding work, then joins the flusher threads.
   ~AsyncServer();
 
@@ -117,6 +134,12 @@ class AsyncServer {
   /// lock, and flush counters are published before the batch's futures).
   AsyncServeStats stats() const;
 
+  /// Swap accounting, called by LoadAndSwap (serve/model_swap.h). Publishes
+  /// bump swaps_published and advance model_version; rejections only bump
+  /// swaps_rejected — the old version keeps serving.
+  void RecordSwapPublished(uint64_t version);
+  void RecordSwapRejected();
+
   const AsyncServeConfig& config() const { return config_; }
 
  private:
@@ -141,7 +164,12 @@ class AsyncServer {
   void FlushBatch(std::vector<Pending>* batch, FlushReason reason)
       QCFE_EXCLUDES(mu_);
 
+  void StartWorkers();
+
+  /// Exactly one of model_/swappable_ is set: a fixed model for classic
+  /// servers, a publication point for hot-swappable ones.
   const CostModel* model_;
+  const SwappableModel* swappable_;
   const AsyncServeConfig config_;
   Clock* clock_;
   ThreadPool* pool_;

@@ -1,0 +1,103 @@
+#include "serve/model_swap.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "serve/async_server.h"
+
+namespace qcfe {
+
+SwappableModel::SwappableModel(std::shared_ptr<const Pipeline> initial) {
+  Publish(std::move(initial));
+}
+
+std::shared_ptr<const Pipeline> SwappableModel::Current(
+    uint64_t* version) const {
+  ReaderMutexLock lock(&mu_);
+  if (version != nullptr) *version = version_;
+  return pipeline_;
+}
+
+std::shared_ptr<const CostModel> SwappableModel::CurrentModel(
+    uint64_t* version) const {
+  std::shared_ptr<const Pipeline> pipeline = Current(version);
+  if (pipeline == nullptr) return nullptr;
+  // Aliasing handle: points at the pipeline's model, owns the pipeline.
+  return std::shared_ptr<const CostModel>(pipeline, &pipeline->model());
+}
+
+uint64_t SwappableModel::Publish(std::shared_ptr<const Pipeline> next) {
+  std::shared_ptr<const Pipeline> displaced;
+  uint64_t version = 0;
+  {
+    WriterMutexLock lock(&mu_);
+    // The displaced pipeline must not be destroyed under the publish lock:
+    // its teardown (model, thread pool) is arbitrarily heavy and would
+    // stall every reader. Move it out and let it die after unlock — or
+    // later still, when the last in-flight borrower drops its handle.
+    displaced = std::move(pipeline_);
+    pipeline_ = std::move(next);
+    version = ++version_;
+  }
+  return version;
+}
+
+uint64_t SwappableModel::version() const {
+  ReaderMutexLock lock(&mu_);
+  return version_;
+}
+
+Result<std::shared_ptr<const Pipeline>> LoadAndSwap(
+    Database* db, const std::vector<Environment>* envs,
+    const std::vector<QueryTemplate>* templates, const std::string& path,
+    const SwapOptions& options, SwappableModel* target, AsyncServer* server,
+    Fs* fs) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("LoadAndSwap requires a swap target");
+  }
+  auto reject = [server](Status status) {
+    if (server != nullptr) server->RecordSwapRejected();
+    return status;
+  };
+
+  Result<std::unique_ptr<Pipeline>> loaded =
+      Pipeline::Load(db, envs, templates, path, fs);
+  if (!loaded.ok()) {
+    return reject(loaded.status().WithContext("hot swap"));
+  }
+  std::shared_ptr<const Pipeline> candidate(std::move(loaded.value()));
+
+  if (!options.probe.empty()) {
+    Result<std::vector<double>> probe = candidate->PredictBatch(options.probe);
+    if (!probe.ok()) {
+      return reject(probe.status().WithContext("hot-swap warm-up probe"));
+    }
+    if (!options.expected.empty()) {
+      if (options.expected.size() != probe->size()) {
+        return reject(Status::InvalidArgument(
+            "hot-swap parity probe: " + std::to_string(options.expected.size()) +
+            " expected values for " + std::to_string(probe->size()) +
+            " probe requests"));
+      }
+      for (size_t i = 0; i < probe->size(); ++i) {
+        // Bit-pattern comparison: the parity contract is bit-identity, and
+        // it must hold for NaN too (NaN != NaN would pass a == check).
+        if (std::memcmp(&(*probe)[i], &options.expected[i], sizeof(double)) !=
+            0) {
+          return reject(Status::FailedPrecondition(
+              "hot-swap parity probe mismatch at request " +
+              std::to_string(i) + ": loaded model predicts " +
+              std::to_string((*probe)[i]) + ", expected " +
+              std::to_string(options.expected[i])));
+        }
+      }
+    }
+  }
+
+  const uint64_t version = target->Publish(candidate);
+  if (server != nullptr) server->RecordSwapPublished(version);
+  return candidate;
+}
+
+}  // namespace qcfe

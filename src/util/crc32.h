@@ -1,0 +1,27 @@
+#ifndef QCFE_UTIL_CRC32_H_
+#define QCFE_UTIL_CRC32_H_
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Used by the artifact layer (core/artifact.h) to checksum each on-disk
+/// section so bit rot and truncation surface as typed kDataLoss errors
+/// instead of garbage model weights. Pure integer arithmetic — the same
+/// bytes hash to the same value on every platform and compiler.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qcfe {
+
+/// CRC-32 of `n` bytes starting at `data` (init 0xFFFFFFFF, final XOR).
+/// Crc32("123456789") == 0xCBF43926, the standard check value.
+uint32_t Crc32(const void* data, size_t n);
+
+inline uint32_t Crc32(const std::string& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_CRC32_H_

@@ -1,0 +1,226 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qcfe {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path, int err) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    // Abandoned file (error path): close the descriptor without syncing.
+    // Close() already set fd_ to -1 on the normal path.
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    size_t left = n;
+    while (left > 0) {
+      const ssize_t written = ::write(fd_, p, left);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += written;
+      left -= static_cast<size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+Fs* Fs::Default() {
+  static RealFs real;
+  return &real;
+}
+
+Result<std::unique_ptr<WritableFile>> RealFs::NewWritableFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+}
+
+Result<std::string> RealFs::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status RealFs::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status RealFs::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+  return Status::OK();
+}
+
+bool RealFs::FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// Wraps a base WritableFile, routing op counting and torn-write/fsync
+/// faults through the owning FaultInjectingFs so the whole save shares one
+/// deterministic op sequence.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFs* fs,
+                             std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override {
+    QCFE_RETURN_IF_ERROR(fs_->CountOp("write"));
+    const int64_t threshold = fs_->config_.torn_write_at_byte;
+    const int64_t before = fs_->bytes_written_.fetch_add(
+        static_cast<int64_t>(n), std::memory_order_relaxed);
+    if (threshold >= 0 && before + static_cast<int64_t>(n) > threshold) {
+      // Tear: persist only the prefix up to the threshold, then fail, as a
+      // crash mid-write would.
+      const size_t prefix =
+          before >= threshold ? 0 : static_cast<size_t>(threshold - before);
+      if (prefix > 0) {
+        QCFE_RETURN_IF_ERROR(base_->Append(data, std::min(prefix, n)));
+      }
+      return Status::IOError("injected torn write at byte " +
+                             std::to_string(threshold));
+    }
+    return base_->Append(data, n);
+  }
+
+  Status Sync() override {
+    QCFE_RETURN_IF_ERROR(fs_->CountOp("fsync"));
+    if (fs_->config_.fail_fsync) {
+      return Status::IOError("injected fsync failure (EIO)");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    QCFE_RETURN_IF_ERROR(fs_->CountOp("close"));
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Status FaultInjectingFs::CountOp(const char* what) {
+  const int64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.fail_at_op >= 0 && op == config_.fail_at_op) {
+    return Status::IOError("injected fault at op " + std::to_string(op) +
+                           " (" + what + ")");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path) {
+  QCFE_RETURN_IF_ERROR(CountOp("open"));
+  Result<std::unique_ptr<WritableFile>> base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultInjectingWritableFile>(
+      this, std::move(base.value())));
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  QCFE_RETURN_IF_ERROR(CountOp("read"));
+  Result<std::string> bytes = base_->ReadFile(path);
+  if (!bytes.ok()) return bytes;
+  if (config_.short_read_bytes >= 0 &&
+      bytes.value().size() > static_cast<size_t>(config_.short_read_bytes)) {
+    // Deliberately *succeeds* with truncated data: the torn file is only
+    // discoverable by the artifact CRCs downstream.
+    bytes.value().resize(static_cast<size_t>(config_.short_read_bytes));
+  }
+  return bytes;
+}
+
+Status FaultInjectingFs::RenameFile(const std::string& from,
+                                    const std::string& to) {
+  QCFE_RETURN_IF_ERROR(CountOp("rename"));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFs::RemoveFile(const std::string& path) {
+  QCFE_RETURN_IF_ERROR(CountOp("remove"));
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectingFs::FileExists(const std::string& path) {
+  // Existence probes are read-only and fault-free: crash-consistency sweeps
+  // count only operations that can damage or observe torn state.
+  return base_->FileExists(path);
+}
+
+Status AtomicWriteFile(Fs* fs, const std::string& path,
+                       const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  Status status = [&]() -> Status {
+    Result<std::unique_ptr<WritableFile>> file = fs->NewWritableFile(tmp);
+    if (!file.ok()) return file.status();
+    QCFE_RETURN_IF_ERROR(file.value()->Append(bytes));
+    // Sync before rename: rename-then-crash must never publish a file whose
+    // data blocks were still in the page cache.
+    QCFE_RETURN_IF_ERROR(file.value()->Sync());
+    QCFE_RETURN_IF_ERROR(file.value()->Close());
+    return fs->RenameFile(tmp, path);
+  }();
+  if (!status.ok() && fs->FileExists(tmp)) {
+    // Best-effort cleanup; the failure being reported is the interesting one.
+    (void)fs->RemoveFile(tmp);
+  }
+  return status.WithContext("atomic write of " + path);
+}
+
+}  // namespace qcfe

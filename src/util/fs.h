@@ -1,0 +1,147 @@
+#ifndef QCFE_UTIL_FS_H_
+#define QCFE_UTIL_FS_H_
+
+/// \file fs.h
+/// The file-system seam all artifact I/O flows through.
+///
+/// Production uses RealFs (POSIX open/write/fsync/rename); tests wrap it in
+/// FaultInjectingFs to fail deterministically at the Nth operation, tear a
+/// write at byte K, truncate reads, or EIO every fsync — so every I/O
+/// failure path in the persistence layer is unit-testable without root,
+/// loopback devices, or flaky disks. The `no-raw-file-io` lint rule bans
+/// fstream/fopen outside this file, keeping future code on the seam.
+///
+/// AtomicWriteFile is the durability primitive: temp file → fsync → atomic
+/// rename, so a crash or injected fault mid-save leaves the previously
+/// published file untouched.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace qcfe {
+
+/// An open file being written. Append/Sync/Close return kIoError on failure
+/// (real errno or injected fault). Destroying an unclosed file closes it
+/// without syncing — only an explicit Sync provides durability.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  Status Append(const std::string& bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Minimal file-system interface: whole-file reads, streaming writes, and
+/// the rename/remove/exists trio the atomic-publish protocol needs.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string. kIoError if it cannot be opened or
+  /// read (artifacts are single-digit MB; streaming reads buy nothing and
+  /// would multiply the fault-injection surface).
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Process-wide RealFs singleton; functions taking an optional Fs* treat
+  /// null as Default().
+  static Fs* Default();
+};
+
+/// POSIX-backed Fs.
+class RealFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+};
+
+/// Deterministic fault plan for FaultInjectingFs. All triggers are exact —
+/// the same save against the same plan fails at the same byte on every run.
+struct FaultInjectionConfig {
+  /// Fail the Nth counted operation (1-based; see FaultInjectingFs for what
+  /// counts as an operation). -1 disables. The failed operation performs no
+  /// work: a failed Append writes nothing, a failed Rename leaves both
+  /// paths as they were.
+  int64_t fail_at_op = -1;
+  /// Tear writes at this cumulative appended-byte count: the Append that
+  /// would cross the threshold writes only the prefix up to it, then
+  /// returns kIoError — simulating a crash mid-write. -1 disables.
+  int64_t torn_write_at_byte = -1;
+  /// Silently truncate every ReadFile to its first N bytes — the read
+  /// *succeeds* with short data, simulating a torn file discovered later
+  /// (the artifact CRCs must catch it). -1 disables.
+  int64_t short_read_bytes = -1;
+  /// Every Sync returns kIoError (the classic lying-fsync EIO).
+  bool fail_fsync = false;
+};
+
+/// Wraps a base Fs and injects the configured faults. Operation counting
+/// covers NewWritableFile, Append, Sync, Close, ReadFile, RenameFile and
+/// RemoveFile, in call order — so a crash-consistency sweep can run a save
+/// once to count its operations, then re-run it failing at op 1, 2, … N.
+/// Thread-safe counters; the config itself must be set while quiescent.
+class FaultInjectingFs : public Fs {
+ public:
+  /// `base` must outlive this object and is not owned.
+  explicit FaultInjectingFs(Fs* base) : base_(base) {}
+
+  /// Installs a fault plan and resets the operation/byte counters.
+  void Arm(const FaultInjectionConfig& config) {
+    config_ = config;
+    ops_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Operations counted since the last Arm().
+  int64_t op_count() const { return ops_.load(std::memory_order_relaxed); }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  /// Counts one operation; returns non-OK if it is the one slated to fail.
+  Status CountOp(const char* what);
+
+  Fs* base_;
+  FaultInjectionConfig config_;
+  std::atomic<int64_t> ops_{0};
+  std::atomic<int64_t> bytes_written_{0};
+};
+
+/// Durable whole-file publish: writes `bytes` to `path + ".tmp"`, fsyncs,
+/// closes, then atomically renames over `path`. On any failure the previous
+/// content of `path` is untouched and the temp file is best-effort removed.
+Status AtomicWriteFile(Fs* fs, const std::string& path,
+                       const std::string& bytes);
+
+}  // namespace qcfe
+
+#endif  // QCFE_UTIL_FS_H_

@@ -90,6 +90,13 @@ class Rng {
   /// tasks run serially, in any interleaving, or not at all.
   Rng Split(uint64_t stream) const;
 
+  /// Raw generator state, for model persistence (core/artifact.h): restoring
+  /// it resumes the stream exactly where the saved generator left off, so a
+  /// loaded model's future stochastic decisions (e.g. warm-start retraining)
+  /// match the never-persisted original bit for bit.
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

@@ -25,6 +25,10 @@ const char* CodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kIoError:
+      return "IOError";
   }
   return "Unknown";
 }

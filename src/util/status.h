@@ -31,6 +31,17 @@ enum class StatusCode {
   /// control rejected it (serving queue full) or the serving front end is
   /// shutting down. Retryable — nothing about the request itself is wrong.
   kUnavailable,
+  /// Stored bytes are not what was written: CRC mismatch, truncation, bad
+  /// magic, or a structurally impossible artifact. The data is gone or
+  /// damaged; retrying the read will not help. Distinct from kIoError (the
+  /// medium failed) and kFailedPrecondition (the data is intact but belongs
+  /// to a different world — version or fingerprint skew).
+  kDataLoss,
+  /// The storage medium failed mid-operation: a write/fsync/rename/read
+  /// returned an error (real errno or an injected fault). The artifact on
+  /// disk is in whatever state the atomic-publish protocol guarantees —
+  /// a failed save never damages the previously published file.
+  kIoError,
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -77,10 +88,26 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Returns a copy with `context` prepended to the message (same code), so
+  /// an error gains operands as it unwinds:
+  ///   "DataLoss: loading model.qcfa: model section: unexpected end of data
+  ///    at offset 132". No-op on OK.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    if (message_.empty()) return Status(code_, context);
+    return Status(code_, context + ": " + message_);
+  }
 
   /// Renders e.g. "InvalidArgument: scale must be positive".
   std::string ToString() const;

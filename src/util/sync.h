@@ -121,6 +121,11 @@ inline constexpr int kParallelForJoin = 20;
 /// AsyncServer's request queue: held while registering with the clock's
 /// waiter list, so it must rank below kClockWaiters.
 inline constexpr int kAsyncServerQueue = 30;
+/// SwappableModel's publish lock: readers resolve the current model while
+/// holding nothing heavier, and AsyncServer::stats() reads the version
+/// while holding kAsyncServerQueue — so it must rank above the queue.
+/// Publish never calls out while holding it (leaf on the write side).
+inline constexpr int kModelSwap = 35;
 /// Database's execution cache: leaf (execution runs outside the lock).
 inline constexpr int kDatabaseCache = 40;
 /// EstimatorRegistry's entry map: leaf (factories run outside the lock).

@@ -1,0 +1,31 @@
+// lint-as: src/core/seeded_file_io_violations.cc
+// Positive corpus for no-raw-file-io (whole tree, exempting the Fs seam
+// itself — src/util/fs.*). Artifact bytes must flow through Fs so the
+// fault-injection and atomic-publish guarantees of util/fs.h actually
+// cover them.
+#include <cstdio>
+#include <fstream>  // expect-lint: no-raw-file-io
+
+void Streams(const char* path) {
+  std::ifstream in(path);                    // expect-lint: no-raw-file-io
+  std::ofstream out(path);                   // expect-lint: no-raw-file-io
+  std::fstream both(path);                   // expect-lint: no-raw-file-io
+  std::basic_ifstream<char> wide(path);      // expect-lint: no-raw-file-io
+}
+
+void CStdio(const char* path) {
+  FILE* f = fopen(path, "rb");               // expect-lint: no-raw-file-io
+  f = freopen(path, "wb", f);                // expect-lint: no-raw-file-io
+  FILE* g = fdopen(3, "r");                  // expect-lint: no-raw-file-io
+  (void)g;  // corpus scaffolding, not a dropped status
+}
+
+// Suppressed with a reason.
+void Suppressed(const char* path) {
+  // qcfe-lint: allow(no-raw-file-io) — corpus: proves the escape hatch
+  std::ifstream in(path);
+}
+
+// Comments and strings must not trip: "write it with std::ofstream" is
+// prose, and a literal naming fopen is data, not code.
+const char* kDoc = "never call fopen directly";

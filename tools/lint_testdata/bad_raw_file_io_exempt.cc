@@ -1,0 +1,12 @@
+// lint-as: src/util/fs.cc
+// Negative corpus: the Fs seam itself implements RealFs over the raw
+// OS facilities — nothing here may be flagged.
+#include <cstdio>
+#include <fstream>
+
+void RealFsInternals(const char* path) {
+  std::ifstream in(path);
+  std::ofstream out(path);
+  FILE* f = fopen(path, "rb");
+  (void)f;  // corpus scaffolding, not a dropped status
+}

@@ -265,6 +265,20 @@ RULES = [
         fix_hint="use qcfe::Mutex/SharedMutex + MutexLock/ReaderMutexLock/"
                  "WriterMutexLock and CondVar from util/sync.h",
     ),
+    Rule(
+        "no-raw-file-io",
+        "direct fstream/fopen bypasses the Fs seam (util/fs.h): artifact "
+        "I/O must be fault-injectable (FaultInjectingFs) and crash-safe "
+        "(AtomicWriteFile's temp-file -> fsync -> rename publish), which "
+        "only holds if every byte goes through Fs",
+        [r"#\s*include\s*<\s*fstream\s*>",
+         r"\bstd::(basic_)?[io]?fstream\b",
+         r"(?<![\w:])[io]fstream\b",
+         r"\bf(re|d)?open\s*\("],
+        exempt_files=("src/util/fs.",),
+        fix_hint="route bytes through Fs (util/fs.h): ReadFile, "
+                 "NewWritableFile, or AtomicWriteFile",
+    ),
     SleepRule(
         "no-sleep-in-tests",
         "the test suite is sleep-free by construction (FakeClock drives "
