@@ -33,6 +33,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <fstream>  // qcfe-lint: allow(no-raw-file-io) -- benchmark result recorder, not model-artifact I/O
@@ -44,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/drift_detector.h"
 #include "core/feature_reduction.h"
 #include "core/feature_snapshot.h"
 #include "engine/btree.h"
@@ -54,6 +56,7 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "serve/async_server.h"
+#include "serve/model_swap.h"
 #include "util/check.h"
 #include "util/fs.h"
 #include "util/rng.h"
@@ -378,12 +381,29 @@ struct ParallelBenchRecorder {
     async_callers = callers;
   }
 
+  /// One adaptation cycle under serving load: wall time of the
+  /// retrain+save leg and of the LoadAndSwap publish leg, with `callers`
+  /// threads hammering the server throughout. Keeps the fastest cycle
+  /// (latency: lower is better).
+  void RecordAdapt(size_t callers, double retrain_save_seconds,
+                   double swap_seconds) {
+    MutexLock lock(&mu);
+    if (adapt_callers == 0 ||
+        retrain_save_seconds + swap_seconds <
+            adapt_retrain_save_seconds + adapt_swap_seconds) {
+      adapt_retrain_save_seconds = retrain_save_seconds;
+      adapt_swap_seconds = swap_seconds;
+    }
+    adapt_callers = callers;
+  }
+
   bool empty() {
     MutexLock lock(&mu);
     return fit_seconds.empty() && serve.empty() && train_seconds.empty() &&
            kernel_gemm_ns.empty() && kernel_train.empty() &&
            kernel_serve.empty() && kernel_fit.empty() && async_pps.empty() &&
-           simd_gemm_ns.empty() && simd_train.empty() && simd_serve.empty();
+           simd_gemm_ns.empty() && simd_train.empty() && simd_serve.empty() &&
+           adapt_callers == 0;
   }
 
   /// Extracts the raw text of `"key": <value>` from a previous dump (our
@@ -528,6 +548,14 @@ struct ParallelBenchRecorder {
       }
       os << "\n  ]";
     }
+    os << ",\n  \"adapt\": ";
+    if (adapt_callers == 0 && !carry("adapt").empty()) {
+      os << carry("adapt");
+    } else {
+      os << "{\n    \"callers\": " << adapt_callers
+         << ",\n    \"retrain_save_seconds\": " << adapt_retrain_save_seconds
+         << ",\n    \"swap_seconds\": " << adapt_swap_seconds << "\n  }";
+    }
     os << "\n}\n";
     std::cout << "wrote " << path << "\n";
   }
@@ -556,6 +584,9 @@ struct ParallelBenchRecorder {
       QCFE_GUARDED_BY(mu);
   std::map<std::pair<std::string, int>, double> simd_serve
       QCFE_GUARDED_BY(mu);
+  size_t adapt_callers QCFE_GUARDED_BY(mu) = 0;
+  double adapt_retrain_save_seconds QCFE_GUARDED_BY(mu) = 0.0;
+  double adapt_swap_seconds QCFE_GUARDED_BY(mu) = 0.0;
 };
 
 // ------------------------------------------------------- kernel sweeps
@@ -1154,6 +1185,98 @@ BENCHMARK_TEMPLATE(BM_AsyncThroughput, kMscnName)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------- adaptation cycle cost
+
+/// Latency of one online-adaptation cycle while the server is under load:
+/// 4 caller threads hammer a hot-swappable AsyncServer with singleton
+/// submissions for the whole iteration; the measured thread meanwhile runs
+/// the cycle's two legs — (a) warm-start Retrain + atomic Save, (b)
+/// LoadAndSwap publish with a bit-parity probe. The recorder writes both
+/// into the `adapt` section of BENCH_parallel.json; swap_seconds is the
+/// number that bounds how stale a drifted model can stay once retraining
+/// has finished.
+void BM_AdaptRetrainSwap(benchmark::State& state) {
+  struct AdaptFixture {
+    std::unique_ptr<BenchmarkContext> ctx;
+    std::vector<PlanSample> train, test, drifted;
+    std::unique_ptr<Pipeline> trainer;
+    static AdaptFixture& Get() {
+      static AdaptFixture* fixture = [] {
+        auto* f = new AdaptFixture();
+        HarnessOptions opt = OptionsFor("sysbench", RunScale::kQuick);
+        opt.corpus_size = 200;
+        opt.num_envs = 2;
+        f->ctx = std::move(BenchmarkContext::Create(opt).value());
+        f->ctx->Split(200, &f->train, &f->test);
+        for (size_t i = 0; i < 64; ++i) {
+          f->drifted.push_back({f->train[i].plan, f->train[i].env_id,
+                                4.0 * f->train[i].label_ms});
+        }
+        PipelineConfig cfg;
+        cfg.estimator = "qppnet";
+        cfg.pre_reduction_epochs = 2;
+        cfg.train.epochs = 5;
+        f->trainer = std::move(f->ctx->FitPipeline(cfg, f->train).value());
+        return f;
+      }();
+      return *fixture;
+    }
+  };
+  AdaptFixture& f = AdaptFixture::Get();
+  const std::string path = "/tmp/qcfe_bench_adapt.qcfa";
+  QCFE_CHECK_OK(f.trainer->Save(path));
+
+  SwappableModel models;
+  AsyncServeConfig scfg;
+  scfg.max_batch = 64;
+  scfg.max_delay_micros = 200;
+  auto server = Pipeline::ServeAsync(&models, scfg);
+  QCFE_CHECK(LoadAndSwap(f.ctx->db.get(), &f.ctx->envs, &f.ctx->templates,
+                         path, {}, &models, server.get())
+                 .ok(),
+             "adapt bench initial publish failed");
+
+  constexpr size_t kCallers = 4;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> callers;
+    for (size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] {
+        for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          const PlanSample& s = f.test[(c * 17 + i) % f.test.size()];
+          auto p = server->Submit(*s.plan, s.env_id).get();
+          benchmark::DoNotOptimize(p.ok());
+        }
+      });
+    }
+
+    TrainConfig rt;
+    rt.epochs = 3;
+    WallTimer retrain_timer;
+    QCFE_CHECK_OK(f.trainer->Retrain(f.drifted, rt, nullptr));
+    QCFE_CHECK_OK(f.trainer->Save(path));
+    const double retrain_save_s = retrain_timer.Seconds();
+
+    SwapOptions options;
+    options.probe.assign(f.test.begin(), f.test.begin() + 8);
+    options.expected = f.trainer->PredictBatch(options.probe).value();
+    WallTimer swap_timer;
+    QCFE_CHECK(LoadAndSwap(f.ctx->db.get(), &f.ctx->envs, &f.ctx->templates,
+                           path, options, &models, server.get())
+                   .ok(),
+               "adapt bench publish failed");
+    const double swap_s = swap_timer.Seconds();
+
+    stop.store(true);
+    for (std::thread& t : callers) t.join();
+    ParallelBenchRecorder::Get().RecordAdapt(kCallers, retrain_save_s,
+                                             swap_s);
+  }
+  server->Shutdown();
+  (void)Fs::Default()->RemoveFile(path);  // best-effort temp cleanup
+}
+BENCHMARK(BM_AdaptRetrainSwap)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 void BM_SnapshotFit(benchmark::State& state) {
   Rng rng(7);
   std::vector<OperatorObservation> obs;
@@ -1435,6 +1558,46 @@ bool RunPersistSmoke() {
   return ok;
 }
 
+// ---------------------------------------------------- drift-detector gate
+
+/// Sanity gate on the pure drift predicate (adapt/drift_detector.h): a
+/// clearly drifted q-error window must trip, a stable one must not, and a
+/// window below min_samples must never trip no matter how bad it looks.
+/// Runs as the third leg of `bench_micro --smoke` so CI catches a
+/// miscalibrated detector before it can flap production retrains.
+bool RunAdaptSmoke() {
+  adapt::DriftConfig cfg;  // stock thresholds, exactly what servers deploy
+  bool ok = true;
+
+  std::vector<double> stable;
+  for (size_t i = 0; i < 64; ++i) stable.push_back(i % 2 == 0 ? 1.05 : 1.35);
+  if (adapt::DetectDrift(stable, 1.2, cfg).drifted) {
+    std::cerr << "adapt smoke: stable window tripped the detector\n";
+    ok = false;
+  }
+
+  std::vector<double> drifted(64, 4.0);
+  adapt::DriftVerdict v = adapt::DetectDrift(drifted, 1.2, cfg);
+  if (!v.drifted || !v.mean_trip) {
+    std::cerr << "adapt smoke: 4x-degraded window did not trip (mean "
+              << v.window_mean_qerror << " vs baseline "
+              << v.baseline_mean_qerror << ")\n";
+    ok = false;
+  }
+
+  std::vector<double> premature(cfg.min_samples - 1, 100.0);
+  if (adapt::DetectDrift(premature, 1.0, cfg).drifted) {
+    std::cerr << "adapt smoke: tripped below min_samples\n";
+    ok = false;
+  }
+
+  if (ok) {
+    std::cout << "adapt smoke: drift detector trips on degraded windows, "
+                 "stays quiet on stable and short ones\n";
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace qcfe
 
@@ -1447,7 +1610,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       const bool kernels_ok = qcfe::RunKernelSmoke();
       const bool persist_ok = qcfe::RunPersistSmoke();
-      return kernels_ok && persist_ok ? 0 : 1;
+      const bool adapt_ok = qcfe::RunAdaptSmoke();
+      return kernels_ok && persist_ok && adapt_ok ? 0 : 1;
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -16,6 +16,9 @@
 /// request is answered by exactly one version — a swap never tears a batch.
 /// A failed LoadAndSwap (corrupt bytes, fingerprint mismatch, probe
 /// divergence) leaves the old version serving and only bumps a counter.
+///
+/// This example drives the swap by hand; examples/online_adaptation.cpp
+/// shows the same machinery triggered automatically by drift detection.
 
 #include <cstdio>
 #include <future>

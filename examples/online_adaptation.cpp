@@ -1,0 +1,215 @@
+/// The full online adaptation loop: serve, observe real execution times,
+/// detect drift, retrain in the background, and hot-swap the fixed model —
+/// no restarts, no sleeps, no manual retrain button.
+///
+///   - AsyncServer::ReportObserved — feed (plan, predicted, actual) back
+///   - adapt::ObservationSink      — rolling q-error windows + label buffer
+///   - adapt::DriftDetector        — mean-ratio vs fit-time baseline and a
+///                                   Page–Hinkley change-point test
+///   - adapt::AdaptationController — observe -> drift-detect -> retrain ->
+///                                   Save -> LoadAndSwap, in the background
+///   - AdaptationStats             — typed counters for every cycle outcome
+///
+///   ./build/examples/online_adaptation
+///
+/// The trainer pipeline is dedicated to the controller and never published:
+/// serving only ever sees fresh generations that LoadAndSwap loads from the
+/// artifact, so a failed retrain/save/swap is a non-event for traffic.
+
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptation_controller.h"
+#include "core/pipeline.h"
+#include "serve/async_server.h"
+#include "serve/model_swap.h"
+#include "util/fs.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "workload/benchmark.h"
+#include "workload/collector.h"
+
+using namespace qcfe;
+
+namespace {
+
+/// Serves `samples` in full micro-batches and reports each reply together
+/// with the "measured" execution time: the collected label scaled by
+/// `slowdown` (1.0 = the world the model was fitted on). Returns the mean
+/// q-error of the served predictions against those measurements.
+double ServeAndObserve(AsyncServer* server,
+                       const std::vector<PlanSample>& samples,
+                       double slowdown) {
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(samples.size());
+  for (const PlanSample& s : samples) {
+    futures.push_back(server->Submit(*s.plan, s.env_id));
+  }
+  std::vector<double> qerrors;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> r = futures[i].get();
+    if (!r.ok()) continue;
+    const double actual_ms = slowdown * samples[i].label_ms;
+    server->ReportObserved(*samples[i].plan, samples[i].env_id, *r, actual_ms);
+    qerrors.push_back(QError(actual_ms, *r));
+  }
+  return Mean(qerrors);
+}
+
+}  // namespace
+
+int main() {
+  // 1. Database, environments, labeled corpus (see quickstart for details).
+  auto bench = MakeBenchmark("sysbench");
+  if (!bench.ok()) {
+    std::cerr << bench.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<Database> db = (*bench)->BuildDatabase(/*scale_factor=*/0.1,
+                                                         /*seed=*/11);
+  std::vector<Environment> envs =
+      EnvironmentSampler::Sample(2, HardwareProfile::H1(), 13);
+  std::vector<QueryTemplate> templates = (*bench)->Templates();
+  QueryCollector collector(db.get(), &envs);
+  auto corpus = collector.Collect(templates, /*count=*/240, /*seed=*/17);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<PlanSample> train;
+  for (const LabeledQuery& q : corpus->queries) {
+    train.push_back({q.plan.get(), q.env_id, q.total_ms});
+  }
+
+  // 2. Fit the trainer pipeline and publish generation 1 from its artifact.
+  //    The trainer itself stays behind the controller; only artifact loads
+  //    are ever served.
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.train.epochs = 6;
+  auto fitted = Pipeline::Fit(db.get(), &envs, &templates, cfg, train);
+  if (!fitted.ok()) {
+    std::cerr << fitted.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<Pipeline> trainer = std::move(fitted.value());
+  const std::string path = "/tmp/qcfe_online_adaptation.qcfa";
+  if (Status s = trainer->Save(path); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  SwappableModel models;
+  AsyncServeConfig serve_cfg;
+  serve_cfg.max_batch = 8;  // traffic below arrives in full batches
+  std::unique_ptr<AsyncServer> server = Pipeline::ServeAsync(&models, serve_cfg);
+  auto v1 = LoadAndSwap(db.get(), &envs, &templates, path, {}, &models,
+                        server.get());
+  if (!v1.ok()) {
+    std::cerr << v1.status().ToString() << "\n";
+    return 1;
+  }
+  std::shared_ptr<const Pipeline> generation1 = *v1;
+  std::cout << "serving at model_version=" << models.version() << "\n";
+
+  // 3. Close the loop. The controller seeds its drift baselines from the
+  //    trainer's fit-time per-environment mean q-errors (persisted in the
+  //    artifact), evaluates each environment's rolling window every 8th
+  //    observation, and on a trip retrains on the buffered observed
+  //    executions, saves, and republishes — all on its own worker thread.
+  adapt::AdaptationConfig acfg;
+  // A tight label buffer keeps retraining focused on the *recent* world:
+  // by the time the detector trips, the healthy-phase labels have mostly
+  // been overwritten by drifted measurements.
+  acfg.window.label_capacity = 48;
+  acfg.drift.min_samples = 16;
+  acfg.evaluate_every = 8;
+  acfg.min_retrain_samples = 32;
+  // The retrain corpus is tiny (the label buffer), so each cycle can afford
+  // a real epoch budget and still finish in well under a second.
+  acfg.retrain.epochs = 30;
+  acfg.artifact_path = path;
+  adapt::AdaptationController controller(trainer.get(), &models, acfg,
+                                         server.get());
+  server->set_observation_listener(&controller);
+
+  // 4. Healthy traffic: observed times match what the model was fitted on.
+  //    Windows hover at the baseline; the detector stays quiet.
+  std::vector<PlanSample> traffic(train.begin(), train.begin() + 64);
+  double q_healthy = ServeAndObserve(server.get(), traffic, /*slowdown=*/1.0);
+  adapt::AdaptationStats stats = controller.stats();
+  std::cout << "healthy phase: mean q-error " << FormatDouble(q_healthy, 3)
+            << ", " << stats.windows_evaluated << " windows evaluated, "
+            << stats.drift_trips << " drift trips\n";
+
+  // 5. The deployment changes under the model: every query now runs 4x
+  //    slower (think: buffer pool shrank, noisy neighbor moved in). Keep
+  //    serving the same plans and reporting the new measurements until the
+  //    detector trips, then wait for the background cycle to finish.
+  double q_drifted = 0.0;
+  for (size_t round = 0; round < 40 && controller.stats().drift_trips == 0;
+       ++round) {
+    std::vector<PlanSample> group(train.begin() + (8 * round) % 128,
+                                  train.begin() + (8 * round) % 128 + 8);
+    q_drifted = ServeAndObserve(server.get(), group, /*slowdown=*/4.0);
+  }
+  controller.WaitForIdle();
+  stats = controller.stats();
+  std::cout << "drifted phase: mean q-error rose to "
+            << FormatDouble(q_drifted, 3) << "; " << stats.drift_trips
+            << " trip(s), " << stats.swaps_published
+            << " new version(s) published -> model_version="
+            << models.version() << "\n";
+
+  // The background cycle may have retrained on a buffer still partly full
+  // of healthy-phase labels (the trip fires as early as possible). Keep
+  // reporting the new world until the buffer holds only drifted
+  // measurements, then use the operator's "retrain right now" button —
+  // RunCycleNow runs a full cycle synchronously on this thread.
+  for (size_t round = 0; round < 6; ++round) {
+    std::vector<PlanSample> group(train.begin() + 8 * round,
+                                  train.begin() + 8 * round + 8);
+    ServeAndObserve(server.get(), group, /*slowdown=*/4.0);
+  }
+  if (Status s = controller.RunCycleNow(); !s.ok()) {
+    std::cerr << "forced cycle failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "forced cycle on a fully drifted buffer -> model_version="
+            << models.version() << "\n";
+
+  // 6. The published generation was retrained on the observed (4x) world:
+  //    compare it against the generation it replaced, on that world.
+  std::vector<PlanSample> eval;
+  std::vector<double> actuals;
+  for (size_t i = 0; i < 64; ++i) {
+    eval.push_back({train[i].plan, train[i].env_id, 4.0 * train[i].label_ms});
+    actuals.push_back(eval.back().label_ms);
+  }
+  auto old_preds = generation1->PredictBatch(eval);
+  auto new_preds = models.Current()->PredictBatch(eval);
+  if (!old_preds.ok() || !new_preds.ok()) {
+    std::cerr << "post-swap evaluation failed\n";
+    return 1;
+  }
+  const double q_old = Mean(QErrors(actuals, *old_preds));
+  const double q_new = Mean(QErrors(actuals, *new_preds));
+  std::cout << "on the drifted workload: old generation q-error "
+            << FormatDouble(q_old, 3) << ", adapted generation "
+            << FormatDouble(q_new, 3) << "\n";
+
+  server->set_observation_listener(nullptr);
+  controller.Stop();
+  server->Shutdown();
+  stats = controller.stats();
+  std::cout << "\ncycle counters: " << stats.cycles_started << " started, "
+            << stats.cycles_skipped << " skipped, " << stats.retrain_failures
+            << " retrain / " << stats.save_failures << " save failures, "
+            << stats.swaps_rejected << " rejected, " << stats.swaps_published
+            << " published\n";
+  (void)Fs::Default()->RemoveFile(path);  // best-effort demo cleanup
+  return stats.swaps_published >= 1 && q_new < q_old ? 0 : 1;
+}

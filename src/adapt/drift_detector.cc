@@ -1,0 +1,86 @@
+#include "adapt/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace qcfe {
+namespace adapt {
+
+DriftVerdict DetectDrift(const std::vector<double>& window_qerrors,
+                         double baseline_mean_qerror,
+                         const DriftConfig& config) {
+  DriftVerdict v;
+  v.samples = window_qerrors.size();
+  v.baseline_mean_qerror = std::max(baseline_mean_qerror, 1.0);
+  v.window_mean_qerror = Mean(window_qerrors);
+
+  // Page–Hinkley on x_i = log(q_i): cumulative deviation of the sequence
+  // above its running mean (minus the per-sample allowance), tracked
+  // against the historical minimum. Log space makes the statistic scale-
+  // free: a 2x q-error degradation contributes log(2) per sample whether
+  // the baseline q-error was 1.1 or 11. Single forward pass in sample
+  // order — bit-deterministic for a given window.
+  double running_sum = 0.0;
+  double m = 0.0;
+  double m_min = 0.0;
+  for (size_t i = 0; i < window_qerrors.size(); ++i) {
+    const double x = std::log(std::max(window_qerrors[i], 1.0));
+    running_sum += x;
+    const double running_mean = running_sum / static_cast<double>(i + 1);
+    m += x - running_mean - config.ph_delta;
+    m_min = std::min(m_min, m);
+    v.page_hinkley_stat = m - m_min;
+  }
+
+  if (v.samples < config.min_samples) return v;  // all fields, no trip
+  v.mean_trip =
+      v.window_mean_qerror > config.mean_ratio_threshold * v.baseline_mean_qerror;
+  v.page_hinkley_trip = v.page_hinkley_stat > config.ph_lambda;
+  v.drifted = v.mean_trip || v.page_hinkley_trip;
+  return v;
+}
+
+DriftDetector::DriftDetector(const DriftConfig& defaults)
+    : defaults_(defaults) {}
+
+void DriftDetector::SetBaseline(int env_id, double mean_qerror) {
+  MutexLock lock(&mu_);
+  baselines_[env_id] = mean_qerror;
+}
+
+void DriftDetector::SetBaselines(const std::map<int, double>& baselines) {
+  MutexLock lock(&mu_);
+  baselines_ = baselines;
+}
+
+double DriftDetector::Baseline(int env_id) const {
+  MutexLock lock(&mu_);
+  auto it = baselines_.find(env_id);
+  return it == baselines_.end() ? defaults_.fallback_baseline : it->second;
+}
+
+void DriftDetector::SetEnvConfig(int env_id, const DriftConfig& config) {
+  MutexLock lock(&mu_);
+  env_configs_[env_id] = config;
+}
+
+DriftVerdict DriftDetector::Evaluate(
+    int env_id, const std::vector<double>& window_qerrors) const {
+  DriftConfig config;
+  double baseline = 0.0;
+  {
+    MutexLock lock(&mu_);
+    auto cfg_it = env_configs_.find(env_id);
+    config = cfg_it == env_configs_.end() ? defaults_ : cfg_it->second;
+    auto base_it = baselines_.find(env_id);
+    baseline = base_it == baselines_.end() ? config.fallback_baseline
+                                           : base_it->second;
+  }
+  // Pure computation outside the lock: Evaluate never blocks SetBaseline.
+  return DetectDrift(window_qerrors, baseline, config);
+}
+
+}  // namespace adapt
+}  // namespace qcfe

@@ -82,6 +82,12 @@ enum SectionId : uint32_t {
   kReduction = 4,
   kModel = 5,
   kStats = 6,
+  /// Per-environment fit-time mean q-error baselines for online drift
+  /// detection (src/adapt). Optional: writers omit it when no baselines
+  /// were computed, and pre-adaptation artifacts simply lack it — readers
+  /// treat a missing section as "no baselines" so old artifacts still load
+  /// and re-save byte-identically.
+  kAdaptBaseline = 7,
 };
 
 struct Section {

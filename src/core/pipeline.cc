@@ -9,9 +9,38 @@
 #include "nn/kernels.h"
 #include "util/fs.h"
 #include "util/serialize.h"
+#include "util/stats.h"
 #include "util/string_util.h"
 
 namespace qcfe {
+
+namespace {
+
+/// Per-environment mean q-error of `model` over `samples`, through the
+/// batched serving path. This is the fit-time reference the online
+/// DriftDetector (src/adapt) compares live q-error against. Deterministic:
+/// accumulation follows sample order and std::map iterates env ids
+/// ascending. Baselines are advisory, so a failed batch predict yields an
+/// empty map instead of failing the fit.
+std::map<int, double> ComputeEnvBaselines(const CostModel& model,
+                                          const std::vector<PlanSample>& samples,
+                                          ThreadPool* pool) {
+  Result<std::vector<double>> preds = model.PredictBatchMs(samples, pool);
+  if (!preds.ok()) return {};
+  std::map<int, std::pair<double, size_t>> acc;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::pair<double, size_t>& slot = acc[samples[i].env_id];
+    slot.first += QError(samples[i].label_ms, (*preds)[i]);
+    slot.second += 1;
+  }
+  std::map<int, double> out;
+  for (const auto& [env_id, sum_count] : acc) {
+    out[env_id] = sum_count.first / static_cast<double>(sum_count.second);
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
     Database* db, const std::vector<Environment>* envs,
@@ -90,6 +119,8 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Fit(
   pipeline->model_->set_thread_pool(pool);
   QCFE_RETURN_IF_ERROR(
       pipeline->model_->Train(train, config.train, &pipeline->train_stats_));
+  pipeline->env_baseline_qerror_ =
+      ComputeEnvBaselines(*pipeline->model_, train, pool);
   return pipeline;
 }
 
@@ -153,7 +184,12 @@ std::string Pipeline::Explain() const {
        << FormatDouble(100.0 * reduction_.ReductionRatio(), 1)
        << "% of feature dims\n";
   }
-  os << "  training: " << config_.train.epochs << " epochs in "
+  // The loss curve counts every epoch the current weights went through
+  // (Fit plus retrains); the config only records the Fit-time budget.
+  const size_t trained_epochs = train_stats_.loss_curve.empty()
+                                    ? static_cast<size_t>(config_.train.epochs)
+                                    : train_stats_.loss_curve.size();
+  os << "  training: " << trained_epochs << " epochs in "
      << FormatDouble(train_stats_.train_seconds, 2) << " s";
   if (!train_stats_.loss_curve.empty()) {
     os << ", final loss " << FormatDouble(train_stats_.loss_curve.back(), 5);
@@ -200,7 +236,11 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
   // covering the extended store, not just the original Fit.
   snapshot_collection_ms_ += extra_ms;
   snapshot_num_queries_ += extra_queries;
-  if (collection_ms != nullptr) *collection_ms += extra_ms;
+  // Assign, never accumulate: the out-param reports this call's cost only,
+  // like every other out-param in the API (the lifetime total is the
+  // member above). Accumulating additionally produced garbage when callers
+  // passed an uninitialized double.
+  if (collection_ms != nullptr) *collection_ms = extra_ms;
   if (!collided.empty()) {
     std::ostringstream os;
     os << "snapshot cache collision: environment id(s)";
@@ -213,7 +253,30 @@ Status Pipeline::ExtendSnapshots(const std::vector<Environment>& envs,
 
 Status Pipeline::Retrain(const std::vector<PlanSample>& train,
                          const TrainConfig& config, TrainStats* stats) {
-  return model_->Train(train, config, stats);
+  TrainStats retrain_stats;
+  QCFE_RETURN_IF_ERROR(model_->Train(train, config, &retrain_stats));
+  // Merge with history rather than leaving train_stats_ stale: the merged
+  // stats describe the full training the current weights went through (Fit
+  // plus every successful retrain), so a post-retrain Explain() or Save()
+  // reflects the model that is actually serving. Epochs in the retrain's
+  // eval curve are offset past the existing loss curve so the combined
+  // curve stays monotone in epoch.
+  const int epoch_offset = static_cast<int>(train_stats_.loss_curve.size());
+  train_stats_.train_seconds += retrain_stats.train_seconds;
+  train_stats_.loss_curve.insert(train_stats_.loss_curve.end(),
+                                 retrain_stats.loss_curve.begin(),
+                                 retrain_stats.loss_curve.end());
+  for (const auto& [epoch, q] : retrain_stats.eval_curve) {
+    train_stats_.eval_curve.emplace_back(epoch + epoch_offset, q);
+  }
+  // Refresh the drift baselines for the environments this retrain covered;
+  // environments absent from `train` keep their previous baselines.
+  for (const auto& [env_id, q] :
+       ComputeEnvBaselines(*model_, train, pool_.get())) {
+    env_baseline_qerror_[env_id] = q;
+  }
+  if (stats != nullptr) *stats = retrain_stats;
+  return Status::OK();
 }
 
 namespace {
@@ -435,6 +498,18 @@ Status Pipeline::Save(const std::string& path, Fs* fs) const {
     EncodeTrainStats(train_stats_, &w);
     sections.push_back({artifact::kStats, w.TakeBytes()});
   }
+  // Optional section: omitted entirely when there are no baselines, so
+  // artifacts written before online adaptation existed re-save
+  // byte-identically after a Load (the golden backward-compat gate).
+  if (!env_baseline_qerror_.empty()) {
+    ByteWriter w;
+    w.PutU64(env_baseline_qerror_.size());
+    for (const auto& [env_id, q] : env_baseline_qerror_) {
+      w.PutI64(env_id);
+      w.PutF64(q);
+    }
+    sections.push_back({artifact::kAdaptBaseline, w.TakeBytes()});
+  }
 
   return AtomicWriteFile(fs, path, artifact::Encode(sections))
       .WithContext("saving pipeline to " + path);
@@ -618,6 +693,26 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Load(
     QCFE_RETURN_IF_ERROR(DecodeTrainStats(&r, &pipeline->train_stats_)
                              .WithContext("train stats"));
     QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "stats"));
+  }
+
+  // Drift baselines are optional: pre-adaptation artifacts have no such
+  // section, which decodes as "no baselines" (the DriftDetector then falls
+  // back to its configured default).
+  const artifact::Section* baseline_section =
+      artifact::Find(sections, artifact::kAdaptBaseline);
+  if (baseline_section != nullptr) {
+    ByteReader r(baseline_section->payload);
+    uint64_t count = 0;
+    QCFE_RETURN_IF_ERROR(
+        r.ReadCount(&count, sizeof(int64_t) + sizeof(double)));
+    for (uint64_t i = 0; i < count; ++i) {
+      int64_t env_id = 0;
+      double q = 0.0;
+      QCFE_RETURN_IF_ERROR(r.ReadI64(&env_id));
+      QCFE_RETURN_IF_ERROR(r.ReadF64(&q));
+      pipeline->env_baseline_qerror_[static_cast<int>(env_id)] = q;
+    }
+    QCFE_RETURN_IF_ERROR(RequireFullyConsumed(r, "adapt baseline"));
   }
 
   return pipeline;

@@ -18,6 +18,7 @@
 /// batched implementation, which amortises featurization and runs batched
 /// GEMMs instead of per-plan scalar loops.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -162,15 +163,24 @@ class Pipeline {
   /// extended/refit in that case — callers that re-collect deliberately
   /// should treat kAlreadyExists as success, as the in-repo transfer
   /// drivers do.
+  /// `collection_ms` (optional) is *assigned* this call's simulated
+  /// collection cost — assign semantics like every other out-param in this
+  /// API; the pipeline-lifetime total lives in snapshot_collection_ms().
   Status ExtendSnapshots(const std::vector<Environment>& envs,
                          bool from_templates, int scale, uint64_t seed,
                          double* collection_ms = nullptr);
 
   /// Continues training the fitted estimator (learned models warm-start;
   /// this is how transfer reaches basis accuracy in a fraction of the
-  /// epochs). Does not overwrite the Fit-time train_stats().
+  /// epochs). On success the pipeline's own train_stats() merge with
+  /// history — train_seconds accumulates and the retrain's loss/eval curves
+  /// are appended with their epochs offset past the existing curve — so
+  /// Explain() and Save() always describe the training the current weights
+  /// actually went through. The fit-time drift baselines
+  /// (env_baseline_qerror()) are refreshed for the environments present in
+  /// `train`. `stats` (optional) receives just this retrain's stats.
   Status Retrain(const std::vector<PlanSample>& train,
-                 const TrainConfig& config, TrainStats* stats);
+                 const TrainConfig& config, TrainStats* stats = nullptr);
 
   // Introspection.
   const CostModel& model() const { return *model_; }
@@ -190,6 +200,23 @@ class Pipeline {
   size_t snapshot_num_templates() const { return snapshot_num_templates_; }
   /// The pipeline's worker pool (null when fitted with num_threads = 1).
   ThreadPool* thread_pool() const { return pool_.get(); }
+  /// Per-environment mean q-error of the model on its own training corpus,
+  /// computed at Fit time and refreshed by successful Retrain calls. This
+  /// is the reference the online DriftDetector (src/adapt) compares live
+  /// serving q-error against; it round-trips through Save/Load (artifact
+  /// section kAdaptBaseline). Empty for corpora the batched predictor
+  /// cannot score.
+  const std::map<int, double>& env_baseline_qerror() const {
+    return env_baseline_qerror_;
+  }
+  /// The world this pipeline was fitted against (same pointers handed to
+  /// Fit/Load). Exposed so the adaptation loop can re-load artifacts via
+  /// LoadAndSwap without the caller re-threading them.
+  Database* database() const { return db_; }
+  const std::vector<Environment>* environments() const { return envs_; }
+  const std::vector<QueryTemplate>* query_templates() const {
+    return templates_;
+  }
 
  private:
   Pipeline() = default;
@@ -215,6 +242,7 @@ class Pipeline {
   ReductionResult reduction_;
   TrainStats pre_train_stats_;
   TrainStats train_stats_;
+  std::map<int, double> env_baseline_qerror_;
 };
 
 }  // namespace qcfe

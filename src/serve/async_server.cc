@@ -281,6 +281,30 @@ void AsyncServer::Shutdown(ShutdownMode mode) {
   });
 }
 
+void AsyncServer::set_observation_listener(ObservationListener* listener) {
+  MutexLock lock(&mu_);
+  listener_ = listener;
+}
+
+void AsyncServer::ReportObserved(const PlanNode& plan, int env_id,
+                                 double predicted_ms, double actual_ms) {
+  ObservationListener* listener = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (listener_ == nullptr) {
+      ++stats_.observations_dropped;
+      return;
+    }
+    ++stats_.observations;
+    listener = listener_;
+  }
+  // Deliver outside mu_: the listener updates its own structures (window
+  // rings, drift state) and must not stall the flushers. The pointer read
+  // under the lock stays valid because listeners outlive the server (or
+  // detach first) per the set_observation_listener contract.
+  listener->OnObservation(plan, env_id, predicted_ms, actual_ms);
+}
+
 void AsyncServer::RecordSwapPublished(uint64_t version) {
   MutexLock lock(&mu_);
   ++stats_.swaps_published;

@@ -52,6 +52,23 @@ namespace qcfe {
 
 class SwappableModel;
 
+/// Feedback interface for observed executions — the "observe" half of the
+/// online adaptation loop (src/adapt). Serving callers that later learn a
+/// request's true latency hand the (plan, env, predicted, actual) tuple
+/// back through AsyncServer::ReportObserved, which forwards it here.
+/// Implementations must be thread-safe: observations arrive from arbitrary
+/// caller threads, and must not block for long (the canonical
+/// implementation, ObservationSink, does O(1) ring updates).
+class ObservationListener {
+ public:
+  virtual ~ObservationListener() = default;
+  /// `plan` is only guaranteed alive for the duration of the call;
+  /// implementations that keep it (e.g. as a retraining sample) must know
+  /// the caller keeps the plan alive, as all in-repo drivers do.
+  virtual void OnObservation(const PlanNode& plan, int env_id,
+                             double predicted_ms, double actual_ms) = 0;
+};
+
 /// Micro-batcher tuning knobs (PipelineConfig::async_serve carries these).
 struct AsyncServeConfig {
   /// Flush as soon as this many requests are queued.
@@ -87,6 +104,10 @@ struct AsyncServeStats {
   uint64_t swaps_published = 0;   ///< successful LoadAndSwap publishes
   uint64_t swaps_rejected = 0;    ///< LoadAndSwap failures (old model kept)
   uint64_t model_version = 0;     ///< version of the last publish/flush seen
+  // Observation counters (the observe half of src/adapt); both zero until
+  // callers use ReportObserved.
+  uint64_t observations = 0;          ///< observations forwarded to a listener
+  uint64_t observations_dropped = 0;  ///< observations with no listener set
 };
 
 /// Request-queue front end over one CostModel. Thread-safe: any number of
@@ -140,6 +161,19 @@ class AsyncServer {
   void RecordSwapPublished(uint64_t version);
   void RecordSwapRejected();
 
+  /// Attaches (or detaches, with null) the observation listener that
+  /// ReportObserved forwards to. The listener is not owned and must outlive
+  /// the server or be detached first.
+  void set_observation_listener(ObservationListener* listener);
+
+  /// Reports one observed execution: the caller predicted `predicted_ms`
+  /// for (plan, env_id) and later measured `actual_ms`. Forwards to the
+  /// attached listener *outside* the queue lock (listeners may do real
+  /// work) and bumps `observations`; with no listener attached the tuple is
+  /// counted in `observations_dropped` and discarded. Thread-safe.
+  void ReportObserved(const PlanNode& plan, int env_id, double predicted_ms,
+                      double actual_ms);
+
   const AsyncServeConfig& config() const { return config_; }
 
  private:
@@ -181,6 +215,7 @@ class AsyncServer {
   std::deque<Pending> queue_ QCFE_GUARDED_BY(mu_);
   bool shutdown_ QCFE_GUARDED_BY(mu_) = false;
   AsyncServeStats stats_ QCFE_GUARDED_BY(mu_);
+  ObservationListener* listener_ QCFE_GUARDED_BY(mu_) = nullptr;
 
   std::once_flag join_once_;
   std::vector<std::thread> workers_;

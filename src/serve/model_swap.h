@@ -23,6 +23,10 @@
 /// Locking: the publish lock ranks at lock_rank::kModelSwap, above the
 /// AsyncServer queue (stats() reads the version while holding the queue
 /// lock) and below nothing it calls — both sides are leaf acquisitions.
+///
+/// Callers: operators swap by hand (examples/hot_swap.cpp), and the online
+/// adaptation loop (src/adapt/adaptation_controller.h) publishes through
+/// LoadAndSwap automatically after each drift-triggered background retrain.
 
 #include <cstdint>
 #include <memory>

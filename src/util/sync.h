@@ -121,6 +121,18 @@ inline constexpr int kParallelForJoin = 20;
 /// AsyncServer's request queue: held while registering with the clock's
 /// waiter list, so it must rank below kClockWaiters.
 inline constexpr int kAsyncServerQueue = 30;
+/// ObservationSink's window/label rings: a leaf taken from serving callers
+/// after the AsyncServer queue lock is released (ReportObserved delivers
+/// outside the queue lock), ranked above it so an accidental nesting under
+/// the queue would still be legal in call order and caught if reversed.
+inline constexpr int kObservationSink = 31;
+/// DriftDetector's baseline/threshold tables: a leaf; evaluation copies
+/// what it needs and computes outside the lock.
+inline constexpr int kDriftDetector = 32;
+/// AdaptationController's trip/worker state. The retrain cycle itself runs
+/// with no controller lock held (it acquires thread-pool, model-swap and
+/// server locks on its own), so this is a leaf below kModelSwap.
+inline constexpr int kAdaptController = 33;
 /// SwappableModel's publish lock: readers resolve the current model while
 /// holding nothing heavier, and AsyncServer::stats() reads the version
 /// while holding kAsyncServerQueue — so it must rank above the queue.

@@ -259,6 +259,46 @@ TEST_F(PipelineTest, ExtendSnapshotsAndRetrain) {
   EXPECT_EQ(stats.loss_curve.size(), 2u);
 }
 
+TEST_F(PipelineTest, ExtendSnapshotsAssignsCollectionCost) {
+  PipelineConfig cfg;
+  cfg.estimator = "qppnet";
+  cfg.snapshot_scale = 1;
+  cfg.use_reduction = false;
+  cfg.train.epochs = 2;
+  auto pipeline = ctx_->FitPipeline(cfg, train_);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const double total_before = (*pipeline)->snapshot_collection_ms();
+
+  // `collect_ms` is an out-parameter with assign semantics: deliberately
+  // garbage-initialize it and verify the garbage cannot leak through (the
+  // old `+=` accumulate semantics would report ~1.2e8 ms here).
+  std::vector<Environment> extra =
+      EnvironmentSampler::Sample(2, HardwareProfile::H2(), 51);
+  for (auto& e : extra) e.id += 200;
+  double collect_ms = 123456789.0;
+  ASSERT_TRUE((*pipeline)
+                  ->ExtendSnapshots(extra, /*from_templates=*/true, 1, 53,
+                                    &collect_ms)
+                  .ok());
+  EXPECT_GT(collect_ms, 0.0);
+  EXPECT_LT(collect_ms, 1e8);
+
+  // The pipeline-lifetime total still accumulates across extensions, and
+  // the per-call output is exactly this call's contribution.
+  std::vector<Environment> more =
+      EnvironmentSampler::Sample(1, HardwareProfile::H2(), 57);
+  for (auto& e : more) e.id += 300;
+  const double total_mid = (*pipeline)->snapshot_collection_ms();
+  EXPECT_EQ(total_mid, total_before + collect_ms);
+  double second = -1.0;
+  ASSERT_TRUE((*pipeline)
+                  ->ExtendSnapshots(more, /*from_templates=*/true, 1, 59,
+                                    &second)
+                  .ok());
+  EXPECT_GT(second, 0.0);
+  EXPECT_EQ((*pipeline)->snapshot_collection_ms(), total_mid + second);
+}
+
 TEST_F(PipelineTest, ExtendSnapshotsNamesAndRefitsCacheCollisions) {
   PipelineConfig cfg;
   cfg.estimator = "qppnet";

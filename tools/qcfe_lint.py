@@ -245,9 +245,12 @@ RULES = [
          r"\bpthread_create\s*\("],
         dirs=("src/",),
         # thread_pool.h is pimpl-clean, so only its .cc owns raw threads;
-        # sync.* reads std::thread::id for debug owner tracking.
+        # sync.* reads std::thread::id for debug owner tracking; the
+        # adaptation controller owns its single background retrain worker
+        # (woken by CondVar, joined in Stop) like async_server owns its
+        # flushers.
         exempt_files=("src/util/thread_pool.cc", "src/serve/async_server.",
-                      "src/util/sync."),
+                      "src/util/sync.", "src/adapt/adaptation_controller."),
         fix_hint="use ThreadPool / ParallelFor, or route through AsyncServer",
     ),
     Rule(
